@@ -1,0 +1,6 @@
+package fedsparse_test
+
+import "math/rand"
+
+// newAPIRand builds a deterministic RNG for the facade tests.
+func newAPIRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,6 @@
+package fedsparse
+
+import "math/rand"
+
+// newBenchRand builds a deterministic RNG for benchmark noise injection.
+func newBenchRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

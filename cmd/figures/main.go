@@ -1,0 +1,78 @@
+// Command figures regenerates the paper's evaluation figures (Fig. 1 and
+// Figs. 4–8) on the synthetic workloads and prints the underlying series
+// and shape tables.
+//
+// Usage:
+//
+//	figures -fig all -scale small
+//	figures -fig 7 -scale paper
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"fedsparse"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 4, 5, 6, 7, 8, or all")
+	scale := flag.String("scale", "small", "experiment scale: tiny, small, paper")
+	flag.Parse()
+	if err := run(os.Stdout, *fig, fedsparse.Scale(*scale)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(out io.Writer, fig string, scale fedsparse.Scale) error {
+	switch scale {
+	case fedsparse.ScaleTiny, fedsparse.ScaleSmall, fedsparse.ScalePaper:
+	default:
+		return fmt.Errorf("unknown scale %q (want tiny, small, or paper)", scale)
+	}
+	runners := map[string]func() (*fedsparse.FigureResult, error){
+		"1": func() (*fedsparse.FigureResult, error) {
+			return fedsparse.Fig1(fedsparse.NewFEMNISTWorkload(scale), fedsparse.Fig1Options{})
+		},
+		"4": func() (*fedsparse.FigureResult, error) {
+			return fedsparse.Fig4(fedsparse.NewFEMNISTWorkload(scale), fedsparse.Fig4Options{})
+		},
+		"5": func() (*fedsparse.FigureResult, error) {
+			return fedsparse.Fig5(fedsparse.NewFEMNISTWorkload(scale), fedsparse.Fig5Options{})
+		},
+		"6": func() (*fedsparse.FigureResult, error) {
+			return fedsparse.Fig6(fedsparse.NewFEMNISTWorkload(scale), fedsparse.Fig6Options{})
+		},
+		"7": func() (*fedsparse.FigureResult, error) {
+			return fedsparse.Fig7(fedsparse.NewFEMNISTWorkload(scale), fedsparse.SweepOptions{})
+		},
+		"8": func() (*fedsparse.FigureResult, error) {
+			return fedsparse.Fig8(fedsparse.NewCIFARWorkload(scale), fedsparse.SweepOptions{})
+		},
+	}
+	order := []string{"1", "4", "5", "6", "7", "8"}
+
+	var selected []string
+	if fig == "all" {
+		selected = order
+	} else if _, ok := runners[fig]; ok {
+		selected = []string{fig}
+	} else {
+		return fmt.Errorf("unknown figure %q (want 1, 4, 5, 6, 7, 8, or all)", fig)
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		result, err := runners[id]()
+		if err != nil {
+			return fmt.Errorf("fig %s: %w", id, err)
+		}
+		fmt.Fprintf(out, "%s\n[fig %s regenerated in %.1fs at scale %s]\n\n",
+			result.Render(), id, time.Since(start).Seconds(), scale)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"fedsparse"
+)
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run(io.Discard, "9", fedsparse.ScaleTiny); err == nil {
+		t.Fatal("accepted unknown figure id")
+	} else if !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run(io.Discard, "1", fedsparse.Scale("huge")); err == nil {
+		t.Fatal("accepted unknown scale")
+	} else if !strings.Contains(err.Error(), "unknown scale") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunSingleFigureTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	// Fig. 6 is the cheapest runner (two training runs).
+	if err := run(io.Discard, "6", fedsparse.ScaleTiny); err != nil {
+		t.Fatal(err)
+	}
+}

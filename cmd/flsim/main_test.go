@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	tests := []struct {
+		name string
+		call func() error
+		want string
+	}{
+		{
+			name: "bad dataset",
+			call: func() error {
+				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0)
+			},
+			want: "unknown dataset",
+		},
+		{
+			name: "bad strategy",
+			call: func() error {
+				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0)
+			},
+			want: "unknown strategy",
+		},
+		{
+			name: "bad controller",
+			call: func() error {
+				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0)
+			},
+			want: "unknown adaptive controller",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.call()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestRunEmitsCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	// A tiny run through every strategy keeps the CLI paths covered.
+	for _, strat := range []string{"fab", "fub", "uni", "periodic", "sendall", "fedavg"} {
+		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+	}
+	// Adaptive controllers over the CLI.
+	for _, ctrl := range []string{"alg2", "alg3", "value", "exp3", "bandit"} {
+		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0); err != nil {
+			t.Fatalf("%s: %v", ctrl, err)
+		}
+	}
+}
+
+func TestCSVFloat(t *testing.T) {
+	if got := csvFloat(1.5); got != "1.500000" {
+		t.Fatalf("csvFloat(1.5) = %q", got)
+	}
+	nan := 0.0
+	nan /= nan
+	if got := csvFloat(nan); got != "" {
+		t.Fatalf("csvFloat(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,6 @@
+package main
+
+import "math/rand"
+
+// newRand builds a deterministic RNG for the bandit controllers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

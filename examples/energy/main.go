@@ -1,0 +1,67 @@
+// Command energy demonstrates the paper's resource generalization
+// (Sections I and VI): the online-learning objective is any *additive*
+// resource, not just time. Here a battery-powered deployment accounts for
+// both normalized time and a radio-dominated energy model, combined with
+// simtime-style composite weights, and the sparsity degree moves the
+// spend between the two budgets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedsparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w := fedsparse.NewFEMNISTWorkload(fedsparse.ScaleTiny)
+
+	// Two cost models over the same payloads: wall-clock time (the
+	// paper's default, comp = 1, comm = β = 10) and radio energy, where
+	// transmitting dominates computing by 20×.
+	timeModel := fedsparse.NewCostModel(w.D, 10)
+	energyModel := fedsparse.CostModel{D: w.D, CompPerRound: 1, CommFull: 200}
+	composite := fedsparse.Composite{
+		Models:  []fedsparse.CostModel{timeModel, energyModel},
+		Weights: []float64{0.5, 0.5},
+	}
+
+	fmt.Println("    k    rounds    time    energy    0.5*time+0.5*energy   final loss")
+	for _, k := range []int{w.D / 64, w.D / 8, w.D} {
+		res, err := fedsparse.Run(fedsparse.Config{
+			Data:         w.Data,
+			Model:        w.Model,
+			LearningRate: w.LearningRate,
+			BatchSize:    w.BatchSize,
+			Rounds:       150,
+			Seed:         11,
+			Strategy:     &fedsparse.FABTopK{},
+			Controller:   fedsparse.NewFixedK(float64(k)),
+			Beta:         10,
+		})
+		if err != nil {
+			return err
+		}
+		// Recompute each resource from the recorded payloads.
+		var timeTotal, energyTotal, combined float64
+		for _, st := range res.Stats {
+			up := 2 * float64(st.K)
+			down := 2 * float64(st.DownlinkElems)
+			timeTotal += timeModel.RoundTime(up, down)
+			energyTotal += energyModel.RoundTime(up, down)
+			combined += composite.RoundCost(up, down)
+		}
+		last := res.Stats[len(res.Stats)-1]
+		fmt.Printf("%5d  %8d  %7.1f  %8.1f  %20.1f  %10.3f\n",
+			k, len(res.Stats), timeTotal, energyTotal, combined, last.Loss)
+	}
+	fmt.Println("\nSparser gradients trade a slower loss descent for large energy savings;")
+	fmt.Println("swapping the composite weights re-targets the same online-learning machinery.")
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package fedsparse is a Go implementation of "Adaptive Gradient
+// Sparsification for Efficient Federated Learning: An Online Learning
+// Approach" (Han, Wang, Leung — IEEE ICDCS 2020, arXiv:2001.04756).
+//
+// The library provides, built from scratch on the standard library only:
+//
+//   - FAB-top-k — fairness-aware bidirectional top-k gradient
+//     sparsification (Algorithm 1), plus the comparison strategies from
+//     the paper's evaluation (FUB-top-k, unidirectional top-k,
+//     periodic-k, send-all, and a FedAvg mode).
+//   - Online learning of the sparsity degree k — Algorithm 2 (sign-based
+//     online gradient descent with O(√M) regret) and Algorithm 3
+//     (shrinking search intervals), with the derivative-sign estimator of
+//     Section IV-E, and the baselines compared in Fig. 5 (value-based
+//     descent, EXP3, continuous bandit).
+//   - A synchronous federated-learning engine with the paper's
+//     normalized-time cost model, a from-scratch neural-network substrate
+//     with manual backpropagation, synthetic non-i.i.d. federated
+//     datasets standing in for FEMNIST/CIFAR-10, and a gob/TCP transport
+//     that runs the protocol distributed.
+//
+// # Quickstart
+//
+//	w := fedsparse.NewFEMNISTWorkload(fedsparse.ScaleSmall)
+//	res, err := fedsparse.Run(fedsparse.Config{
+//		Data:         w.Data,
+//		Model:        w.Model,
+//		LearningRate: 0.1,
+//		BatchSize:    16,
+//		Rounds:       300,
+//		Strategy:     &fedsparse.FABTopK{},
+//		Controller:   fedsparse.NewAdaptiveSignOGD(10, float64(w.D), float64(w.D), 1.5, 20, nil),
+//		Beta:         10,
+//	})
+//
+// See the examples directory for runnable programs and DESIGN.md for the
+// architecture and the per-figure experiment index.
+package fedsparse
+
+import (
+	"fedsparse/internal/core"
+	"fedsparse/internal/dataset"
+	"fedsparse/internal/experiments"
+	"fedsparse/internal/fl"
+	"fedsparse/internal/gs"
+	"fedsparse/internal/metrics"
+	"fedsparse/internal/nn"
+	"fedsparse/internal/simtime"
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/transport"
+)
+
+// Federated-learning engine (internal/fl).
+type (
+	// Config describes one federated training run.
+	Config = fl.Config
+	// Result is a completed run: per-round stats plus the final model.
+	Result = fl.Result
+	// RoundStats captures one training round.
+	RoundStats = fl.RoundStats
+)
+
+// Run executes a federated training run (Algorithm 1 in GS mode, or the
+// FedAvg comparison mode).
+func Run(cfg Config) (*Result, error) { return fl.Run(cfg) }
+
+// Gradient-sparsification strategies (internal/gs).
+type (
+	// Strategy is one gradient-sparsification method.
+	Strategy = gs.Strategy
+	// FABTopK is the paper's fairness-aware bidirectional top-k.
+	FABTopK = gs.FABTopK
+	// FUBTopK is fairness-unaware bidirectional top-k.
+	FUBTopK = gs.FUBTopK
+	// UniTopK is unidirectional top-k (downlink up to k·N).
+	UniTopK = gs.UniTopK
+	// PeriodicK is random sparsification.
+	PeriodicK = gs.PeriodicK
+	// SendAll transmits the full gradient every round.
+	SendAll = gs.SendAll
+	// ClientUpload is one client's uplink payload.
+	ClientUpload = gs.ClientUpload
+	// Aggregate is the server's downlink selection.
+	Aggregate = gs.Aggregate
+)
+
+// Adaptive-k online learning (internal/core).
+type (
+	// Controller selects the sparsity degree k each round.
+	Controller = core.Controller
+	// Decision is a controller's per-round choice.
+	Decision = core.Decision
+	// Observation is the per-round feedback revealed to a controller.
+	Observation = core.Observation
+	// SignOGD is Algorithm 2.
+	SignOGD = core.SignOGD
+	// AdaptiveSignOGD is Algorithm 3.
+	AdaptiveSignOGD = core.AdaptiveSignOGD
+	// FixedK holds k constant.
+	FixedK = core.FixedK
+	// ThresholdK switches k when the loss reaches a threshold (Fig. 1).
+	ThresholdK = core.ThresholdK
+	// ValueOGD is the value-based descent baseline.
+	ValueOGD = core.ValueOGD
+	// EXP3 is the multi-armed-bandit baseline.
+	EXP3 = core.EXP3
+	// ContinuousBandit is the one-point bandit baseline.
+	ContinuousBandit = core.ContinuousBandit
+	// SignSource supplies derivative-sign estimates.
+	SignSource = core.SignSource
+	// LossBasedSign is the Section IV-E estimator.
+	LossBasedSign = core.LossBasedSign
+)
+
+// Controller constructors.
+var (
+	NewFixedK           = core.NewFixedK
+	NewSignOGD          = core.NewSignOGD
+	NewAdaptiveSignOGD  = core.NewAdaptiveSignOGD
+	NewValueOGD         = core.NewValueOGD
+	NewEXP3             = core.NewEXP3
+	NewContinuousBandit = core.NewContinuousBandit
+)
+
+// Neural-network substrate (internal/nn).
+type (
+	// Network is a feed-forward model with a flat parameter vector.
+	Network = nn.Network
+	// Layer is one differentiable network stage.
+	Layer = nn.Layer
+)
+
+// Model builders.
+var (
+	NewMLP = nn.NewMLP
+	NewCNN = nn.NewCNN
+)
+
+// Datasets (internal/dataset).
+type (
+	// Dataset is a labelled sample collection.
+	Dataset = dataset.Dataset
+	// Federated is a client-partitioned dataset with a test set.
+	Federated = dataset.Federated
+	// Sample is one labelled example.
+	Sample = dataset.Sample
+	// FEMNISTConfig parameterizes the FEMNIST-like generator.
+	FEMNISTConfig = dataset.FEMNISTConfig
+	// CIFARConfig parameterizes the CIFAR-like generator.
+	CIFARConfig = dataset.CIFARConfig
+)
+
+// Dataset generators.
+var (
+	GenerateFEMNIST    = dataset.GenerateFEMNIST
+	GenerateCIFAR      = dataset.GenerateCIFAR
+	DefaultFEMNIST     = dataset.DefaultFEMNIST
+	DefaultCIFAR       = dataset.DefaultCIFAR
+	PartitionIID       = dataset.PartitionIID
+	PartitionDirichlet = dataset.PartitionDirichlet
+)
+
+// Cost model (internal/simtime).
+type (
+	// CostModel is the paper's normalized time model.
+	CostModel = simtime.CostModel
+	// Composite sums weighted additive resources (energy, money, …).
+	Composite = simtime.Composite
+)
+
+// NewCostModel builds the normalized time model (computation 1/round,
+// communication β per full exchange).
+var NewCostModel = simtime.NewCostModel
+
+// Sparse-gradient machinery (internal/sparse).
+type (
+	// SparseVec is an index/value sparse vector.
+	SparseVec = sparse.Vec
+)
+
+var (
+	// TopK selects the k largest-|value| elements.
+	TopK = sparse.TopK
+	// StochasticRound realizes a continuous k (Definition 2).
+	StochasticRound = sparse.StochasticRound
+)
+
+// Experiments reproducing the paper's figures (internal/experiments).
+type (
+	// Workload bundles data, model, and hyper-parameters at a scale.
+	Workload = experiments.Workload
+	// Scale selects experiment size (tiny/small/paper).
+	Scale = experiments.Scale
+	// FigureResult is one reproduced figure.
+	FigureResult = experiments.FigureResult
+	// Fig1Options .. SweepOptions configure the figure runners.
+	Fig1Options  = experiments.Fig1Options
+	Fig4Options  = experiments.Fig4Options
+	Fig5Options  = experiments.Fig5Options
+	Fig6Options  = experiments.Fig6Options
+	SweepOptions = experiments.SweepOptions
+)
+
+// Experiment scales.
+const (
+	ScaleTiny  = experiments.ScaleTiny
+	ScaleSmall = experiments.ScaleSmall
+	ScalePaper = experiments.ScalePaper
+)
+
+// Workload constructors and figure runners.
+var (
+	NewFEMNISTWorkload = experiments.NewFEMNIST
+	NewCIFARWorkload   = experiments.NewCIFAR
+	Fig1               = experiments.Fig1
+	Fig4               = experiments.Fig4
+	Fig5               = experiments.Fig5
+	Fig6               = experiments.Fig6
+	Fig7               = experiments.Fig7
+	Fig8               = experiments.Fig8
+)
+
+// Metrics (internal/metrics).
+type (
+	// Series is an (x, y) sequence.
+	Series = metrics.Series
+	// Table is a text table for experiment output.
+	Table = metrics.Table
+)
+
+// CDF computes an empirical distribution series.
+var CDF = metrics.CDF
+
+// Distributed transport (internal/transport).
+type (
+	// Conn is a typed message pipe.
+	Conn = transport.Conn
+	// ServerConfig / ClientConfig parameterize distributed runs.
+	ServerConfig = transport.ServerConfig
+	ClientConfig = transport.ClientConfig
+	// RoundRecord is the distributed server's per-round log.
+	RoundRecord = transport.RoundRecord
+)
+
+// Transport constructors and drivers.
+var (
+	NewMemPair = transport.NewMemPair
+	NewGobConn = transport.NewGobConn
+	RunServer  = transport.RunServer
+	RunClient  = transport.RunClient
+)

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SyntheticCostEnv simulates the online problem of Section IV on a known
+// cost family satisfying Assumptions 1–2, used to validate Theorems 1–2
+// empirically (tests and BenchmarkRegretSynthetic):
+//
+//	τ_m(k) = a_m · ΔL · (Base + Slope·|k − KStar|)
+//
+// Convex in k with a round-independent minimizer KStar (Assumption 2 item
+// c) and |τ′_m(k)| ≤ AmpMax·Slope·ΔL = G (the bound of equation (4)). The
+// per-round amplitude a_m ~ U[AmpMin, AmpMax] makes the cost sequence
+// adversarial-ish while preserving the assumptions.
+type SyntheticCostEnv struct {
+	KStar       float64
+	Base, Slope float64
+	DeltaLoss   float64
+	AmpMin      float64
+	AmpMax      float64
+
+	amps []float64
+	rng  *rand.Rand
+}
+
+// NewSyntheticCostEnv builds the environment with its own RNG stream.
+func NewSyntheticCostEnv(kstar float64, seed int64) *SyntheticCostEnv {
+	return &SyntheticCostEnv{
+		KStar:     kstar,
+		Base:      1,
+		Slope:     0.01,
+		DeltaLoss: 1,
+		AmpMin:    0.5,
+		AmpMax:    1.5,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// amp returns a_m, generating the sequence lazily so that τ_m does not
+// depend on the controller's choices (the analysis assumes t(k, l) is
+// fixed before the system starts).
+func (e *SyntheticCostEnv) amp(m int) float64 {
+	for len(e.amps) < m {
+		e.amps = append(e.amps, e.AmpMin+(e.AmpMax-e.AmpMin)*e.rng.Float64())
+	}
+	return e.amps[m-1]
+}
+
+// Tau returns τ_m(k).
+func (e *SyntheticCostEnv) Tau(m int, k float64) float64 {
+	return e.amp(m) * e.DeltaLoss * (e.Base + e.Slope*math.Abs(k-e.KStar))
+}
+
+// G returns the derivative bound of equation (4) for this environment.
+func (e *SyntheticCostEnv) G() float64 { return e.AmpMax * e.Slope * e.DeltaLoss }
+
+// ExactSign is a SignSource revealing the true derivative sign
+// sign(k − KStar) — the Theorem 1 setting.
+type ExactSign struct {
+	Env *SyntheticCostEnv
+}
+
+var _ SignSource = ExactSign{}
+
+// Sign implements SignSource.
+func (s ExactSign) Sign(o Observation) (int, bool) {
+	return Sign(o.K - s.Env.KStar), true
+}
+
+// NoisySign flips the inner source's sign with probability FlipProb — the
+// Theorem 2 setting, where H = 1/(1 − 2·FlipProb) for FlipProb < 1/2.
+type NoisySign struct {
+	Inner    SignSource
+	FlipProb float64
+	Rng      *rand.Rand
+}
+
+var _ SignSource = NoisySign{}
+
+// Sign implements SignSource.
+func (s NoisySign) Sign(o Observation) (int, bool) {
+	sign, ok := s.Inner.Sign(o)
+	if !ok {
+		return 0, false
+	}
+	if s.Rng.Float64() < s.FlipProb {
+		sign = -sign
+	}
+	return sign, true
+}
+
+// H returns the estimator-quality constant of equation (7).
+func (s NoisySign) H() float64 { return 1 / (1 - 2*s.FlipProb) }
+
+// SyntheticResult is the outcome of a synthetic online-learning run.
+type SyntheticResult struct {
+	// Regret is R(M) = Σ τ_m(k_m) − Σ τ_m(k*) (Definition 4).
+	Regret float64
+	// Bound is the Theorem 1/2 bound G·H·B·√(2M) for the run.
+	Bound float64
+	// Ks is the trajectory {k_m}.
+	Ks []float64
+}
+
+// RunSynthetic drives a controller for M rounds against the environment
+// and reports regret against the clairvoyant best fixed k* (= env.KStar,
+// which minimizes every τ_m by construction). h is the estimator constant
+// H used in the reported bound (1 for exact signs).
+func RunSynthetic(ctrl Controller, env *SyntheticCostEnv, m int, b, h float64) SyntheticResult {
+	res := SyntheticResult{Ks: make([]float64, 0, m)}
+	for round := 1; round <= m; round++ {
+		dec := ctrl.Decide(round)
+		k := dec.K
+		res.Ks = append(res.Ks, k)
+		cost := env.Tau(round, k)
+		best := env.Tau(round, env.KStar)
+		res.Regret += cost - best
+		ctrl.Observe(Observation{
+			Round:          round,
+			K:              k,
+			ProbeK:         dec.ProbeK,
+			RoundTime:      cost,
+			ProbeRoundTime: env.Tau(round, dec.ProbeK),
+			LossPrev:       math.NaN(),
+			LossCur:        math.NaN(),
+			LossProbe:      math.NaN(),
+		})
+	}
+	res.Bound = env.G() * h * b * math.Sqrt(2*float64(m))
+	return res
+}

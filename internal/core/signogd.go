@@ -1,0 +1,195 @@
+package core
+
+import "math"
+
+// SignOGD is Algorithm 2: online learning on the sign of the derivative.
+// In round m it plays k_m, probes k′_m = k_m − δ_m/2, and updates
+//
+//	k_{m+1} = P_K(k_m − δ_m·ŝ_m),   δ_m = B/√(2m),
+//
+// where ŝ_m comes from the configured SignSource. When the estimate is
+// unavailable, k is left unchanged (Section IV-E).
+type SignOGD struct {
+	kmin, kmax float64
+	b          float64 // B = kmax − kmin
+	k          float64
+	src        SignSource
+	// stats for experiment output
+	updates, unavailable int
+}
+
+var _ Controller = (*SignOGD)(nil)
+
+// NewSignOGD constructs Algorithm 2 over the search interval
+// K = [kmin, kmax] with initial value k1 (the paper starts from kmax when
+// unspecified). Pass nil src to use LossBasedSign.
+func NewSignOGD(kmin, kmax, k1 float64, src SignSource) *SignOGD {
+	if src == nil {
+		src = LossBasedSign{}
+	}
+	return &SignOGD{
+		kmin: kmin,
+		kmax: kmax,
+		b:    kmax - kmin,
+		k:    Project(k1, kmin, kmax),
+		src:  src,
+	}
+}
+
+func (s *SignOGD) Name() string { return "sign-ogd(alg2)" }
+
+// K returns the current continuous k_m.
+func (s *SignOGD) K() float64 { return s.k }
+
+// delta returns δ_m = B/√(2m).
+func (s *SignOGD) delta(m int) float64 {
+	if m < 1 {
+		m = 1
+	}
+	return s.b / math.Sqrt(2*float64(m))
+}
+
+func (s *SignOGD) Decide(m int) Decision {
+	// The probe k′ = k − δ/2 may drop below kmin: kmin guards the played
+	// k against ill-conditioned updates, while k′ is only evaluated
+	// hypothetically and just needs to stay a valid sparsity (≥ 1).
+	probe := s.k - s.delta(m)/2
+	if probe < 1 {
+		probe = 1
+	}
+	if probe >= s.k {
+		probe = 0 // k is pinned at the floor; no informative probe exists
+	}
+	return Decision{K: s.k, ProbeK: probe}
+}
+
+func (s *SignOGD) Observe(o Observation) {
+	sign, ok := s.src.Sign(o)
+	if !ok {
+		s.unavailable++
+		return
+	}
+	s.updates++
+	s.k = Project(s.k-s.delta(o.Round)*float64(sign), s.kmin, s.kmax)
+}
+
+// Stats returns how many rounds produced a usable sign estimate and how
+// many were skipped.
+func (s *SignOGD) Stats() (updates, unavailable int) { return s.updates, s.unavailable }
+
+// AdaptiveSignOGD is Algorithm 3: Algorithm 2 extended with shrinking
+// search intervals. Every Mu usable rounds it forms a candidate interval
+// [k′min/α·…] from the window of recent k values expanded by α, and
+// restarts the instance on that interval when both restart conditions
+// hold: B′ < (√2−1)·B and the current instance has run at least as long
+// as the previous one (M″ ≥ M′).
+type AdaptiveSignOGD struct {
+	kminAbs, kmaxAbs float64 // the input [kmin, kmax] (absolute bounds)
+	kmin, kmax       float64 // current instance interval K
+	b                float64 // current B
+	alpha            float64
+	mu               int
+	k                float64
+	src              SignSource
+
+	m0     int     // round at which the current instance started
+	mPrev  int     // M′: length of the previous instance
+	n      int     // usable rounds since the last window reset
+	wMin   float64 // window min of k (k′min before α expansion)
+	wMax   float64 // window max of k
+	resets int     // number of instance restarts (for experiment output)
+}
+
+var _ Controller = (*AdaptiveSignOGD)(nil)
+
+// NewAdaptiveSignOGD constructs Algorithm 3 with expansion coefficient
+// α ≥ 1 and update window Mu. The paper's Fig. 5–8 configuration is
+// α = 1.5, Mu = 20, k1 = kmax. Pass nil src for LossBasedSign.
+func NewAdaptiveSignOGD(kmin, kmax, k1, alpha float64, mu int, src SignSource) *AdaptiveSignOGD {
+	if src == nil {
+		src = LossBasedSign{}
+	}
+	return &AdaptiveSignOGD{
+		kminAbs: kmin,
+		kmaxAbs: kmax,
+		kmin:    kmin,
+		kmax:    kmax,
+		b:       kmax - kmin,
+		alpha:   alpha,
+		mu:      mu,
+		k:       Project(k1, kmin, kmax),
+		src:     src,
+		wMin:    math.Inf(1),
+		wMax:    0,
+	}
+}
+
+func (s *AdaptiveSignOGD) Name() string { return "adaptive-sign-ogd(alg3)" }
+
+// K returns the current continuous k_m.
+func (s *AdaptiveSignOGD) K() float64 { return s.k }
+
+// Interval returns the current search interval and step base B.
+func (s *AdaptiveSignOGD) Interval() (kmin, kmax, b float64) { return s.kmin, s.kmax, s.b }
+
+// Resets returns how many times the search interval restarted.
+func (s *AdaptiveSignOGD) Resets() int { return s.resets }
+
+// delta returns δ_m = B/√(2(m − m0)), guarding the first round of an
+// instance (m − m0 = 0) at one.
+func (s *AdaptiveSignOGD) delta(m int) float64 {
+	steps := m - s.m0
+	if steps < 1 {
+		steps = 1
+	}
+	return s.b / math.Sqrt(2*float64(steps))
+}
+
+func (s *AdaptiveSignOGD) Decide(m int) Decision {
+	// As in SignOGD, the probe may drop below kmin (see there).
+	probe := s.k - s.delta(m)/2
+	if probe < 1 {
+		probe = 1
+	}
+	if probe >= s.k {
+		probe = 0
+	}
+	return Decision{K: s.k, ProbeK: probe}
+}
+
+func (s *AdaptiveSignOGD) Observe(o Observation) {
+	sign, ok := s.src.Sign(o)
+	if !ok {
+		// Lines 6–7 are skipped when k does not change (Section IV-E).
+		return
+	}
+	m := o.Round
+	s.k = Project(s.k-s.delta(m)*float64(sign), s.kmin, s.kmax)
+	mDoublePrime := m - s.m0 // M″: rounds in the current instance
+	if s.k < s.wMin {
+		s.wMin = s.k
+	}
+	if s.k > s.wMax {
+		s.wMax = s.k
+	}
+	s.n++
+	if s.n < s.mu {
+		return
+	}
+	// Lines 9–15: candidate interval from the window, α-expanded and
+	// clipped to the absolute bounds.
+	candMax := math.Min(s.alpha*s.wMax, s.kmaxAbs)
+	candMin := math.Max(s.wMin/s.alpha, s.kminAbs)
+	bPrime := candMax - candMin
+	if bPrime < (math.Sqrt2-1)*s.b && mDoublePrime >= s.mPrev {
+		s.kmin, s.kmax = candMin, candMax
+		s.b = bPrime
+		s.mPrev = mDoublePrime
+		s.m0 = m
+		s.resets++
+		s.k = Project(s.k, s.kmin, s.kmax)
+	}
+	s.n = 0
+	s.wMin = math.Inf(1)
+	s.wMax = 0
+}

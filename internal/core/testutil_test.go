@@ -1,0 +1,6 @@
+package core
+
+import "math/rand"
+
+// newTestRand returns a deterministic RNG for tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

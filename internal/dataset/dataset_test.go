@@ -1,0 +1,268 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateFEMNISTShape(t *testing.T) {
+	cfg := DefaultFEMNIST(12)
+	fed := GenerateFEMNIST(cfg)
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fed.NumClients() != 12 {
+		t.Fatalf("NumClients = %d, want 12", fed.NumClients())
+	}
+	if fed.NumClasses != 62 || fed.Dim != cfg.Dim {
+		t.Fatalf("classes/dim = %d/%d", fed.NumClasses, fed.Dim)
+	}
+	if fed.Test.Len() != cfg.TestSamples {
+		t.Fatalf("test size = %d, want %d", fed.Test.Len(), cfg.TestSamples)
+	}
+}
+
+func TestFEMNISTIsNonIID(t *testing.T) {
+	fed := GenerateFEMNIST(DefaultFEMNIST(10))
+	cfg := DefaultFEMNIST(10)
+	for i := range fed.Clients {
+		counts := fed.Clients[i].ClassCounts()
+		distinct := 0
+		for _, c := range counts {
+			if c > 0 {
+				distinct++
+			}
+		}
+		if distinct > cfg.ClassesPerClient {
+			t.Fatalf("client %d has %d classes, config allows %d", i, distinct, cfg.ClassesPerClient)
+		}
+		if distinct == 0 {
+			t.Fatalf("client %d has no classes", i)
+		}
+	}
+}
+
+func TestFEMNISTHeterogeneousSizes(t *testing.T) {
+	fed := GenerateFEMNIST(DefaultFEMNIST(30))
+	minLen, maxLen := math.MaxInt32, 0
+	for i := range fed.Clients {
+		n := fed.Clients[i].Len()
+		if n < minLen {
+			minLen = n
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if maxLen <= minLen {
+		t.Fatalf("client sizes are uniform (%d); want heterogeneous C_i", minLen)
+	}
+}
+
+func TestGenerateFEMNISTDeterministic(t *testing.T) {
+	a := GenerateFEMNIST(DefaultFEMNIST(5))
+	b := GenerateFEMNIST(DefaultFEMNIST(5))
+	if a.TotalTrain() != b.TotalTrain() {
+		t.Fatal("same seed produced different sizes")
+	}
+	for i := range a.Clients {
+		for j := range a.Clients[i].Samples {
+			sa, sb := a.Clients[i].Samples[j], b.Clients[i].Samples[j]
+			if sa.Y != sb.Y {
+				t.Fatal("same seed produced different labels")
+			}
+			for d := range sa.X {
+				if sa.X[d] != sb.X[d] {
+					t.Fatal("same seed produced different features")
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCIFAROneClassPerClient(t *testing.T) {
+	cfg := DefaultCIFAR(20)
+	fed := GenerateCIFAR(cfg)
+	if err := fed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[int]bool)
+	for i := range fed.Clients {
+		counts := fed.Clients[i].ClassCounts()
+		distinct, class := 0, -1
+		for c, n := range counts {
+			if n > 0 {
+				distinct++
+				class = c
+			}
+		}
+		if distinct != 1 {
+			t.Fatalf("client %d holds %d classes, want exactly 1", i, distinct)
+		}
+		if class != i%10 {
+			t.Fatalf("client %d holds class %d, want %d (round-robin)", i, class, i%10)
+		}
+		covered[class] = true
+	}
+	if len(covered) != 10 {
+		t.Fatalf("only %d classes covered across clients, want 10", len(covered))
+	}
+}
+
+func TestCIFARTestSetHasAllClasses(t *testing.T) {
+	fed := GenerateCIFAR(DefaultCIFAR(10))
+	counts := fed.Test.ClassCounts()
+	for c, n := range counts {
+		if n == 0 {
+			t.Fatalf("test set missing class %d", c)
+		}
+	}
+}
+
+func TestBatchRespectsSizeAndRange(t *testing.T) {
+	fed := GenerateFEMNIST(DefaultFEMNIST(3))
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := fed.Clients[0].Batch(rng, 7)
+	if len(xs) != 7 || len(ys) != 7 {
+		t.Fatalf("batch size %d/%d, want 7", len(xs), len(ys))
+	}
+	for i := range xs {
+		if len(xs[i]) != fed.Dim {
+			t.Fatalf("batch sample dim %d", len(xs[i]))
+		}
+		if ys[i] < 0 || ys[i] >= fed.NumClasses {
+			t.Fatalf("batch label %d out of range", ys[i])
+		}
+	}
+}
+
+func TestXYParallel(t *testing.T) {
+	fed := GenerateCIFAR(DefaultCIFAR(10))
+	xs, ys := fed.Test.XY()
+	if len(xs) != fed.Test.Len() || len(ys) != fed.Test.Len() {
+		t.Fatal("XY lengths mismatch")
+	}
+	for i := range xs {
+		if ys[i] != fed.Test.Samples[i].Y {
+			t.Fatal("XY label order broken")
+		}
+	}
+}
+
+func TestPartitionIID(t *testing.T) {
+	fed := GenerateCIFAR(DefaultCIFAR(10))
+	all := Dataset{Dim: fed.Dim, NumClasses: fed.NumClasses}
+	for i := range fed.Clients {
+		all.Samples = append(all.Samples, fed.Clients[i].Samples...)
+	}
+	parts := PartitionIID(all, 7, rand.New(rand.NewSource(3)))
+	total := 0
+	for _, p := range parts {
+		total += p.Len()
+	}
+	if total != all.Len() {
+		t.Fatalf("IID partition lost samples: %d != %d", total, all.Len())
+	}
+	// Shard sizes within one of each other.
+	for _, p := range parts {
+		if d := p.Len() - all.Len()/7; d < 0 || d > 1 {
+			t.Fatalf("IID shard size %d not balanced", p.Len())
+		}
+	}
+}
+
+func TestPartitionDirichletConservesSamples(t *testing.T) {
+	fed := GenerateCIFAR(DefaultCIFAR(10))
+	all := Dataset{Dim: fed.Dim, NumClasses: fed.NumClasses}
+	for i := range fed.Clients {
+		all.Samples = append(all.Samples, fed.Clients[i].Samples...)
+	}
+	for _, alpha := range []float64{0.1, 1, 10} {
+		parts := PartitionDirichlet(all, 5, alpha, rand.New(rand.NewSource(4)))
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		if total != all.Len() {
+			t.Fatalf("alpha=%v: Dirichlet partition lost samples: %d != %d", alpha, total, all.Len())
+		}
+	}
+}
+
+func TestPartitionDirichletSkewIncreasesAsAlphaShrinks(t *testing.T) {
+	fed := GenerateFEMNIST(DefaultFEMNIST(4))
+	all := Dataset{Dim: fed.Dim, NumClasses: fed.NumClasses}
+	for i := range fed.Clients {
+		all.Samples = append(all.Samples, fed.Clients[i].Samples...)
+	}
+	skew := func(alpha float64) float64 {
+		parts := PartitionDirichlet(all, 6, alpha, rand.New(rand.NewSource(5)))
+		// Mean over clients of (max class share).
+		var total float64
+		for _, p := range parts {
+			if p.Len() == 0 {
+				total += 1
+				continue
+			}
+			counts := p.ClassCounts()
+			maxC := 0
+			for _, c := range counts {
+				if c > maxC {
+					maxC = c
+				}
+			}
+			total += float64(maxC) / float64(p.Len())
+		}
+		return total / 6
+	}
+	if s1, s2 := skew(0.05), skew(50); s1 <= s2 {
+		t.Fatalf("skew(0.05)=%v should exceed skew(50)=%v", s1, s2)
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, alpha := range []float64{0.1, 0.5, 1, 5} {
+		p := dirichlet(rng, 8, alpha)
+		var s float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative proportion %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("dirichlet sums to %v", s)
+		}
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, alpha := range []float64{0.5, 1, 2.5} {
+		const n = 20000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, alpha)
+		}
+		mean := sum / n
+		// Gamma(α,1) has mean α.
+		if math.Abs(mean-alpha) > 0.1*alpha+0.05 {
+			t.Fatalf("alpha=%v: sample mean %v far from %v", alpha, mean, alpha)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	fed := GenerateFEMNIST(DefaultFEMNIST(3))
+	fed.Clients[1].Samples[0].Y = 99
+	if err := fed.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range label")
+	}
+	fed = GenerateFEMNIST(DefaultFEMNIST(3))
+	fed.Clients[0].Samples = nil
+	if err := fed.Validate(); err == nil {
+		t.Fatal("Validate accepted empty client")
+	}
+}

@@ -1,0 +1,293 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FEMNISTConfig parameterizes the FEMNIST-like generator. The defaults
+// (from DefaultFEMNIST) mirror the paper's setting at reduced scale: 62
+// classes, writer-partitioned clients, each writer holding a skewed subset
+// of classes with its own style shift.
+type FEMNISTConfig struct {
+	NumClients       int
+	NumClasses       int // 62 in the paper
+	Dim              int // flattened feature dimension
+	SamplesPerClient int // mean; actual counts vary per client (log-uniform ×[0.5,2])
+	ClassesPerClient int // label skew: classes each writer draws from
+	TestSamples      int
+	Noise            float64 // within-class sample noise σ
+	StyleShift       float64 // per-writer feature offset σ (writer style)
+	Seed             int64
+}
+
+// DefaultFEMNIST returns the configuration used by the experiment suite's
+// "small" scale: 62 classes over `clients` writers.
+func DefaultFEMNIST(clients int) FEMNISTConfig {
+	return FEMNISTConfig{
+		NumClients:       clients,
+		NumClasses:       62,
+		Dim:              64,
+		SamplesPerClient: 90,
+		ClassesPerClient: 8,
+		TestSamples:      600,
+		Noise:            0.45,
+		StyleShift:       0.25,
+		Seed:             1,
+	}
+}
+
+// GenerateFEMNIST builds the FEMNIST-like federated dataset: Gaussian class
+// prototypes shared globally, per-writer style offsets, and per-writer
+// class subsets (non-i.i.d. label distribution, as in the real
+// writer-partitioned FEMNIST).
+func GenerateFEMNIST(cfg FEMNISTConfig) *Federated {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protos := classPrototypes(rng, cfg.NumClasses, cfg.Dim)
+
+	fed := &Federated{
+		Clients:    make([]Dataset, cfg.NumClients),
+		Dim:        cfg.Dim,
+		NumClasses: cfg.NumClasses,
+	}
+	for i := 0; i < cfg.NumClients; i++ {
+		style := gaussianVec(rng, cfg.Dim, cfg.StyleShift)
+		classes := chooseClasses(rng, cfg.NumClasses, cfg.ClassesPerClient)
+		// Heterogeneous dataset sizes: C_i spans a 4x range so the C_i/C
+		// weighting in aggregation is actually exercised.
+		count := int(float64(cfg.SamplesPerClient) * math.Exp((rng.Float64()-0.5)*math.Ln2*2))
+		if count < 4 {
+			count = 4
+		}
+		ds := Dataset{Dim: cfg.Dim, NumClasses: cfg.NumClasses}
+		for s := 0; s < count; s++ {
+			class := classes[rng.Intn(len(classes))]
+			x := sampleAround(rng, protos[class], cfg.Noise)
+			for j := range x {
+				x[j] += style[j]
+			}
+			ds.Samples = append(ds.Samples, Sample{X: x, Y: class})
+		}
+		fed.Clients[i] = ds
+	}
+	fed.Test = testSet(rng, protos, cfg.TestSamples, cfg.Noise, cfg.Dim, cfg.NumClasses)
+	return fed
+}
+
+// CIFARConfig parameterizes the CIFAR-like generator reproducing the
+// paper's strong non-i.i.d. setting: 10 classes, every client holds
+// exactly one class (the class's samples are partitioned among the clients
+// assigned to it).
+type CIFARConfig struct {
+	NumClients       int
+	Dim              int
+	SamplesPerClient int
+	TestSamples      int
+	Noise            float64
+	// SubClusters adds within-class multimodality (real image classes are
+	// not single Gaussians); each class has this many modes.
+	SubClusters int
+	Seed        int64
+}
+
+// DefaultCIFAR returns the "small"-scale CIFAR-like configuration.
+func DefaultCIFAR(clients int) CIFARConfig {
+	return CIFARConfig{
+		NumClients:       clients,
+		Dim:              96,
+		SamplesPerClient: 100,
+		TestSamples:      500,
+		Noise:            0.5,
+		SubClusters:      3,
+		Seed:             2,
+	}
+}
+
+// GenerateCIFAR builds the CIFAR-like federated dataset with one class per
+// client (clients are assigned round-robin over the 10 classes, so with
+// ≥10 clients every class is covered).
+func GenerateCIFAR(cfg CIFARConfig) *Federated {
+	const numClasses = 10
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protos := classPrototypes(rng, numClasses, cfg.Dim)
+	// Per-class sub-cluster offsets for within-class diversity.
+	sub := make([][][]float64, numClasses)
+	for c := range sub {
+		sub[c] = make([][]float64, cfg.SubClusters)
+		for m := range sub[c] {
+			sub[c][m] = gaussianVec(rng, cfg.Dim, 0.4)
+		}
+	}
+
+	fed := &Federated{
+		Clients:    make([]Dataset, cfg.NumClients),
+		Dim:        cfg.Dim,
+		NumClasses: numClasses,
+	}
+	for i := 0; i < cfg.NumClients; i++ {
+		class := i % numClasses
+		ds := Dataset{Dim: cfg.Dim, NumClasses: numClasses}
+		for s := 0; s < cfg.SamplesPerClient; s++ {
+			mode := sub[class][rng.Intn(cfg.SubClusters)]
+			x := sampleAround(rng, protos[class], cfg.Noise)
+			for j := range x {
+				x[j] += mode[j]
+			}
+			ds.Samples = append(ds.Samples, Sample{X: x, Y: class})
+		}
+		fed.Clients[i] = ds
+	}
+	fed.Test = testSet(rng, protos, cfg.TestSamples, cfg.Noise, cfg.Dim, numClasses)
+	return fed
+}
+
+// PartitionIID splits data uniformly at random into n equally sized client
+// shards (utility for baselines and tests).
+func PartitionIID(data Dataset, n int, rng *rand.Rand) []Dataset {
+	perm := rng.Perm(data.Len())
+	out := make([]Dataset, n)
+	for i := range out {
+		out[i] = Dataset{Dim: data.Dim, NumClasses: data.NumClasses}
+	}
+	for i, p := range perm {
+		c := i % n
+		out[c].Samples = append(out[c].Samples, data.Samples[p])
+	}
+	return out
+}
+
+// PartitionDirichlet splits data across n clients with Dirichlet(α) label
+// proportions per client — the standard knob for dialing non-i.i.d.-ness
+// (small α → highly skewed).
+func PartitionDirichlet(data Dataset, n int, alpha float64, rng *rand.Rand) []Dataset {
+	out := make([]Dataset, n)
+	for i := range out {
+		out[i] = Dataset{Dim: data.Dim, NumClasses: data.NumClasses}
+	}
+	// Group sample indices by class.
+	byClass := make([][]int, data.NumClasses)
+	for i, s := range data.Samples {
+		byClass[s.Y] = append(byClass[s.Y], i)
+	}
+	for _, idxs := range byClass {
+		if len(idxs) == 0 {
+			continue
+		}
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+		props := dirichlet(rng, n, alpha)
+		// Convert proportions to cumulative cut points.
+		start := 0
+		var cum float64
+		for c := 0; c < n; c++ {
+			cum += props[c]
+			end := int(cum*float64(len(idxs)) + 0.5)
+			if c == n-1 {
+				end = len(idxs)
+			}
+			for _, idx := range idxs[start:min(end, len(idxs))] {
+				out[c].Samples = append(out[c].Samples, data.Samples[idx])
+			}
+			start = min(end, len(idxs))
+		}
+	}
+	return out
+}
+
+func classPrototypes(rng *rand.Rand, numClasses, dim int) [][]float64 {
+	protos := make([][]float64, numClasses)
+	for c := range protos {
+		protos[c] = gaussianVec(rng, dim, 1)
+	}
+	return protos
+}
+
+func gaussianVec(rng *rand.Rand, dim int, std float64) []float64 {
+	v := make([]float64, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64() * std
+	}
+	return v
+}
+
+func sampleAround(rng *rand.Rand, center []float64, noise float64) []float64 {
+	x := make([]float64, len(center))
+	for i, c := range center {
+		x[i] = c + rng.NormFloat64()*noise
+	}
+	return x
+}
+
+func chooseClasses(rng *rand.Rand, numClasses, k int) []int {
+	if k >= numClasses {
+		out := make([]int, numClasses)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(numClasses)
+	return perm[:k]
+}
+
+func testSet(rng *rand.Rand, protos [][]float64, n int, noise float64, dim, numClasses int) Dataset {
+	ds := Dataset{Dim: dim, NumClasses: numClasses}
+	for s := 0; s < n; s++ {
+		class := s % numClasses
+		ds.Samples = append(ds.Samples, Sample{X: sampleAround(rng, protos[class], noise), Y: class})
+	}
+	return ds
+}
+
+// dirichlet samples an n-dim Dirichlet(α,…,α) via Gamma(α,1) marginals
+// (Marsaglia–Tsang for α ≥ 1, boost trick below 1).
+func dirichlet(rng *rand.Rand, n int, alpha float64) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		g := gammaSample(rng, alpha)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func gammaSample(rng *rand.Rand, alpha float64) float64 {
+	if alpha < 1 {
+		// Boost: Gamma(α) = Gamma(α+1) · U^(1/α).
+		return gammaSample(rng, alpha+1) * math.Pow(rng.Float64(), 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

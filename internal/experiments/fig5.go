@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsparse/internal/core"
+	"fedsparse/internal/fl"
+	"fedsparse/internal/gs"
+	"fedsparse/internal/metrics"
+)
+
+// Fig5Options configures the online-learning comparison.
+type Fig5Options struct {
+	// Rounds for the proposed method's run (0 = workload default).
+	Rounds int
+	// Beta is the communication time (paper: 10).
+	Beta float64
+}
+
+// Fig5 reproduces Fig. 5: adaptive k with the proposed Algorithm 3
+// against value-based gradient descent, EXP3, and the continuous bandit —
+// loss/accuracy versus time plus the k_m traces. Search range follows the
+// paper: kmin = 0.002·D, kmax = D, α = 1.5, Mu = 20.
+func Fig5(w *Workload, opts Fig5Options) (*FigureResult, error) {
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = w.Rounds
+	}
+	beta := opts.Beta
+	if beta == 0 {
+		beta = 10
+	}
+	kmin := math.Max(2, 0.002*float64(w.D))
+	kmax := float64(w.D)
+	evalEvery := maxInt(1, rounds/30)
+
+	fig := newFigure("fig5", fmt.Sprintf("online learning methods for adaptive k (comm time %g)", beta))
+
+	// The proposed method fixes the time budget.
+	proposed := core.NewAdaptiveSignOGD(kmin, kmax, kmax, 1.5, 20, nil)
+	refCfg := w.baseFL(beta, rounds, 300)
+	refCfg.Strategy = &gs.FABTopK{}
+	refCfg.Controller = proposed
+	refCfg.EvalEvery = evalEvery
+	ref, err := fl.Run(refCfg)
+	if err != nil {
+		return nil, fmt.Errorf("fig5 proposed: %w", err)
+	}
+	budget := ref.Stats[len(ref.Stats)-1].Time
+	capRounds := int(budget) + rounds + 10
+
+	type entry struct {
+		name  string
+		ctrl  core.Controller
+		stats []fl.RoundStats
+	}
+	entries := []entry{{name: "proposed", stats: ref.Stats}}
+	baselines := []entry{
+		{name: "value-based", ctrl: core.NewValueOGD(kmin, kmax, kmax)},
+		{name: "exp3", ctrl: core.NewEXP3(int(kmin), int(kmax), 0, rounds, rand.New(rand.NewSource(w.Seed+301)))},
+		{name: "continuous-bandit", ctrl: core.NewContinuousBandit(kmin, kmax, kmax, rounds, 0, 0, rand.New(rand.NewSource(w.Seed+302)))},
+	}
+	for i, b := range baselines {
+		cfg := w.baseFL(beta, capRounds, int64(310+i))
+		cfg.Strategy = &gs.FABTopK{}
+		cfg.Controller = b.ctrl
+		cfg.EvalEvery = evalEvery
+		cfg.MaxTime = budget
+		res, err := fl.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", b.name, err)
+		}
+		entries = append(entries, entry{name: b.name, stats: res.Stats})
+	}
+
+	var finals []float64
+	for _, e := range entries {
+		finals = append(finals, smoothedFinalLoss(e.stats, 25))
+	}
+	target := metrics.Quantile(finals, 0.5)
+
+	table := metrics.Table{
+		Title: fmt.Sprintf("fig5: adaptive-k methods at equal time budget %.1f (target loss %.3f)", budget, target),
+		Headers: []string{"method", "rounds", "final loss", "final acc",
+			"time-to-target", "k mean (late)", "k std (late)"},
+	}
+	for _, e := range entries {
+		loss := lossSeries(e.stats)
+		acc := accSeries(e.stats)
+		ks := kSeries(e.stats)
+		fig.Series["loss@"+e.name] = loss
+		fig.Series["acc@"+e.name] = acc
+		fig.Series["k@"+e.name] = ks
+
+		late := ks.Y[len(ks.Y)/2:]
+		finalAcc := math.NaN()
+		if acc.Len() > 0 {
+			_, finalAcc = acc.Last()
+		}
+		table.AddRow(
+			e.name,
+			fmt.Sprintf("%d", len(e.stats)),
+			metrics.F(smoothedFinalLoss(e.stats, 25)),
+			metrics.F(finalAcc),
+			metrics.F(loss.MovingAverage(25).TimeToReach(target)),
+			metrics.F(metrics.Mean(late)),
+			metrics.F(metrics.StdDev(late)),
+		)
+	}
+	fig.Tables = append(fig.Tables, table)
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("search range [%g, %g], α=1.5, Mu=20, k1=kmax (paper Section V-B)", kmin, kmax),
+		"Expected shape: proposed reaches the target fastest with a far more stable k trace than EXP3/continuous bandit.")
+	return fig, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "fedsparse/internal/core"
+
+// ReplayK is a controller that replays a recorded k sequence — the
+// mechanism behind Figs. 7–8, where the sequence {k_m,β} learned at one
+// communication time is applied under another. Beyond the end of the
+// sequence the last value is held.
+type ReplayK struct {
+	Ks []float64
+}
+
+var _ core.Controller = (*ReplayK)(nil)
+
+// NewReplayK wraps a recorded integer sequence.
+func NewReplayK(ks []int) *ReplayK {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		out[i] = float64(k)
+	}
+	return &ReplayK{Ks: out}
+}
+
+func (r *ReplayK) Name() string { return "replay-k" }
+
+func (r *ReplayK) Decide(m int) core.Decision {
+	if len(r.Ks) == 0 {
+		return core.Decision{K: 1}
+	}
+	idx := m - 1
+	if idx >= len(r.Ks) {
+		idx = len(r.Ks) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return core.Decision{K: r.Ks[idx]}
+}
+
+func (r *ReplayK) Observe(_ core.Observation) {}

@@ -1,0 +1,6 @@
+package experiments
+
+import "fmt"
+
+// sscan is a test helper aliasing fmt.Sscan.
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

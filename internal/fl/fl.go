@@ -1,0 +1,571 @@
+// Package fl is the synchronous federated-learning engine implementing
+// Algorithm 1 (FL with sparse gradient aggregation) and the surrounding
+// machinery of Fig. 3: per-round gradient accumulation, top-k uplink,
+// server-side selection, synchronized sparse updates, residual reset, the
+// k′-probe computation of w′(m), the three one-sample losses for
+// derivative-sign estimation, and normalized-time accounting.
+//
+// Two training modes are supported:
+//
+//   - GS mode (Config.Strategy set): Algorithm 1 with any gs.Strategy and
+//     any core.Controller choosing k each round.
+//   - FedAvg mode (Config.FedAvg): local SGD steps with full-weight
+//     averaging every ⌊D/(2k)⌋ rounds — the send-all-or-nothing
+//     comparison of Section V-A with the same average communication
+//     overhead as k-element GS.
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedsparse/internal/core"
+	"fedsparse/internal/dataset"
+	"fedsparse/internal/gs"
+	"fedsparse/internal/nn"
+	"fedsparse/internal/simtime"
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/tensor"
+)
+
+// Config describes one federated training run.
+type Config struct {
+	// Data is the federated dataset (clients + global test set).
+	Data *dataset.Federated
+	// Model returns a fresh network of the task's architecture; weights
+	// are initialized once by the engine and replicated to every client,
+	// so all clients start (and stay) synchronized.
+	Model func() *nn.Network
+	// LearningRate is the SGD step size η.
+	LearningRate float64
+	// BatchSize is the per-client minibatch size.
+	BatchSize int
+	// Rounds is M, the number of training rounds.
+	Rounds int
+	// Seed drives every random choice in the run.
+	Seed int64
+
+	// Strategy selects the GS method (GS mode). Exactly one of Strategy
+	// or FedAvg must be set.
+	Strategy gs.Strategy
+	// Controller chooses k each round in GS mode; defaults to the
+	// paper's k = 1000 equivalent if nil (FixedK over min(1000, D)).
+	Controller core.Controller
+
+	// FedAvg enables the weight-averaging mode.
+	FedAvg bool
+	// FedAvgKEquiv is the k whose communication budget FedAvg matches:
+	// full exchanges happen every ⌊D/(2k)⌋ rounds.
+	FedAvgKEquiv int
+
+	// Beta is the normalized communication time of a full D-element
+	// up+down exchange (the paper's "communication time").
+	Beta float64
+
+	// EvalEvery computes test accuracy/loss every that many rounds
+	// (0 disables). TrainLossEvery likewise for the full training loss.
+	EvalEvery      int
+	TrainLossEvery int
+	// MaxTime stops the run once cumulative normalized time exceeds it
+	// (0 = run all rounds). The paper's figures compare methods over a
+	// fixed time budget.
+	MaxTime float64
+	// RecordPerClient keeps per-round per-client contribution counts
+	// (the Fig. 4 fairness CDF input).
+	RecordPerClient bool
+	// CheckSync verifies after every round that all clients hold
+	// bit-identical weights (test instrumentation).
+	CheckSync bool
+
+	// Participation selects ⌈p·N⌉ clients uniformly each round (0 or 1 =
+	// everyone). Non-participants still apply the broadcast, so weights
+	// stay synchronized — the client-selection extension from the
+	// paper's future-work list (Section VI).
+	Participation float64
+	// QuantBits uniformly quantizes uploaded and broadcast gradient
+	// values to this bit width (0 = off; else 2–64). The paper cites
+	// quantization as orthogonal to GS and combinable with it; residual
+	// subtraction keeps the quantization error in the error-feedback
+	// accumulator. Wire cost per sparse element drops from 2 units to
+	// 1 + bits/64.
+	QuantBits int
+}
+
+// RoundStats captures one round of training.
+type RoundStats struct {
+	// Round is m (1-based).
+	Round int
+	// K is the realized integer sparsity degree; KCont the controller's
+	// continuous decision.
+	K     int
+	KCont float64
+	// RoundTime is this round's normalized time; Time is cumulative.
+	RoundTime float64
+	Time      float64
+	// Loss is the C_i/C-weighted minibatch loss at w(m−1) — the global
+	// loss estimate the figures plot.
+	Loss float64
+	// DownlinkElems is |J|.
+	DownlinkElems int
+	// Participants is how many clients computed and uploaded this round.
+	Participants int
+	// TestAcc/TestLoss/TrainLoss are NaN unless evaluated this round.
+	TestAcc   float64
+	TestLoss  float64
+	TrainLoss float64
+	// PerClientUsed is |J ∩ J_i| per client (nil unless recorded).
+	PerClientUsed []int
+}
+
+// Result is a completed training run.
+type Result struct {
+	Stats []RoundStats
+	// Final is the trained global model (the synchronized weights).
+	Final *nn.Network
+}
+
+// client is one simulated participant.
+type client struct {
+	net    *nn.Network
+	acc    []float64 // a_i, the accumulated local gradient
+	data   *dataset.Dataset
+	weight float64 // C_i
+	rng    *rand.Rand
+}
+
+// Run executes the configured training and returns per-round statistics.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	engineRng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Build synchronized clients.
+	ref := cfg.Model()
+	ref.InitWeights(engineRng)
+	d := ref.D()
+	cost := simtime.NewCostModel(d, cfg.Beta)
+
+	clients := make([]*client, cfg.Data.NumClients())
+	for i := range clients {
+		net := cfg.Model()
+		if net.D() != d {
+			return nil, fmt.Errorf("fl: model factory returned inconsistent dimension %d != %d", net.D(), d)
+		}
+		net.SetParams(ref.Params())
+		clients[i] = &client{
+			net:    net,
+			acc:    make([]float64, d),
+			data:   &cfg.Data.Clients[i],
+			weight: float64(cfg.Data.Clients[i].Len()),
+			rng:    rand.New(rand.NewSource(cfg.Seed + 1000003*int64(i+1))),
+		}
+	}
+	var totalWeight float64
+	for _, c := range clients {
+		totalWeight += c.weight
+	}
+
+	ctrl := cfg.Controller
+	if ctrl == nil {
+		ctrl = core.NewFixedK(math.Min(1000, float64(d)))
+	}
+
+	if cfg.FedAvg {
+		return runFedAvg(cfg, clients, totalWeight, cost, engineRng)
+	}
+	return runGS(cfg, clients, totalWeight, cost, ctrl, engineRng, d)
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.Data == nil:
+		return errors.New("fl: Config.Data is required")
+	case cfg.Model == nil:
+		return errors.New("fl: Config.Model is required")
+	case cfg.LearningRate <= 0:
+		return errors.New("fl: LearningRate must be positive")
+	case cfg.BatchSize <= 0:
+		return errors.New("fl: BatchSize must be positive")
+	case cfg.Rounds <= 0:
+		return errors.New("fl: Rounds must be positive")
+	case cfg.Beta < 0:
+		return errors.New("fl: Beta must be non-negative")
+	case cfg.Strategy == nil && !cfg.FedAvg:
+		return errors.New("fl: set Strategy (GS mode) or FedAvg")
+	case cfg.Strategy != nil && cfg.FedAvg:
+		return errors.New("fl: Strategy and FedAvg are mutually exclusive")
+	case cfg.FedAvg && cfg.FedAvgKEquiv <= 0:
+		return errors.New("fl: FedAvg mode requires FedAvgKEquiv > 0")
+	case cfg.Participation < 0 || cfg.Participation > 1:
+		return errors.New("fl: Participation must be in [0, 1]")
+	case cfg.QuantBits != 0 && (cfg.QuantBits < 2 || cfg.QuantBits > 64):
+		return errors.New("fl: QuantBits must be 0 (off) or in [2, 64]")
+	}
+	return cfg.Data.Validate()
+}
+
+// runGS is Algorithm 1 plus the Fig. 3 adaptive-k schedule.
+func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.CostModel,
+	ctrl core.Controller, engineRng *rand.Rand, d int) (*Result, error) {
+
+	res := &Result{}
+	var clock simtime.Clock
+	nClients := len(clients)
+	// Per-scalar wire cost of a sparse element: index + (possibly
+	// quantized) value.
+	elemUnits := 2.0
+	if cfg.QuantBits > 0 && cfg.QuantBits < 64 {
+		elemUnits = 1 + float64(cfg.QuantBits)/64
+	}
+
+	for m := 1; m <= cfg.Rounds; m++ {
+		dec := ctrl.Decide(m)
+		kCont := core.Project(dec.K, 1, float64(d))
+		kInt := sparse.StochasticRound(kCont, engineRng)
+		if kInt < 1 {
+			kInt = 1
+		}
+		if kInt > d {
+			kInt = d
+		}
+		probeInt := resolveProbe(dec.ProbeK, kInt, engineRng)
+
+		mandated := cfg.Strategy.MandatedIndices(m, d, kInt, engineRng)
+		participants := pickParticipants(cfg.Participation, nClients, engineRng)
+		nPart := len(participants)
+
+		fPrev := make([]float64, nPart)
+		fCur := make([]float64, nPart)
+		fProbe := make([]float64, nPart)
+		hx := make([][]float64, nPart) // the per-participant probe sample
+		hy := make([]int, nPart)
+
+		// (A) Local gradient computation and accumulation at every
+		// participant; pick the one-sample probe point h (Section IV-E).
+		var partWeight float64
+		for _, ci := range participants {
+			partWeight += clients[ci].weight
+		}
+		uploads := make([]gs.ClientUpload, nPart)
+		var weightedLoss float64
+		for pi, ci := range participants {
+			c := clients[ci]
+			xs, ys := c.data.Batch(c.rng, cfg.BatchSize)
+			batchLoss := c.net.MeanLossGrad(xs, ys)
+			tensor.AXPY(1, c.net.Grads(), c.acc)
+			weightedLoss += c.weight / partWeight * batchLoss
+
+			h := c.rng.Intn(len(xs))
+			hx[pi], hy[pi] = xs[h], ys[h]
+			fPrev[pi] = c.net.Loss(hx[pi], hy[pi]) // f_{i,h}(w(m−1))
+
+			var pairs sparse.Vec
+			if mandated != nil {
+				vals := make([]float64, len(mandated))
+				for vi, j := range mandated {
+					vals[vi] = c.acc[j]
+				}
+				pairs = sparse.Vec{Idx: mandated, Val: vals}
+			} else {
+				pairs = sparse.TopK(c.acc, kInt)
+			}
+			if cfg.QuantBits > 0 {
+				pairs = sparse.Quantize(pairs, cfg.QuantBits)
+			}
+			uploads[pi] = gs.ClientUpload{Pairs: pairs, Weight: c.weight}
+		}
+
+		// Server selection (lines 8–11) — once; every client receives the
+		// identical B, which is what keeps weights synchronized.
+		agg := cfg.Strategy.Aggregate(uploads, kInt)
+		if cfg.QuantBits > 0 {
+			agg.Values = sparse.Quantize(sparse.Vec{Idx: agg.Indices, Val: agg.Values}, cfg.QuantBits).Val
+		}
+
+		var probeAgg gs.Aggregate
+		if probeInt > 0 {
+			probeAgg = cfg.Strategy.Aggregate(uploads, probeInt)
+			if cfg.QuantBits > 0 {
+				probeAgg.Values = sparse.Quantize(sparse.Vec{Idx: probeAgg.Indices, Val: probeAgg.Values}, cfg.QuantBits).Val
+			}
+		}
+
+		// (B)–(D) + lines 13–17. Every client (participant or not)
+		// applies the broadcast update; only participants measure the
+		// probe losses and carry residuals from this round.
+		inJ := make(map[int]bool, len(agg.Indices))
+		for _, j := range agg.Indices {
+			inJ[j] = true
+		}
+		eta := cfg.LearningRate
+		partPos := make(map[int]int, nPart)
+		for pi, ci := range participants {
+			partPos[ci] = pi
+		}
+		for ci, c := range clients {
+			params := c.net.Params()
+			pi, isPart := partPos[ci]
+			if probeInt > 0 && isPart {
+				// w′(m) = w(m−1) − η·∇′: apply, measure, restore exactly.
+				saved := make([]float64, len(probeAgg.Indices))
+				for vi, j := range probeAgg.Indices {
+					saved[vi] = params[j]
+					params[j] -= eta * probeAgg.Values[vi]
+				}
+				fProbe[pi] = c.net.Loss(hx[pi], hy[pi])
+				for vi, j := range probeAgg.Indices {
+					params[j] = saved[vi]
+				}
+			}
+			// Line 15: w(m) = w(m−1) − η·∇s.
+			for vi, j := range agg.Indices {
+				params[j] -= eta * agg.Values[vi]
+			}
+			if !isPart {
+				continue
+			}
+			fCur[pi] = c.net.Loss(hx[pi], hy[pi])
+			// Lines 16–17: subtract the residual mass the server consumed.
+			// For exact uploads this zeroes a_ij (x − x == 0); with
+			// quantization it keeps the quantization error accumulated —
+			// error feedback extends to the combined GS+quantization case.
+			pairs := uploads[pi].Pairs
+			for vi, j := range pairs.Idx {
+				if inJ[j] {
+					c.acc[j] -= pairs.Val[vi]
+				}
+			}
+		}
+
+		if cfg.CheckSync {
+			if err := checkSync(clients); err != nil {
+				return nil, fmt.Errorf("round %d: %w", m, err)
+			}
+		}
+
+		// Normalized-time accounting.
+		uplink, downlink := payloadUnits(cfg.Strategy, d, kInt, len(agg.Indices), elemUnits)
+		if probeInt > 0 {
+			// Step ③: difference between k- and k′-element GS results.
+			diff := len(agg.Indices) - len(probeAgg.Indices)
+			if diff < 0 {
+				diff = 0
+			}
+			downlink += float64(diff) * elemUnits
+			// Step ④: three one-sample losses up; ⑤: k_{m+1} down.
+			uplink += 3
+			downlink += 1
+		}
+		roundTime := cost.RoundTime(uplink, downlink)
+		clock.Advance(roundTime)
+
+		obs := core.Observation{
+			Round:      m,
+			K:          kCont,
+			RoundTime:  roundTime,
+			GlobalLoss: weightedLoss,
+			LossPrev:   mean(fPrev),
+			LossCur:    mean(fCur),
+			LossProbe:  math.NaN(),
+		}
+		if probeInt > 0 {
+			obs.ProbeK = float64(probeInt)
+			obs.ProbeRoundTime = cost.RoundTime(float64(probeInt)*elemUnits, float64(probeInt)*elemUnits)
+			obs.LossProbe = mean(fProbe)
+		}
+		ctrl.Observe(obs)
+
+		stats := RoundStats{
+			Round:         m,
+			K:             kInt,
+			KCont:         kCont,
+			RoundTime:     roundTime,
+			Time:          clock.Now(),
+			Loss:          weightedLoss,
+			DownlinkElems: len(agg.Indices),
+			Participants:  nPart,
+			TestAcc:       math.NaN(),
+			TestLoss:      math.NaN(),
+			TrainLoss:     math.NaN(),
+		}
+		if cfg.RecordPerClient {
+			// Remap participant-indexed counts onto the full client list
+			// (non-participants contribute 0 this round).
+			used := make([]int, nClients)
+			for pi, ci := range participants {
+				used[ci] = agg.PerClientUsed[pi]
+			}
+			stats.PerClientUsed = used
+		}
+		maybeEval(&cfg, &stats, clients[0].net, clients, totalWeight, m)
+		res.Stats = append(res.Stats, stats)
+
+		if cfg.MaxTime > 0 && clock.Now() >= cfg.MaxTime {
+			break
+		}
+	}
+	res.Final = clients[0].net
+	return res, nil
+}
+
+// pickParticipants draws the round's client subset: everyone when p is 0
+// or 1, otherwise ⌈p·N⌉ clients uniformly without replacement (sorted, so
+// downstream iteration order is deterministic).
+func pickParticipants(p float64, n int, rng *rand.Rand) []int {
+	all := p <= 0 || p >= 1
+	if all {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	count := int(math.Ceil(p * float64(n)))
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	perm := rng.Perm(n)[:count]
+	sort.Ints(perm)
+	return perm
+}
+
+// runFedAvg is the send-all-or-nothing comparison: local SGD steps with a
+// full weight exchange every ⌊D/(2k)⌋ rounds.
+//
+// The recorded Loss is the loss of the *global* model (the last
+// aggregated weights) on the clients' minibatches — measuring at the
+// drifted local weights would under-report the loss, because each local
+// model overfits its own non-i.i.d. shard between aggregations.
+func runFedAvg(cfg Config, clients []*client, totalWeight float64,
+	cost simtime.CostModel, _ *rand.Rand) (*Result, error) {
+
+	d := clients[0].net.D()
+	period := simtime.FedAvgPeriod(d, cfg.FedAvgKEquiv)
+	res := &Result{}
+	var clock simtime.Clock
+	avg := make([]float64, d)
+	globalNet := cfg.Model()
+	globalNet.SetParams(clients[0].net.Params())
+
+	for m := 1; m <= cfg.Rounds; m++ {
+		var weightedLoss float64
+		for _, c := range clients {
+			xs, ys := c.data.Batch(c.rng, cfg.BatchSize)
+			weightedLoss += c.weight / totalWeight * globalNet.MeanLoss(xs, ys)
+			c.net.MeanLossGrad(xs, ys)
+			// Local step: weights diverge between aggregations.
+			tensor.AXPY(-cfg.LearningRate, c.net.Grads(), c.net.Params())
+		}
+		roundTime := cost.CompPerRound
+		aggregated := m%period == 0
+		if aggregated {
+			tensor.Zero(avg)
+			for _, c := range clients {
+				tensor.AXPY(c.weight/totalWeight, c.net.Params(), avg)
+			}
+			for _, c := range clients {
+				c.net.SetParams(avg)
+			}
+			globalNet.SetParams(avg)
+			roundTime += cost.CommTime(simtime.DenseUnits(d), simtime.DenseUnits(d))
+		}
+		clock.Advance(roundTime)
+
+		stats := RoundStats{
+			Round:     m,
+			K:         cfg.FedAvgKEquiv,
+			KCont:     float64(cfg.FedAvgKEquiv),
+			RoundTime: roundTime,
+			Time:      clock.Now(),
+			Loss:      weightedLoss,
+			TestAcc:   math.NaN(),
+			TestLoss:  math.NaN(),
+			TrainLoss: math.NaN(),
+		}
+		if aggregated {
+			stats.DownlinkElems = d
+		}
+		maybeEval(&cfg, &stats, globalNet, clients, totalWeight, m)
+		res.Stats = append(res.Stats, stats)
+
+		if cfg.MaxTime > 0 && clock.Now() >= cfg.MaxTime {
+			break
+		}
+	}
+	res.Final = globalNet
+	return res, nil
+}
+
+// resolveProbe converts the controller's continuous k′ into an integer
+// strictly inside [1, k); 0 means no probe this round.
+func resolveProbe(probeK float64, kInt int, rng *rand.Rand) int {
+	if probeK <= 0 {
+		return 0
+	}
+	p := sparse.StochasticRound(probeK, rng)
+	if p >= kInt {
+		p = kInt - 1
+	}
+	if p < 1 {
+		return 0
+	}
+	return p
+}
+
+// payloadUnits returns the per-direction payloads of the main exchange;
+// elemUnits is the wire cost of one sparse element (2 without
+// quantization; 1 + bits/64 with).
+func payloadUnits(s gs.Strategy, d, k, downElems int, elemUnits float64) (uplink, downlink float64) {
+	if s.Dense() {
+		return simtime.DenseUnits(d), simtime.DenseUnits(d)
+	}
+	return float64(k) * elemUnits, float64(downElems) * elemUnits
+}
+
+// maybeEval runs the cadenced evaluations on the *global* model: in GS
+// mode any client's net (they are synchronized); in FedAvg mode the last
+// aggregated weights.
+func maybeEval(cfg *Config, stats *RoundStats, global *nn.Network, clients []*client, totalWeight float64, m int) {
+	if cfg.EvalEvery > 0 && (m%cfg.EvalEvery == 0 || m == 1) {
+		xs, ys := cfg.Data.Test.XY()
+		stats.TestAcc = global.Accuracy(xs, ys)
+		stats.TestLoss = global.MeanLoss(xs, ys)
+	}
+	if cfg.TrainLossEvery > 0 && (m%cfg.TrainLossEvery == 0 || m == 1) {
+		var loss float64
+		for _, c := range clients {
+			xs, ys := c.data.XY()
+			loss += c.weight / totalWeight * global.MeanLoss(xs, ys)
+		}
+		stats.TrainLoss = loss
+	}
+}
+
+func checkSync(clients []*client) error {
+	ref := clients[0].net.Params()
+	for i, c := range clients[1:] {
+		p := c.net.Params()
+		for j := range p {
+			if p[j] != ref[j] {
+				return fmt.Errorf("fl: client %d desynchronized at weight %d (%v != %v)",
+					i+1, j, p[j], ref[j])
+			}
+		}
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,11 @@
+package fl
+
+import "fedsparse/internal/core"
+
+// coreFixed and coreAdaptive keep the internals tests free of direct core
+// constructor noise.
+func coreFixed(k float64) core.Controller { return core.NewFixedK(k) }
+
+func coreAdaptive(d int) core.Controller {
+	return core.NewAdaptiveSignOGD(10, float64(d), float64(d), 1.5, 10, nil)
+}

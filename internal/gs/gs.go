@@ -1,0 +1,367 @@
+// Package gs implements the gradient-sparsification strategies evaluated in
+// the paper: the proposed fairness-aware bidirectional top-k (FAB-top-k,
+// Algorithm 1's server-side selection) and the comparison methods from
+// Section V-A — fairness-unaware bidirectional top-k (FUB-top-k),
+// unidirectional top-k, periodic-k (random), and always-send-all. (The
+// FedAvg comparison aggregates weights rather than gradients and lives in
+// the fl package as a separate training mode.)
+//
+// A strategy sees one round of client uploads — each client's top-k
+// accumulated-gradient elements as index/value pairs, with the client's
+// dataset size C_i as its aggregation weight — and produces the downlink
+// selection: the index set J and aggregated values
+//
+//	b_j = (1/C) Σ_i C_i·a_ij·1[j ∈ J_i]   (Algorithm 1, line 10).
+package gs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedsparse/internal/sparse"
+)
+
+// ClientUpload is one client's uplink payload for a round (Algorithm 1,
+// line 6): its top-k accumulated-gradient pairs in rank order (|value|
+// descending), plus its aggregation weight C_i.
+type ClientUpload struct {
+	Pairs  sparse.Vec
+	Weight float64
+}
+
+// Aggregate is the server's downlink selection for a round.
+type Aggregate struct {
+	// Indices is J, sorted ascending. For bidirectional strategies
+	// |J| ≤ k; for unidirectional top-k it may reach k·N.
+	Indices []int
+	// Values holds b_j for each j in Indices.
+	Values []float64
+	// PerClientUsed[i] = |J ∩ J_i|: how many of client i's uploaded
+	// elements made it into the global sparse gradient (the fairness
+	// metric of Fig. 4 right).
+	PerClientUsed []int
+}
+
+// Strategy is one gradient-sparsification method.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// MandatedIndices returns a server-chosen uplink index set that every
+	// client must report this round (periodic-k, send-all), or nil when
+	// clients select their own top-k elements.
+	MandatedIndices(round, d, k int, rng *rand.Rand) []int
+	// Dense reports whether payloads are full dense vectors (no index
+	// transmission), which the cost model charges at 1 unit per element
+	// instead of 2.
+	Dense() bool
+	// Aggregate computes the downlink selection from the round's uploads.
+	Aggregate(uploads []ClientUpload, k int) Aggregate
+}
+
+// totalWeight returns C = Σ C_i.
+func totalWeight(uploads []ClientUpload) float64 {
+	var c float64
+	for _, u := range uploads {
+		c += u.Weight
+	}
+	return c
+}
+
+// aggregateOver computes b_j for every j in the index set `in`, using only
+// clients whose upload contains j, and fills PerClientUsed.
+func aggregateOver(uploads []ClientUpload, in map[int]bool) Aggregate {
+	c := totalWeight(uploads)
+	sums := make(map[int]float64, len(in))
+	used := make([]int, len(uploads))
+	for ci, u := range uploads {
+		w := u.Weight / c
+		for pi, j := range u.Pairs.Idx {
+			if !in[j] {
+				continue
+			}
+			sums[j] += w * u.Pairs.Val[pi]
+			used[ci]++
+		}
+	}
+	agg := Aggregate{
+		Indices:       make([]int, 0, len(in)),
+		PerClientUsed: used,
+	}
+	for j := range in {
+		agg.Indices = append(agg.Indices, j)
+	}
+	sort.Ints(agg.Indices)
+	agg.Values = make([]float64, len(agg.Indices))
+	for i, j := range agg.Indices {
+		agg.Values[i] = sums[j]
+	}
+	return agg
+}
+
+// FABTopK is the paper's fairness-aware bidirectional top-k strategy. The
+// downlink carries exactly min(k, distinct-uploaded) elements chosen so
+// that every client contributes at least ⌊k/N⌋ of them: a rank cutoff κ is
+// found (binary search by default) with |∪_i J_i^κ| ≤ k < |∪_i J_i^κ+1|,
+// the union at κ is taken, and the remainder is filled with the
+// largest-|value| candidates from rank κ+1.
+type FABTopK struct {
+	// LinearScan switches the κ search from the paper's binary search to
+	// an incremental linear scan (ablation; identical selection).
+	LinearScan bool
+}
+
+var _ Strategy = (*FABTopK)(nil)
+
+func (s *FABTopK) Name() string {
+	if s.LinearScan {
+		return "fab-top-k(linear)"
+	}
+	return "fab-top-k"
+}
+
+func (s *FABTopK) MandatedIndices(_, _, _ int, _ *rand.Rand) []int { return nil }
+func (s *FABTopK) Dense() bool                                     { return false }
+
+func (s *FABTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
+	var kappa int
+	if s.LinearScan {
+		kappa = selectKappaLinear(uploads, k)
+	} else {
+		kappa = selectKappaBinary(uploads, k)
+	}
+	in := unionUpTo(uploads, kappa)
+
+	// Fill to k with the largest-|value| rank-(κ+1) candidates not already
+	// selected (paper: elements of (∪J^{κ+1}) \ (∪J^κ)).
+	if len(in) < k {
+		type cand struct {
+			idx    int
+			absVal float64
+			client int
+		}
+		var cands []cand
+		for ci, u := range uploads {
+			if kappa < u.Pairs.Len() {
+				j := u.Pairs.Idx[kappa]
+				if !in[j] {
+					cands = append(cands, cand{j, math.Abs(u.Pairs.Val[kappa]), ci})
+				}
+			}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].absVal != cands[b].absVal {
+				return cands[a].absVal > cands[b].absVal
+			}
+			if cands[a].idx != cands[b].idx {
+				return cands[a].idx < cands[b].idx
+			}
+			return cands[a].client < cands[b].client
+		})
+		for _, cd := range cands {
+			if len(in) >= k {
+				break
+			}
+			in[cd.idx] = true // duplicates collapse naturally
+		}
+	}
+	return aggregateOver(uploads, in)
+}
+
+// unionUpTo returns ∪_i J_i^κ: the union of every client's top-κ indices.
+func unionUpTo(uploads []ClientUpload, kappa int) map[int]bool {
+	in := make(map[int]bool, kappa*len(uploads))
+	for _, u := range uploads {
+		n := kappa
+		if n > u.Pairs.Len() {
+			n = u.Pairs.Len()
+		}
+		for _, j := range u.Pairs.Idx[:n] {
+			in[j] = true
+		}
+	}
+	return in
+}
+
+// selectKappaBinary finds the largest κ with |∪_i J_i^κ| ≤ k by binary
+// search, the paper's O(N·D·logD) procedure.
+func selectKappaBinary(uploads []ClientUpload, k int) int {
+	maxLen := 0
+	for _, u := range uploads {
+		if u.Pairs.Len() > maxLen {
+			maxLen = u.Pairs.Len()
+		}
+	}
+	lo, hi := 0, maxLen
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if len(unionUpTo(uploads, mid)) <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// selectKappaLinear finds the same κ by growing the union one rank at a
+// time (O(N·D) total work; ablation counterpart to the binary search).
+func selectKappaLinear(uploads []ClientUpload, k int) int {
+	maxLen := 0
+	for _, u := range uploads {
+		if u.Pairs.Len() > maxLen {
+			maxLen = u.Pairs.Len()
+		}
+	}
+	in := make(map[int]bool)
+	for kappa := 1; kappa <= maxLen; kappa++ {
+		// Grow the union with every client's rank-κ element (0-based κ−1).
+		for _, u := range uploads {
+			if kappa <= u.Pairs.Len() {
+				in[u.Pairs.Idx[kappa-1]] = true
+			}
+		}
+		if len(in) > k {
+			return kappa - 1
+		}
+	}
+	return maxLen
+}
+
+// FUBTopK is the fairness-unaware bidirectional top-k of [28]/[31]: the
+// server aggregates every uploaded pair and keeps the k indices with the
+// largest aggregated |b_j|, with no per-client guarantee — clients whose
+// updates never rank can be excluded entirely (Fig. 4 right).
+type FUBTopK struct{}
+
+var _ Strategy = (*FUBTopK)(nil)
+
+func (FUBTopK) Name() string                                    { return "fub-top-k" }
+func (FUBTopK) MandatedIndices(_, _, _ int, _ *rand.Rand) []int { return nil }
+func (FUBTopK) Dense() bool                                     { return false }
+
+func (FUBTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
+	c := totalWeight(uploads)
+	sums := make(map[int]float64)
+	for _, u := range uploads {
+		w := u.Weight / c
+		for pi, j := range u.Pairs.Idx {
+			sums[j] += w * u.Pairs.Val[pi]
+		}
+	}
+	type entry struct {
+		idx int
+		abs float64
+	}
+	entries := make([]entry, 0, len(sums))
+	for j, v := range sums {
+		entries = append(entries, entry{j, math.Abs(v)})
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].abs != entries[b].abs {
+			return entries[a].abs > entries[b].abs
+		}
+		return entries[a].idx < entries[b].idx
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	in := make(map[int]bool, k)
+	for _, e := range entries[:k] {
+		in[e.idx] = true
+	}
+	return aggregateOver(uploads, in)
+}
+
+// UniTopK is unidirectional top-k [22]: every uploaded index is aggregated
+// and broadcast, so the downlink can carry up to k·N elements.
+type UniTopK struct{}
+
+var _ Strategy = (*UniTopK)(nil)
+
+func (UniTopK) Name() string                                    { return "uni-top-k" }
+func (UniTopK) MandatedIndices(_, _, _ int, _ *rand.Rand) []int { return nil }
+func (UniTopK) Dense() bool                                     { return false }
+
+func (UniTopK) Aggregate(uploads []ClientUpload, _ int) Aggregate {
+	in := make(map[int]bool)
+	for _, u := range uploads {
+		for _, j := range u.Pairs.Idx {
+			in[j] = true
+		}
+	}
+	return aggregateOver(uploads, in)
+}
+
+// PeriodicK is random sparsification [8]/[30]: the server draws k random
+// coordinates each round; every client reports exactly those, so over
+// enough rounds every coordinate is refreshed.
+type PeriodicK struct{}
+
+var _ Strategy = (*PeriodicK)(nil)
+
+func (PeriodicK) Name() string { return "periodic-k" }
+func (PeriodicK) Dense() bool  { return false }
+
+func (PeriodicK) MandatedIndices(_, d, k int, rng *rand.Rand) []int {
+	if k >= d {
+		return allIndices(d)
+	}
+	// Partial Fisher–Yates over [0, d) for k distinct indices.
+	picked := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(d-i)
+		vi, oki := picked[i]
+		vj, okj := picked[j]
+		if !oki {
+			vi = i
+		}
+		if !okj {
+			vj = j
+		}
+		out[i] = vj
+		picked[j] = vi
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (PeriodicK) Aggregate(uploads []ClientUpload, _ int) Aggregate {
+	in := make(map[int]bool)
+	for _, u := range uploads {
+		for _, j := range u.Pairs.Idx {
+			in[j] = true
+		}
+	}
+	return aggregateOver(uploads, in)
+}
+
+// SendAll transmits the full accumulated gradient every round — the
+// densest baseline (Section V-A method 5).
+type SendAll struct{}
+
+var _ Strategy = (*SendAll)(nil)
+
+func (SendAll) Name() string { return "send-all" }
+func (SendAll) Dense() bool  { return true }
+
+func (SendAll) MandatedIndices(_, d, _ int, _ *rand.Rand) []int { return allIndices(d) }
+
+func (SendAll) Aggregate(uploads []ClientUpload, _ int) Aggregate {
+	in := make(map[int]bool)
+	for _, u := range uploads {
+		for _, j := range u.Pairs.Idx {
+			in[j] = true
+		}
+	}
+	return aggregateOver(uploads, in)
+}
+
+func allIndices(d int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+// Package metrics provides the measurement utilities the experiment
+// harness uses to turn per-round training statistics into the paper's
+// figures: time series, CDFs, summary statistics, and text tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is an (x, y) sequence, typically (normalized time, loss) or
+// (round, k).
+type Series struct {
+	X []float64
+	Y []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s Series) Len() int { return len(s.X) }
+
+// Last returns the final point; it panics on an empty series.
+func (s Series) Last() (x, y float64) {
+	n := s.Len()
+	return s.X[n-1], s.Y[n-1]
+}
+
+// DropNaN returns a copy without NaN y-values (sparse evaluation points).
+func (s Series) DropNaN() Series {
+	var out Series
+	for i, y := range s.Y {
+		if !math.IsNaN(y) {
+			out.Append(s.X[i], y)
+		}
+	}
+	return out
+}
+
+// MovingAverage smooths y with a centered window of the given width.
+func (s Series) MovingAverage(window int) Series {
+	if window < 1 {
+		window = 1
+	}
+	out := Series{X: append([]float64(nil), s.X...), Y: make([]float64, s.Len())}
+	half := window / 2
+	for i := range s.Y {
+		lo, hi := i-half, i+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= s.Len() {
+			hi = s.Len() - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += s.Y[j]
+		}
+		out.Y[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// TimeToReach returns the first x at which y drops to target or below,
+// interpolating linearly between points; NaN when the series never
+// reaches the target. X must be nondecreasing.
+func (s Series) TimeToReach(target float64) float64 {
+	for i, y := range s.Y {
+		if y > target {
+			continue
+		}
+		if i == 0 || s.Y[i-1] <= target {
+			return s.X[i]
+		}
+		// Interpolate between the crossing pair.
+		y0, y1 := s.Y[i-1], y
+		x0, x1 := s.X[i-1], s.X[i]
+		frac := (y0 - target) / (y0 - y1)
+		return x0 + frac*(x1-x0)
+	}
+	return math.NaN()
+}
+
+// ValueAt returns y at the given x by linear interpolation (clamped to the
+// series endpoints); NaN for an empty series.
+func (s Series) ValueAt(x float64) float64 {
+	if s.Len() == 0 {
+		return math.NaN()
+	}
+	if x <= s.X[0] {
+		return s.Y[0]
+	}
+	n := s.Len()
+	if x >= s.X[n-1] {
+		return s.Y[n-1]
+	}
+	i := sort.SearchFloat64s(s.X, x)
+	if s.X[i] == x {
+		return s.Y[i]
+	}
+	x0, x1 := s.X[i-1], s.X[i]
+	y0, y1 := s.Y[i-1], s.Y[i]
+	if x1 == x0 {
+		return y0
+	}
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// Downsample keeps at most n approximately evenly spaced points
+// (always including the first and last).
+func (s Series) Downsample(n int) Series {
+	if n <= 0 || s.Len() <= n {
+		return s
+	}
+	var out Series
+	step := float64(s.Len()-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx := int(math.Round(float64(i) * step))
+		out.Append(s.X[idx], s.Y[idx])
+	}
+	return out
+}
+
+// CDF returns the empirical distribution of values: x = sorted values,
+// y = fraction ≤ x.
+func CDF(values []float64) Series {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var out Series
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		out.Append(v, float64(i+1)/n)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range values {
+		s += v
+	}
+	return s / float64(len(values))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	m := Mean(values)
+	var s float64
+	for _, v := range values {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(values)))
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) with linear
+// interpolation between order statistics.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Table is a simple text table for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (quotes-free cells
+// assumed; experiment output uses numeric cells).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && (math.Abs(v) >= 1e5 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeToReach(t *testing.T) {
+	var s Series
+	s.Append(0, 10)
+	s.Append(1, 8)
+	s.Append(2, 4)
+	s.Append(3, 2)
+	if got := s.TimeToReach(8); got != 1 {
+		t.Fatalf("TimeToReach(8) = %v, want 1", got)
+	}
+	// Interpolated: between (1,8) and (2,4), target 6 → x = 1.5.
+	if got := s.TimeToReach(6); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("TimeToReach(6) = %v, want 1.5", got)
+	}
+	if got := s.TimeToReach(1); !math.IsNaN(got) {
+		t.Fatalf("TimeToReach(1) = %v, want NaN", got)
+	}
+	if got := s.TimeToReach(11); got != 0 {
+		t.Fatalf("TimeToReach(11) = %v, want 0 (already below at start)", got)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	var s Series
+	s.Append(0, 0)
+	s.Append(10, 100)
+	if got := s.ValueAt(5); got != 50 {
+		t.Fatalf("ValueAt(5) = %v", got)
+	}
+	if got := s.ValueAt(-1); got != 0 {
+		t.Fatalf("ValueAt(-1) = %v (clamp)", got)
+	}
+	if got := s.ValueAt(99); got != 100 {
+		t.Fatalf("ValueAt(99) = %v (clamp)", got)
+	}
+	var empty Series
+	if got := empty.ValueAt(1); !math.IsNaN(got) {
+		t.Fatalf("empty ValueAt = %v", got)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2, 2})
+	if cdf.Len() != 4 {
+		t.Fatalf("CDF length %d", cdf.Len())
+	}
+	if !sort.Float64sAreSorted(cdf.X) {
+		t.Fatal("CDF x not sorted")
+	}
+	if _, y := cdf.Last(); y != 1 {
+		t.Fatalf("CDF final y = %v, want 1", y)
+	}
+	// y monotone nondecreasing.
+	for i := 1; i < cdf.Len(); i++ {
+		if cdf.Y[i] < cdf.Y[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestCDFQuickProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		cdf := CDF(clean)
+		return cdf.Len() == len(clean) && cdf.Y[cdf.Len()-1] == 1 && sort.Float64sAreSorted(cdf.X)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdQuantile(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(vals); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := StdDev(vals); math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", sd)
+	}
+	if q := Quantile(vals, 0); q != 2 {
+		t.Fatalf("Q0 = %v", q)
+	}
+	if q := Quantile(vals, 1); q != 9 {
+		t.Fatalf("Q1 = %v", q)
+	}
+	if q := Quantile([]float64{1, 2, 3, 4}, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Fatalf("median = %v, want 2.5", q)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty-input stats should be NaN")
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	var s Series
+	for i := 0; i < 50; i++ {
+		y := 10.0
+		if i%2 == 0 {
+			y = 0
+		}
+		s.Append(float64(i), y)
+	}
+	sm := s.MovingAverage(9)
+	// Interior points should be near 5 after smoothing.
+	for i := 10; i < 40; i++ {
+		if math.Abs(sm.Y[i]-5) > 1.2 {
+			t.Fatalf("smoothed[%d] = %v, want ≈5", i, sm.Y[i])
+		}
+	}
+}
+
+func TestDropNaN(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(1, math.NaN())
+	s.Append(2, 3)
+	out := s.DropNaN()
+	if out.Len() != 2 || out.Y[1] != 3 {
+		t.Fatalf("DropNaN = %+v", out)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 1000; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	d := s.Downsample(11)
+	if d.Len() != 11 {
+		t.Fatalf("Downsample kept %d points", d.Len())
+	}
+	if d.X[0] != 0 || d.X[10] != 999 {
+		t.Fatalf("Downsample endpoints %v, %v", d.X[0], d.X[10])
+	}
+	// No-op cases.
+	if s.Downsample(0).Len() != 1000 || s.Downsample(2000).Len() != 1000 {
+		t.Fatal("Downsample no-op broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "demo", Headers: []string{"method", "time"}}
+	tb.AddRow("fab-top-k", "12.5")
+	tb.AddRow("fedavg", "99.1")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "fab-top-k") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("render produced %d lines:\n%s", len(lines), out)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "method,time\n") {
+		t.Fatalf("csv header wrong:\n%s", csv)
+	}
+}
+
+func TestFFormat(t *testing.T) {
+	if F(math.NaN()) != "-" {
+		t.Fatal("NaN should render as dash")
+	}
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F(1.23456) = %s", F(1.23456))
+	}
+	if !strings.Contains(F(1234567), "e+06") {
+		t.Fatalf("F(1234567) = %s, want scientific", F(1234567))
+	}
+	if F(0) != "0.000" {
+		t.Fatalf("F(0) = %s", F(0))
+	}
+}

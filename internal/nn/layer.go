@@ -1,0 +1,188 @@
+// Package nn is a from-scratch neural-network substrate with manual
+// backpropagation. Go has no automatic differentiation, so every layer
+// implements its own analytic backward pass; the test suite verifies each
+// one against central finite differences.
+//
+// The design constraint that shapes the whole package is federated gradient
+// sparsification: the paper's algorithms operate on the model's gradient as
+// a single flat vector of dimension D. A Network therefore owns one flat
+// parameter slice and one flat gradient slice, and every layer receives
+// sub-slice views into them via Bind. Top-k selection, accumulation, and
+// sparse updates then work directly on those flat slices with no
+// marshalling step.
+//
+// Networks are not safe for concurrent use: layers cache forward-pass
+// activations for the subsequent backward pass. In the federated-learning
+// engine each simulated client owns its own Network instance.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedsparse/internal/tensor"
+)
+
+// Layer is one differentiable stage of a feed-forward network operating on
+// flattened activations.
+//
+// The Forward/Backward contract: Backward must be called after Forward for
+// the same sample, and the slices returned by both are owned by the layer
+// and remain valid only until the next call. Backward accumulates (does not
+// overwrite) parameter gradients into the gradient view supplied to Bind,
+// which is what lets the Network average gradients over a minibatch.
+type Layer interface {
+	// InSize and OutSize are the flattened activation lengths.
+	InSize() int
+	OutSize() int
+	// NumParams is the number of trainable scalars in this layer.
+	NumParams() int
+	// Bind hands the layer its views into the network-wide flat parameter
+	// and gradient vectors; both have length NumParams.
+	Bind(params, grads []float64)
+	// Init writes initial weights into the bound parameter view.
+	Init(rng *rand.Rand)
+	// Forward computes the layer output for one sample.
+	Forward(x []float64) []float64
+	// Backward consumes dL/d(output), accumulates dL/d(params), and
+	// returns dL/d(input).
+	Backward(grad []float64) []float64
+}
+
+// Dense is a fully connected layer: y = W·x + b.
+type Dense struct {
+	in, out int
+	w       tensor.Matrix // out × in view into the flat parameter vector
+	b       []float64
+	gw      tensor.Matrix
+	gb      []float64
+	x       []float64 // cached input reference (valid Forward→Backward)
+	y       []float64
+	gx      []float64
+}
+
+// NewDense constructs a fully connected layer with the given fan-in/out.
+func NewDense(in, out int) *Dense {
+	return &Dense{
+		in:  in,
+		out: out,
+		y:   make([]float64, out),
+		gx:  make([]float64, in),
+	}
+}
+
+func (d *Dense) InSize() int    { return d.in }
+func (d *Dense) OutSize() int   { return d.out }
+func (d *Dense) NumParams() int { return d.out*d.in + d.out }
+
+func (d *Dense) Bind(params, grads []float64) {
+	nw := d.out * d.in
+	d.w = tensor.Matrix{Rows: d.out, Cols: d.in, Data: params[:nw]}
+	d.b = params[nw:]
+	d.gw = tensor.Matrix{Rows: d.out, Cols: d.in, Data: grads[:nw]}
+	d.gb = grads[nw:]
+}
+
+// Init uses He initialization (std = √(2/fan-in)), the standard choice for
+// the ReLU networks this package builds.
+func (d *Dense) Init(rng *rand.Rand) {
+	std := math.Sqrt(2 / float64(d.in))
+	for i := range d.w.Data {
+		d.w.Data[i] = rng.NormFloat64() * std
+	}
+	tensor.Zero(d.b)
+}
+
+func (d *Dense) Forward(x []float64) []float64 {
+	d.x = x
+	d.w.MatVec(d.y, x)
+	tensor.AXPY(1, d.b, d.y)
+	return d.y
+}
+
+func (d *Dense) Backward(grad []float64) []float64 {
+	d.gw.AddOuter(1, grad, d.x)
+	tensor.AXPY(1, grad, d.gb)
+	d.w.MatTVec(d.gx, grad)
+	return d.gx
+}
+
+// ReLU is the elementwise max(0, x) activation.
+type ReLU struct {
+	size int
+	mask []bool
+	y    []float64
+	gx   []float64
+}
+
+// NewReLU constructs a ReLU over activations of the given length.
+func NewReLU(size int) *ReLU {
+	return &ReLU{
+		size: size,
+		mask: make([]bool, size),
+		y:    make([]float64, size),
+		gx:   make([]float64, size),
+	}
+}
+
+func (r *ReLU) InSize() int         { return r.size }
+func (r *ReLU) OutSize() int        { return r.size }
+func (r *ReLU) NumParams() int      { return 0 }
+func (r *ReLU) Bind(_, _ []float64) {}
+func (r *ReLU) Init(_ *rand.Rand)   {}
+
+func (r *ReLU) Forward(x []float64) []float64 {
+	for i, v := range x {
+		if v > 0 {
+			r.y[i] = v
+			r.mask[i] = true
+		} else {
+			r.y[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return r.y
+}
+
+func (r *ReLU) Backward(grad []float64) []float64 {
+	for i, g := range grad {
+		if r.mask[i] {
+			r.gx[i] = g
+		} else {
+			r.gx[i] = 0
+		}
+	}
+	return r.gx
+}
+
+// Tanh is the elementwise hyperbolic-tangent activation.
+type Tanh struct {
+	size int
+	y    []float64
+	gx   []float64
+}
+
+// NewTanh constructs a Tanh over activations of the given length.
+func NewTanh(size int) *Tanh {
+	return &Tanh{size: size, y: make([]float64, size), gx: make([]float64, size)}
+}
+
+func (t *Tanh) InSize() int         { return t.size }
+func (t *Tanh) OutSize() int        { return t.size }
+func (t *Tanh) NumParams() int      { return 0 }
+func (t *Tanh) Bind(_, _ []float64) {}
+func (t *Tanh) Init(_ *rand.Rand)   {}
+
+func (t *Tanh) Forward(x []float64) []float64 {
+	for i, v := range x {
+		t.y[i] = math.Tanh(v)
+	}
+	return t.y
+}
+
+func (t *Tanh) Backward(grad []float64) []float64 {
+	for i, g := range grad {
+		t.gx[i] = g * (1 - t.y[i]*t.y[i])
+	}
+	return t.gx
+}

@@ -1,0 +1,38 @@
+package nn
+
+// Model builders for the architectures the experiments use. The paper
+// trains a CNN with D > 400,000 weights; these builders produce the same
+// architectural shape (conv → pool → dense, or MLP) at configurable scale
+// so the full evaluation grid runs on CPU. D scales with the widths.
+
+// NewMLP builds inDim → hidden[0] → … → hidden[n-1] → numClasses with ReLU
+// between dense layers.
+func NewMLP(inDim int, hidden []int, numClasses int) *Network {
+	var layers []Layer
+	prev := inDim
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h), NewReLU(h))
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, numClasses))
+	return MustNew(layers...)
+}
+
+// NewCNN builds a small convolutional classifier over (c, h, w) inputs:
+// Conv(filters, k×k) → ReLU → MaxPool(2×2) → Dense(hidden) → ReLU →
+// Dense(numClasses). This mirrors the model family in the paper's
+// evaluation (conv feature extractor + dense head).
+func NewCNN(c, h, w, filters, kernel, hidden, numClasses int) *Network {
+	conv := NewConv2D(c, h, w, filters, kernel)
+	convH, convW := h-kernel+1, w-kernel+1
+	pool := NewMaxPool2D(filters, convH, convW)
+	flat := pool.OutSize()
+	return MustNew(
+		conv,
+		NewReLU(conv.OutSize()),
+		pool,
+		NewDense(flat, hidden),
+		NewReLU(hidden),
+		NewDense(hidden, numClasses),
+	)
+}

@@ -1,0 +1,181 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsparse/internal/tensor"
+)
+
+// Network is a feed-forward model whose trainable parameters live in one
+// flat vector of dimension D, with the matching flat gradient vector. The
+// federated-learning engine treats both as opaque []float64, which is
+// exactly the representation gradient sparsification needs.
+type Network struct {
+	layers []Layer
+	params []float64
+	grads  []float64
+	probs  []float64 // scratch for softmax
+}
+
+// New wires the given layers into a network, validating that each layer's
+// output size matches the next layer's input size, and allocates the flat
+// parameter/gradient storage. Weights are zero until InitWeights is called.
+func New(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: network needs at least one layer")
+	}
+	var d int
+	for i, l := range layers {
+		if i > 0 && layers[i-1].OutSize() != l.InSize() {
+			return nil, fmt.Errorf("nn: layer %d output size %d does not match layer %d input size %d",
+				i-1, layers[i-1].OutSize(), i, l.InSize())
+		}
+		d += l.NumParams()
+	}
+	n := &Network{
+		layers: layers,
+		params: make([]float64, d),
+		grads:  make([]float64, d),
+		probs:  make([]float64, layers[len(layers)-1].OutSize()),
+	}
+	off := 0
+	for _, l := range layers {
+		np := l.NumParams()
+		l.Bind(n.params[off:off+np], n.grads[off:off+np])
+		off += np
+	}
+	return n, nil
+}
+
+// MustNew is New that panics on a wiring error; intended for model builders
+// whose shapes are computed, not user-supplied.
+func MustNew(layers ...Layer) *Network {
+	n, err := New(layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// D returns the total number of trainable parameters (the gradient
+// dimension the paper calls D).
+func (n *Network) D() int { return len(n.params) }
+
+// InSize returns the flattened input dimension.
+func (n *Network) InSize() int { return n.layers[0].InSize() }
+
+// NumClasses returns the output dimension (number of logits).
+func (n *Network) NumClasses() int { return n.layers[len(n.layers)-1].OutSize() }
+
+// Params returns the live flat parameter vector. Mutating it changes the
+// model; this is how the FL engine applies sparse updates.
+func (n *Network) Params() []float64 { return n.params }
+
+// Grads returns the live flat gradient vector accumulated by Backprop.
+func (n *Network) Grads() []float64 { return n.grads }
+
+// SetParams copies src into the parameter vector.
+func (n *Network) SetParams(src []float64) {
+	if len(src) != len(n.params) {
+		panic("nn: SetParams dimension mismatch")
+	}
+	copy(n.params, src)
+}
+
+// ZeroGrads clears the accumulated gradient.
+func (n *Network) ZeroGrads() { tensor.Zero(n.grads) }
+
+// InitWeights initializes every layer's weights from rng.
+func (n *Network) InitWeights(rng *rand.Rand) {
+	for _, l := range n.layers {
+		l.Init(rng)
+	}
+}
+
+// Forward runs the network and returns the logits (owned by the last
+// layer; valid until the next Forward).
+func (n *Network) Forward(x []float64) []float64 {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// Loss returns the softmax cross-entropy loss of one sample without
+// touching gradients.
+func (n *Network) Loss(x []float64, label int) float64 {
+	logits := n.Forward(x)
+	return tensor.LogSumExp(logits) - logits[label]
+}
+
+// Predict returns the argmax class for one sample.
+func (n *Network) Predict(x []float64) int {
+	return tensor.ArgMax(n.Forward(x))
+}
+
+// Backprop runs forward + softmax-cross-entropy + backward for one sample,
+// accumulating dL/dθ into Grads, and returns the sample loss. Callers
+// averaging over a minibatch should ZeroGrads first and scale afterwards
+// (or use MeanLossGrad).
+func (n *Network) Backprop(x []float64, label int) float64 {
+	logits := n.Forward(x)
+	loss := tensor.LogSumExp(logits) - logits[label]
+	// dL/dlogits = softmax(logits) − onehot(label)
+	tensor.Softmax(n.probs, logits)
+	n.probs[label]--
+	g := n.probs
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return loss
+}
+
+// MeanLossGrad computes the minibatch-mean gradient into Grads (replacing
+// any previous contents) and returns the mean loss.
+func (n *Network) MeanLossGrad(xs [][]float64, labels []int) float64 {
+	if len(xs) != len(labels) {
+		panic("nn: MeanLossGrad batch length mismatch")
+	}
+	if len(xs) == 0 {
+		panic("nn: MeanLossGrad empty batch")
+	}
+	n.ZeroGrads()
+	var loss float64
+	for i, x := range xs {
+		loss += n.Backprop(x, labels[i])
+	}
+	inv := 1 / float64(len(xs))
+	tensor.Scale(inv, n.grads)
+	return loss * inv
+}
+
+// MeanLoss returns the mean cross-entropy loss over the given samples
+// without computing gradients.
+func (n *Network) MeanLoss(xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var loss float64
+	for i, x := range xs {
+		loss += n.Loss(x, labels[i])
+	}
+	return loss / float64(len(xs))
+}
+
+// Accuracy returns the fraction of samples whose argmax prediction matches
+// the label.
+func (n *Network) Accuracy(xs [][]float64, labels []int) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i, x := range xs {
+		if n.Predict(x) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs))
+}

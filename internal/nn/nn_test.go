@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad computes the central finite-difference gradient of the
+// network's single-sample loss with respect to every parameter.
+func numericGrad(n *Network, x []float64, label int) []float64 {
+	const eps = 1e-5
+	params := n.Params()
+	grad := make([]float64, len(params))
+	for i := range params {
+		orig := params[i]
+		params[i] = orig + eps
+		lp := n.Loss(x, label)
+		params[i] = orig - eps
+		lm := n.Loss(x, label)
+		params[i] = orig
+		grad[i] = (lp - lm) / (2 * eps)
+	}
+	return grad
+}
+
+// checkGradients asserts the analytic gradient matches finite differences.
+func checkGradients(t *testing.T, n *Network, x []float64, label int) {
+	t.Helper()
+	n.ZeroGrads()
+	n.Backprop(x, label)
+	analytic := make([]float64, n.D())
+	copy(analytic, n.Grads())
+	numeric := numericGrad(n, x, label)
+	for i := range analytic {
+		diff := math.Abs(analytic[i] - numeric[i])
+		scale := 1 + math.Abs(analytic[i]) + math.Abs(numeric[i])
+		if diff/scale > 1e-6 {
+			t.Fatalf("param %d: analytic %v vs numeric %v (rel %v)",
+				i, analytic[i], numeric[i], diff/scale)
+		}
+	}
+}
+
+func randomInput(rng *rand.Rand, dim int) []float64 {
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := MustNew(NewDense(7, 5))
+	n.InitWeights(rng)
+	checkGradients(t, n, randomInput(rng, 7), 3)
+}
+
+func TestMLPGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewMLP(6, []int{9, 8}, 4)
+	n.InitWeights(rng)
+	for label := 0; label < 4; label++ {
+		checkGradients(t, n, randomInput(rng, 6), label)
+	}
+}
+
+func TestTanhGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := MustNew(NewDense(5, 6), NewTanh(6), NewDense(6, 3))
+	n.InitWeights(rng)
+	checkGradients(t, n, randomInput(rng, 5), 1)
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := MustNew(
+		NewConv2D(2, 5, 5, 3, 3),
+		NewReLU(3*3*3),
+		NewDense(27, 4),
+	)
+	n.InitWeights(rng)
+	checkGradients(t, n, randomInput(rng, 2*5*5), 2)
+}
+
+func TestCNNGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := NewCNN(1, 8, 8, 4, 3, 10, 5)
+	n.InitWeights(rng)
+	checkGradients(t, n, randomInput(rng, 64), 4)
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	// Pooling is piecewise linear: finite differences are exact as long as
+	// no two pooled inputs tie, so use distinct values.
+	rng := rand.New(rand.NewSource(6))
+	n := MustNew(
+		NewDense(8, 16), // produce a (1,4,4) map from an 8-dim input
+		NewMaxPool2D(1, 4, 4),
+		NewDense(4, 3),
+	)
+	n.InitWeights(rng)
+	checkGradients(t, n, randomInput(rng, 8), 0)
+}
+
+func TestNewRejectsShapeMismatch(t *testing.T) {
+	if _, err := New(NewDense(4, 5), NewDense(6, 2)); err == nil {
+		t.Fatal("New accepted mismatched layer wiring")
+	}
+	if _, err := New(); err == nil {
+		t.Fatal("New accepted empty layer list")
+	}
+}
+
+func TestFlatParamsAreLive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := MustNew(NewDense(3, 2))
+	n.InitWeights(rng)
+	x := []float64{1, 2, 3}
+	before := n.Loss(x, 0)
+	// Nudge one flat parameter and confirm the network output changes:
+	// the layer must be reading through the flat vector, not a copy.
+	n.Params()[0] += 0.5
+	after := n.Loss(x, 0)
+	if before == after {
+		t.Fatal("mutating flat params did not affect the network")
+	}
+}
+
+func TestDMatchesLayerSum(t *testing.T) {
+	n := NewMLP(10, []int{20, 15}, 5)
+	want := (10*20 + 20) + (20*15 + 15) + (15*5 + 5)
+	if n.D() != want {
+		t.Fatalf("D = %d, want %d", n.D(), want)
+	}
+	if n.InSize() != 10 || n.NumClasses() != 5 {
+		t.Fatalf("InSize/NumClasses = %d/%d, want 10/5", n.InSize(), n.NumClasses())
+	}
+}
+
+func TestMeanLossGradAveragesOverBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := MustNew(NewDense(4, 3))
+	n.InitWeights(rng)
+	xs := [][]float64{randomInput(rng, 4), randomInput(rng, 4)}
+	labels := []int{0, 2}
+
+	n.MeanLossGrad(xs, labels)
+	batchGrad := make([]float64, n.D())
+	copy(batchGrad, n.Grads())
+
+	// Per-sample gradients averaged by hand must match.
+	manual := make([]float64, n.D())
+	for i := range xs {
+		n.ZeroGrads()
+		n.Backprop(xs[i], labels[i])
+		for j, g := range n.Grads() {
+			manual[j] += g / float64(len(xs))
+		}
+	}
+	for j := range manual {
+		if math.Abs(manual[j]-batchGrad[j]) > 1e-12 {
+			t.Fatalf("param %d: batch %v vs manual mean %v", j, batchGrad[j], manual[j])
+		}
+	}
+}
+
+func TestBackpropReturnsLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := NewMLP(5, []int{6}, 3)
+	n.InitWeights(rng)
+	x := randomInput(rng, 5)
+	n.ZeroGrads()
+	if got, want := n.Backprop(x, 1), n.Loss(x, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Backprop loss %v != Loss %v", got, want)
+	}
+}
+
+func TestSetParamsCopies(t *testing.T) {
+	n := MustNew(NewDense(2, 2))
+	src := []float64{1, 2, 3, 4, 5, 6}
+	n.SetParams(src)
+	src[0] = 99
+	if n.Params()[0] != 1 {
+		t.Fatal("SetParams aliased the source slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetParams accepted wrong dimension")
+		}
+	}()
+	n.SetParams([]float64{1})
+}
+
+func TestSGDReducesLossOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := NewMLP(2, []int{16}, 2)
+	n.InitWeights(rng)
+
+	// Two linearly separable blobs.
+	var xs [][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		label := i % 2
+		cx := -1.5
+		if label == 1 {
+			cx = 1.5
+		}
+		xs = append(xs, []float64{cx + 0.3*rng.NormFloat64(), 0.3 * rng.NormFloat64()})
+		labels = append(labels, label)
+	}
+
+	initial := n.MeanLoss(xs, labels)
+	for step := 0; step < 200; step++ {
+		n.MeanLossGrad(xs, labels)
+		for j, g := range n.Grads() {
+			n.Params()[j] -= 0.2 * g
+		}
+	}
+	final := n.MeanLoss(xs, labels)
+	if final >= initial/4 {
+		t.Fatalf("SGD failed to learn: loss %v -> %v", initial, final)
+	}
+	if acc := n.Accuracy(xs, labels); acc < 0.95 {
+		t.Fatalf("accuracy after training = %v, want >= 0.95", acc)
+	}
+}
+
+func TestInitialLossNearLogC(t *testing.T) {
+	// With He init and zero biases the average initial loss over random
+	// inputs should sit near ln(numClasses), the uninformed baseline —
+	// this is the L0 the paper's loss curves start from.
+	rng := rand.New(rand.NewSource(11))
+	n := NewMLP(8, []int{16}, 10)
+	n.InitWeights(rng)
+	var total float64
+	const samples = 200
+	for i := 0; i < samples; i++ {
+		total += n.Loss(randomInput(rng, 8), rng.Intn(10))
+	}
+	mean := total / samples
+	if mean < 1.5 || mean > 4.5 {
+		t.Fatalf("initial mean loss %v not near ln(10)=2.3", mean)
+	}
+}
+
+func TestPredictConsistentWithForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := NewMLP(4, []int{8}, 3)
+	n.InitWeights(rng)
+	x := randomInput(rng, 4)
+	logits := n.Forward(x)
+	best, bestV := 0, logits[0]
+	for i, v := range logits {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	if n.Predict(x) != best {
+		t.Fatal("Predict disagrees with argmax of Forward")
+	}
+}
+
+func TestDeterministicInit(t *testing.T) {
+	a := NewMLP(6, []int{5}, 4)
+	b := NewMLP(6, []int{5}, 4)
+	a.InitWeights(rand.New(rand.NewSource(42)))
+	b.InitWeights(rand.New(rand.NewSource(42)))
+	for i := range a.Params() {
+		if a.Params()[i] != b.Params()[i] {
+			t.Fatal("same seed produced different weights")
+		}
+	}
+}
+
+func BenchmarkMLPBackprop(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	n := NewMLP(64, []int{32}, 10)
+	n.InitWeights(rng)
+	x := randomInput(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Backprop(x, i%10)
+	}
+}
+
+func BenchmarkCNNBackprop(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	n := NewCNN(1, 8, 8, 4, 3, 16, 10)
+	n.InitWeights(rng)
+	x := randomInput(rng, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Backprop(x, i%10)
+	}
+}

@@ -1,0 +1,111 @@
+// Package simtime implements the paper's normalized time model (Section V):
+// the computation time of one training round (all clients in parallel) is
+// fixed at 1, and the communication time β is defined as the time required
+// to send the entire D-dimensional gradient vector both uplink and
+// downlink. Sending fewer scalars scales the time proportionally, with
+// uplink and downlink speeds assumed equal.
+//
+// Payloads are measured in scalar "units": a dense vector of d elements
+// costs d units; a sparse element costs 2 units because its index travels
+// with its value — the source of the paper's "division by 2 due to index
+// transmission" in the FedAvg comparison.
+package simtime
+
+import "fmt"
+
+// CostModel is the per-round time model for one federated task.
+type CostModel struct {
+	// D is the gradient dimension (the full-vector payload in units).
+	D int
+	// CompPerRound is the computation time of one round; the paper fixes
+	// this to 1 (normalized time).
+	CompPerRound float64
+	// CommFull is β: the time to ship D units uplink plus D units
+	// downlink. β/(2D) is therefore the time per scalar unit.
+	CommFull float64
+}
+
+// NewCostModel returns the paper's normalized model: computation 1 per
+// round, communication β for a full up+down exchange of a D-dim vector.
+func NewCostModel(d int, beta float64) CostModel {
+	return CostModel{D: d, CompPerRound: 1, CommFull: beta}
+}
+
+// UnitTime returns the time to move one scalar unit in one direction.
+func (c CostModel) UnitTime() float64 {
+	if c.D == 0 {
+		return 0
+	}
+	return c.CommFull / (2 * float64(c.D))
+}
+
+// CommTime returns the communication time of a round that ships
+// uplinkUnits from each client (clients transmit in parallel, so the
+// per-client payload is what matters) and broadcasts downlinkUnits.
+func (c CostModel) CommTime(uplinkUnits, downlinkUnits float64) float64 {
+	return (uplinkUnits + downlinkUnits) * c.UnitTime()
+}
+
+// RoundTime returns computation plus communication time for one round.
+func (c CostModel) RoundTime(uplinkUnits, downlinkUnits float64) float64 {
+	return c.CompPerRound + c.CommTime(uplinkUnits, downlinkUnits)
+}
+
+// SparseUnits is the payload of k sparse elements: 2k (index + value).
+func SparseUnits(k int) float64 { return 2 * float64(k) }
+
+// DenseUnits is the payload of a dense d-element vector: d.
+func DenseUnits(d int) float64 { return float64(d) }
+
+// FedAvgPeriod returns ⌊D/(2k)⌋ (at least 1): the full-exchange period
+// that gives FedAvg the same average communication overhead as k-element
+// sparse GS (Section V-A, comparison method 4).
+func FedAvgPeriod(d, k int) int {
+	if k <= 0 {
+		return d // degenerate; avoid division by zero
+	}
+	p := d / (2 * k)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Clock accumulates simulated time.
+type Clock struct {
+	now float64
+}
+
+// Advance moves the clock forward by dt and returns the new time; negative
+// dt is rejected because simulated time is monotone.
+func (c *Clock) Advance(dt float64) float64 {
+	if dt < 0 {
+		panic(fmt.Sprintf("simtime: negative time advance %v", dt))
+	}
+	c.now += dt
+	return c.now
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Composite sums weighted additive resources. The paper (Sections I, VI)
+// notes training time can be replaced by any additive resource — energy,
+// monetary cost, or a weighted sum; Composite realizes that extension:
+// cost of a round = Σ_r w_r · model_r.RoundTime(...).
+type Composite struct {
+	Models  []CostModel
+	Weights []float64
+}
+
+// RoundCost returns the weighted total resource consumption of one round.
+func (c Composite) RoundCost(uplinkUnits, downlinkUnits float64) float64 {
+	if len(c.Models) != len(c.Weights) {
+		panic("simtime: Composite models/weights length mismatch")
+	}
+	var total float64
+	for i, m := range c.Models {
+		total += c.Weights[i] * m.RoundTime(uplinkUnits, downlinkUnits)
+	}
+	return total
+}

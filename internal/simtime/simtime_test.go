@@ -1,0 +1,124 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTimeSendAll(t *testing.T) {
+	// Shipping the full vector both directions must cost exactly comp + β.
+	c := NewCostModel(1000, 10)
+	got := c.RoundTime(DenseUnits(1000), DenseUnits(1000))
+	if math.Abs(got-11) > 1e-12 {
+		t.Fatalf("send-all round time = %v, want 11", got)
+	}
+}
+
+func TestRoundTimeSparse(t *testing.T) {
+	// k sparse elements each way: comp + β·(2k+2k)/(2D) = 1 + 2kβ/D.
+	c := NewCostModel(10000, 10)
+	k := 500
+	got := c.RoundTime(SparseUnits(k), SparseUnits(k))
+	want := 1 + 2*float64(k)*10/10000
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sparse round time = %v, want %v", got, want)
+	}
+}
+
+func TestZeroCommIsComputeOnly(t *testing.T) {
+	c := NewCostModel(100, 0)
+	if got := c.RoundTime(SparseUnits(50), SparseUnits(50)); got != 1 {
+		t.Fatalf("zero-β round time = %v, want 1", got)
+	}
+}
+
+func TestRoundTimeMonotoneInPayload(t *testing.T) {
+	c := NewCostModel(5000, 3)
+	f := func(a, b uint16) bool {
+		ua, ub := float64(a), float64(b)
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return c.RoundTime(ua, 0) <= c.RoundTime(ub, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFedAvgPeriodEqualizesAverageComm(t *testing.T) {
+	// The paper's comparability condition: FedAvg sending the full vector
+	// every ⌊D/(2k)⌋ rounds has the same average comm overhead as
+	// k-element GS sending 2k units each way per round (up to the floor).
+	c := NewCostModel(40000, 10)
+	for _, k := range []int{100, 500, 1000, 5000} {
+		period := FedAvgPeriod(c.D, k)
+		fedAvgAvg := c.CommTime(DenseUnits(c.D), DenseUnits(c.D)) / float64(period)
+		gsPerRound := c.CommTime(SparseUnits(k), SparseUnits(k))
+		// Equal up to the integer floor of the period.
+		ratio := fedAvgAvg / gsPerRound
+		if ratio < 1.0-1e-9 || ratio > 1.2 {
+			t.Fatalf("k=%d: FedAvg avg comm %v vs GS %v (ratio %v)", k, fedAvgAvg, gsPerRound, ratio)
+		}
+	}
+}
+
+func TestFedAvgPeriodEdges(t *testing.T) {
+	if p := FedAvgPeriod(1000, 0); p != 1000 {
+		t.Fatalf("period(k=0) = %d", p)
+	}
+	if p := FedAvgPeriod(1000, 600); p != 1 {
+		t.Fatalf("period with 2k > D = %d, want 1", p)
+	}
+	if p := FedAvgPeriod(1000, 100); p != 5 {
+		t.Fatalf("period = %d, want 5", p)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("new clock not at 0")
+	}
+	c.Advance(1.5)
+	c.Advance(0)
+	if got := c.Advance(2.5); got != 4 {
+		t.Fatalf("clock = %v, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance accepted negative dt")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestUnitTimeZeroDimension(t *testing.T) {
+	var c CostModel
+	if c.UnitTime() != 0 {
+		t.Fatal("zero-D cost model should have zero unit time")
+	}
+}
+
+func TestCompositeWeightedSum(t *testing.T) {
+	// Time model plus an "energy" model where communication dominates.
+	timeM := NewCostModel(1000, 10)
+	energyM := CostModel{D: 1000, CompPerRound: 5, CommFull: 100}
+	comp := Composite{Models: []CostModel{timeM, energyM}, Weights: []float64{1, 0.1}}
+	got := comp.RoundCost(SparseUnits(100), SparseUnits(100))
+	want := timeM.RoundTime(200, 200) + 0.1*energyM.RoundTime(200, 200)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("composite cost = %v, want %v", got, want)
+	}
+}
+
+func TestCompositeMismatchPanics(t *testing.T) {
+	comp := Composite{Models: []CostModel{NewCostModel(10, 1)}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Composite accepted mismatched weights")
+		}
+	}()
+	comp.RoundCost(1, 1)
+}

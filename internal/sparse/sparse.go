@@ -1,0 +1,222 @@
+// Package sparse implements the sparse-gradient machinery of the paper:
+// index/value vectors, top-k selection by absolute value, and the
+// stochastic rounding that realizes a continuous sparsity degree k
+// (Definition 2, "randomized k-element GS").
+package sparse
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Vec is a sparse vector as parallel index/value slices. The wire format
+// of a k-element sparse gradient is exactly these 2k scalars, which is why
+// the cost model charges 2 units per element (the paper's "division by 2
+// due to index transmission").
+type Vec struct {
+	Idx []int
+	Val []float64
+}
+
+// Len returns the number of stored elements.
+func (v Vec) Len() int { return len(v.Idx) }
+
+// Clone returns a deep copy.
+func (v Vec) Clone() Vec {
+	out := Vec{Idx: make([]int, len(v.Idx)), Val: make([]float64, len(v.Val))}
+	copy(out.Idx, v.Idx)
+	copy(out.Val, v.Val)
+	return out
+}
+
+// AddTo accumulates scale·v into the dense vector.
+func (v Vec) AddTo(dense []float64, scale float64) {
+	for i, idx := range v.Idx {
+		dense[idx] += scale * v.Val[i]
+	}
+}
+
+// FromDense extracts all nonzero elements in index order.
+func FromDense(dense []float64) Vec {
+	var v Vec
+	for i, x := range dense {
+		if x != 0 {
+			v.Idx = append(v.Idx, i)
+			v.Val = append(v.Val, x)
+		}
+	}
+	return v
+}
+
+// rankLess reports whether element (i of dense) outranks element j under
+// the deterministic top-k order: larger |value| first, smaller index on
+// ties. Total and strict for i != j, so selection results are unique.
+func rankLess(dense []float64, i, j int) bool {
+	ai, aj := math.Abs(dense[i]), math.Abs(dense[j])
+	if ai != aj {
+		return ai > aj
+	}
+	return i < j
+}
+
+// TopK returns the k elements of dense with the largest absolute values,
+// sorted by rank (|value| descending, index ascending on ties). If
+// k >= len(dense) every element is returned; k <= 0 returns an empty Vec.
+//
+// Selection uses expected-O(D) quickselect followed by an O(k log k) sort
+// of the selected prefix; TopKHeap is the O(D log k) reference
+// implementation the tests cross-check against.
+func TopK(dense []float64, k int) Vec {
+	d := len(dense)
+	if k <= 0 || d == 0 {
+		return Vec{}
+	}
+	if k > d {
+		k = d
+	}
+	idx := make([]int, d)
+	for i := range idx {
+		idx[i] = i
+	}
+	if k < d {
+		quickselect(dense, idx, k, rand.New(rand.NewSource(int64(d)*1e6+int64(k))))
+	}
+	sel := idx[:k]
+	sort.Slice(sel, func(a, b int) bool { return rankLess(dense, sel[a], sel[b]) })
+	v := Vec{Idx: make([]int, k), Val: make([]float64, k)}
+	for i, ix := range sel {
+		v.Idx[i] = ix
+		v.Val[i] = dense[ix]
+	}
+	return v
+}
+
+// quickselect partitions idx so that its first k entries are the k
+// top-ranked elements (in arbitrary order).
+func quickselect(dense []float64, idx []int, k int, rng *rand.Rand) {
+	lo, hi := 0, len(idx) // half-open [lo, hi)
+	for hi-lo > 1 {
+		// Random pivot guards against adversarial orderings.
+		p := lo + rng.Intn(hi-lo)
+		idx[lo], idx[p] = idx[p], idx[lo]
+		pivot := idx[lo]
+		// Hoare-style partition: ranks-before-pivot to the left.
+		i, j := lo+1, hi-1
+		for i <= j {
+			for i <= j && rankLess(dense, idx[i], pivot) {
+				i++
+			}
+			for i <= j && !rankLess(dense, idx[j], pivot) {
+				j--
+			}
+			if i < j {
+				idx[i], idx[j] = idx[j], idx[i]
+			}
+		}
+		idx[lo], idx[j] = idx[j], idx[lo]
+		switch {
+		case j == k || j == k-1:
+			return
+		case j > k:
+			hi = j
+		default:
+			lo = j + 1
+		}
+	}
+}
+
+// TopKHeap is the reference top-k selection via a size-k min-heap,
+// returning the same deterministic ordering as TopK.
+func TopKHeap(dense []float64, k int) Vec {
+	d := len(dense)
+	if k <= 0 || d == 0 {
+		return Vec{}
+	}
+	if k > d {
+		k = d
+	}
+	h := &rankHeap{dense: dense}
+	for i := 0; i < d; i++ {
+		if h.Len() < k {
+			heap.Push(h, i)
+			continue
+		}
+		// Replace the heap's weakest element when i outranks it.
+		if rankLess(dense, i, h.idx[0]) {
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	sel := h.idx
+	sort.Slice(sel, func(a, b int) bool { return rankLess(dense, sel[a], sel[b]) })
+	v := Vec{Idx: make([]int, len(sel)), Val: make([]float64, len(sel))}
+	for i, ix := range sel {
+		v.Idx[i] = ix
+		v.Val[i] = dense[ix]
+	}
+	return v
+}
+
+// rankHeap is a min-heap by rank (weakest element at the root).
+type rankHeap struct {
+	dense []float64
+	idx   []int
+}
+
+func (h *rankHeap) Len() int           { return len(h.idx) }
+func (h *rankHeap) Less(a, b int) bool { return rankLess(h.dense, h.idx[b], h.idx[a]) }
+func (h *rankHeap) Swap(a, b int)      { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *rankHeap) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *rankHeap) Pop() any {
+	n := len(h.idx)
+	x := h.idx[n-1]
+	h.idx = h.idx[:n-1]
+	return x
+}
+
+// StochasticRound realizes a continuous k as an integer per Definition 2:
+// ⌊k⌋ with probability ⌈k⌉−k, ⌈k⌉ with probability k−⌊k⌋, so that
+// E[result] = k. Integer k is returned unchanged.
+func StochasticRound(k float64, rng *rand.Rand) int {
+	floor := math.Floor(k)
+	frac := k - floor
+	if frac == 0 {
+		return int(floor)
+	}
+	if rng.Float64() < frac {
+		return int(floor) + 1
+	}
+	return int(floor)
+}
+
+// Quantize returns a copy of v with values uniformly quantized to the
+// given bit width (symmetric, scale = max |value|): the quantization the
+// paper cites as orthogonal to GS and combinable with it ([30], [31]).
+// bits must be in [2, 64]; 64 returns an unmodified copy. Indices are
+// untouched. The worst-case per-element error is scale/(2^(bits−1)−1)/2.
+func Quantize(v Vec, bits int) Vec {
+	out := v.Clone()
+	if bits >= 64 || out.Len() == 0 {
+		return out
+	}
+	if bits < 2 {
+		panic("sparse: Quantize needs at least 2 bits")
+	}
+	var scale float64
+	for _, x := range out.Val {
+		if a := math.Abs(x); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		return out
+	}
+	levels := float64(int64(1)<<(bits-1)) - 1
+	step := scale / levels
+	for i, x := range out.Val {
+		out.Val[i] = math.Round(x/step) * step
+	}
+	return out
+}

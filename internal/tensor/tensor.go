@@ -1,0 +1,191 @@
+// Package tensor provides the small dense linear-algebra kernel used by the
+// neural-network substrate. It is deliberately minimal: float64 slices as
+// vectors and a row-major Matrix type, with the handful of BLAS level-1/2
+// operations that manual backpropagation needs.
+//
+// All functions treat length mismatches as programmer errors and panic,
+// mirroring the behaviour of the standard library's copy/append contract
+// violations; shape validation for user input belongs to the callers (the
+// nn package validates layer wiring at network construction time).
+package tensor
+
+import "math"
+
+// Matrix is a dense row-major matrix: element (r, c) is Data[r*Cols+c].
+type Matrix struct {
+	Rows int
+	Cols int
+	Data []float64
+}
+
+// NewMatrix allocates a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// MatVec computes dst = m · x where x has length m.Cols and dst length m.Rows.
+func (m *Matrix) MatVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, w := range row {
+			s += w * x[c]
+		}
+		dst[r] = s
+	}
+}
+
+// MatTVec computes dst = mᵀ · x where x has length m.Rows and dst length m.Cols.
+func (m *Matrix) MatTVec(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MatTVec shape mismatch")
+	}
+	for c := range dst {
+		dst[c] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for c, w := range row {
+			dst[c] += w * xr
+		}
+	}
+}
+
+// AddOuter accumulates the rank-1 update m += a·uvᵀ, the weight-gradient
+// shape used by dense layers (u has length Rows, v length Cols).
+func (m *Matrix) AddOuter(a float64, u, v []float64) {
+	if len(u) != m.Rows || len(v) != m.Cols {
+		panic("tensor: AddOuter shape mismatch")
+	}
+	for r, ur := range u {
+		if ur == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		f := a * ur
+		for c, vc := range v {
+			row[c] += f * vc
+		}
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// AXPY computes y += a·x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Zero sets every element of x to zero.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Clone returns a fresh copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// MaxAbs returns the largest absolute value in x, or 0 for an empty slice.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMax returns the index of the largest element of x (first on ties);
+// it returns -1 for an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes the softmax of x into dst (stable against overflow).
+// dst and x may alias.
+func Softmax(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("tensor: Softmax length mismatch")
+	}
+	lse := LogSumExp(x)
+	for i, v := range x {
+		dst[i] = math.Exp(v - lse)
+	}
+}

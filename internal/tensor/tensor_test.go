@@ -1,0 +1,277 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	m.MatVec(dst, x)
+	want := []float64{-2, -2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Data, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, -1}
+	dst := make([]float64, 3)
+	m.MatTVec(dst, x)
+	want := []float64{-3, -3, -3}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatTVec[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+// MatTVec must agree with an explicit transpose followed by MatVec.
+func TestMatTVecAgainstExplicitTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		mt := NewMatrix(cols, rows)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				mt.Set(c, r, m.At(r, c))
+			}
+		}
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, cols)
+		want := make([]float64, cols)
+		m.MatTVec(got, x)
+		mt.MatVec(want, x)
+		for i := range got {
+			if !almostEqual(got[i], want[i], 1e-12) {
+				t.Fatalf("trial %d: MatTVec[%d] = %v, explicit transpose = %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.AddOuter(2, []float64{1, 3}, []float64{5, 7})
+	want := []float64{10, 14, 30, 42}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddOuter Data[%d] = %v, want %v", i, m.Data[i], want[i])
+		}
+	}
+}
+
+func TestDotAXPYScale(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	AXPY(2, x, y)
+	want := []float64{6, 9, 12}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	Scale(0.5, y)
+	want = []float64{3, 4.5, 6}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Scale y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestZeroClone(t *testing.T) {
+	x := []float64{1, 2, 3}
+	c := Clone(x)
+	Zero(x)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("Zero did not clear all elements")
+		}
+	}
+	if c[0] != 1 || c[1] != 2 || c[2] != 3 {
+		t.Fatal("Clone shares storage with source")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	tests := []struct {
+		give []float64
+		want int
+	}{
+		{nil, -1},
+		{[]float64{3}, 0},
+		{[]float64{1, 5, 2}, 1},
+		{[]float64{5, 5, 2}, 0}, // first on ties
+		{[]float64{-4, -1, -9}, 1},
+	}
+	for _, tt := range tests {
+		if got := ArgMax(tt.give); got != tt.want {
+			t.Errorf("ArgMax(%v) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-3, 2, 1}); got != 3 {
+		t.Fatalf("MaxAbs = %v, want 3", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Fatalf("MaxAbs(nil) = %v, want 0", got)
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	Softmax(dst, x)
+	var s float64
+	for _, v := range dst {
+		if v <= 0 {
+			t.Fatal("softmax produced non-positive probability")
+		}
+		s += v
+	}
+	if !almostEqual(s, 1, 1e-12) {
+		t.Fatalf("softmax sums to %v, want 1", s)
+	}
+}
+
+func TestSoftmaxStableAgainstHugeLogits(t *testing.T) {
+	x := []float64{1000, 1001, 999}
+	dst := make([]float64, 3)
+	Softmax(dst, x)
+	for _, v := range dst {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("softmax overflowed: %v", dst)
+		}
+	}
+	if dst[1] < dst[0] || dst[0] < dst[2] {
+		t.Fatalf("softmax ordering broken: %v", dst)
+	}
+}
+
+func TestLogSumExpMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 3
+		}
+		var naive float64
+		for _, v := range x {
+			naive += math.Exp(v)
+		}
+		if got := LogSumExp(x); !almostEqual(got, math.Log(naive), 1e-10) {
+			t.Fatalf("LogSumExp = %v, naive = %v", got, math.Log(naive))
+		}
+	}
+}
+
+// Property: Dot is symmetric and linear in its first argument.
+func TestDotProperties(t *testing.T) {
+	f := func(a []float64) bool {
+		if len(a) < 2 {
+			return true
+		}
+		mid := len(a) / 2
+		x, y := a[:mid], a[mid:2*mid]
+		for _, v := range a {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // stay in a numerically meaningful regime
+			}
+		}
+		if Dot(x, y) != Dot(y, x) {
+			return false
+		}
+		x2 := Clone(x)
+		Scale(2, x2)
+		return almostEqual(Dot(x2, y), 2*Dot(x, y), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any vector, Softmax output is a probability distribution.
+func TestSoftmaxDistributionProperty(t *testing.T) {
+	f := func(x []float64) bool {
+		if len(x) == 0 {
+			return true
+		}
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		dst := make([]float64, len(x))
+		Softmax(dst, x)
+		var s float64
+		for _, v := range dst {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			s += v
+		}
+		return almostEqual(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic on shape mismatch", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("MatVec", func() { m.MatVec(make([]float64, 2), make([]float64, 2)) })
+	assertPanics("MatTVec", func() { m.MatTVec(make([]float64, 2), make([]float64, 2)) })
+	assertPanics("AddOuter", func() { m.AddOuter(1, make([]float64, 3), make([]float64, 3)) })
+	assertPanics("Dot", func() { Dot(make([]float64, 1), make([]float64, 2)) })
+	assertPanics("AXPY", func() { AXPY(1, make([]float64, 1), make([]float64, 2)) })
+}
+
+func BenchmarkMatVec128(b *testing.B) {
+	m := NewMatrix(128, 128)
+	rng := rand.New(rand.NewSource(3))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 128)
+	dst := make([]float64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MatVec(dst, x)
+	}
+}

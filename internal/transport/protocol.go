@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsparse/internal/dataset"
+	"fedsparse/internal/gs"
+	"fedsparse/internal/nn"
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/tensor"
+)
+
+// ServerConfig parameterizes the coordinator side of a distributed
+// fixed-k FAB-top-k run.
+type ServerConfig struct {
+	// K is the sparsity degree; Rounds the number of training rounds.
+	K, Rounds int
+	// InitialParams are the synchronized starting weights sent to every
+	// client (generate them with the same seed as the reference engine
+	// for trajectory-identical runs).
+	InitialParams []float64
+}
+
+// RoundRecord is the server's per-round log.
+type RoundRecord struct {
+	Round         int
+	Loss          float64 // C_i/C-weighted minibatch loss at w(m−1)
+	DownlinkElems int
+}
+
+// RunServer drives one FAB-top-k training over the given client
+// connections: handshake, then Rounds iterations of gather-A_i /
+// broadcast-B. It returns the per-round records.
+func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("transport: server needs at least one client")
+	}
+	// Handshake: collect Hellos, order connections by client ID.
+	ordered := make([]Conn, len(conns))
+	weights := make([]float64, len(conns))
+	var totalWeight float64
+	for _, conn := range conns {
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: handshake recv: %w", err)
+		}
+		hello, ok := msg.(Hello)
+		if !ok {
+			return nil, fmt.Errorf("transport: expected Hello, got %T", msg)
+		}
+		if hello.ClientID < 0 || hello.ClientID >= len(conns) {
+			return nil, fmt.Errorf("transport: client id %d out of range", hello.ClientID)
+		}
+		if ordered[hello.ClientID] != nil {
+			return nil, fmt.Errorf("transport: duplicate client id %d", hello.ClientID)
+		}
+		ordered[hello.ClientID] = conn
+		weights[hello.ClientID] = hello.Weight
+		totalWeight += hello.Weight
+	}
+	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds}
+	for _, conn := range ordered {
+		if err := conn.Send(init); err != nil {
+			return nil, fmt.Errorf("transport: send init: %w", err)
+		}
+	}
+
+	strategy := &gs.FABTopK{}
+	records := make([]RoundRecord, 0, cfg.Rounds)
+	for m := 1; m <= cfg.Rounds; m++ {
+		uploads := make([]gs.ClientUpload, len(ordered))
+		var weightedLoss float64
+		for id, conn := range ordered {
+			msg, err := conn.Recv()
+			if err != nil {
+				return records, fmt.Errorf("transport: round %d recv from client %d: %w", m, id, err)
+			}
+			up, ok := msg.(Upload)
+			if !ok {
+				return records, fmt.Errorf("transport: round %d: expected Upload, got %T", m, msg)
+			}
+			if up.Round != m || up.ClientID != id {
+				return records, fmt.Errorf("transport: round %d: stale upload (round %d from client %d)",
+					m, up.Round, up.ClientID)
+			}
+			uploads[id] = gs.ClientUpload{
+				Pairs:  sparse.Vec{Idx: up.Idx, Val: up.Val},
+				Weight: weights[id],
+			}
+			weightedLoss += weights[id] / totalWeight * up.BatchLoss
+		}
+		agg := strategy.Aggregate(uploads, cfg.K)
+		bc := Broadcast{Round: m, Idx: agg.Indices, Val: agg.Values}
+		for id, conn := range ordered {
+			if err := conn.Send(bc); err != nil {
+				return records, fmt.Errorf("transport: round %d send to client %d: %w", m, id, err)
+			}
+		}
+		records = append(records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)})
+	}
+	return records, nil
+}
+
+// ClientConfig parameterizes one distributed participant.
+type ClientConfig struct {
+	ID           int
+	Data         *dataset.Dataset
+	Model        func() *nn.Network
+	LearningRate float64
+	BatchSize    int
+	// Seed must follow the reference engine's scheme
+	// (base + 1000003·(ID+1)) for trajectory-identical runs.
+	Seed int64
+}
+
+// RunClient executes the client side of the protocol until the configured
+// number of rounds completes.
+func RunClient(conn Conn, cfg ClientConfig) error {
+	if err := conn.Send(Hello{ClientID: cfg.ID, Weight: float64(cfg.Data.Len())}); err != nil {
+		return fmt.Errorf("transport: client %d hello: %w", cfg.ID, err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("transport: client %d init recv: %w", cfg.ID, err)
+	}
+	init, ok := msg.(Init)
+	if !ok {
+		return fmt.Errorf("transport: client %d expected Init, got %T", cfg.ID, msg)
+	}
+	net := cfg.Model()
+	net.SetParams(init.Params)
+	acc := make([]float64, net.D())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for m := 1; m <= init.Rounds; m++ {
+		xs, ys := cfg.Data.Batch(rng, cfg.BatchSize)
+		batchLoss := net.MeanLossGrad(xs, ys)
+		tensor.AXPY(1, net.Grads(), acc)
+		// Mirror the reference engine's probe-sample draw so RNG streams
+		// stay aligned (the fixed-k protocol does not use the sample).
+		_ = rng.Intn(len(xs))
+
+		pairs := sparse.TopK(acc, init.K)
+		up := Upload{
+			ClientID:  cfg.ID,
+			Round:     m,
+			Idx:       pairs.Idx,
+			Val:       pairs.Val,
+			BatchLoss: batchLoss,
+		}
+		if err := conn.Send(up); err != nil {
+			return fmt.Errorf("transport: client %d round %d send: %w", cfg.ID, m, err)
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("transport: client %d round %d recv: %w", cfg.ID, m, err)
+		}
+		bc, ok := msg.(Broadcast)
+		if !ok || bc.Round != m {
+			return fmt.Errorf("transport: client %d round %d: bad broadcast %T", cfg.ID, m, msg)
+		}
+		params := net.Params()
+		inJ := make(map[int]bool, len(bc.Idx))
+		for vi, j := range bc.Idx {
+			params[j] -= cfg.LearningRate * bc.Val[vi]
+			inJ[j] = true
+		}
+		for _, j := range pairs.Idx {
+			if inJ[j] {
+				acc[j] = 0
+			}
+		}
+	}
+	return nil
+}

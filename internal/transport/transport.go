@@ -1,0 +1,206 @@
+// Package transport runs the paper's client↔server protocol over a real
+// wire. The simulation engine (internal/fl) models communication time;
+// this package demonstrates that the same protocol — Hello/Init handshake,
+// per-round sparse uploads A_i, and aggregated broadcast B (Algorithm 1
+// lines 6 and 11) — operates as an actual message exchange, over either
+// in-memory pipes or TCP with gob encoding.
+//
+// The distributed runner mirrors the reference engine's arithmetic and
+// RNG-consumption order exactly, so for the same seeds a distributed run
+// produces a bit-identical training trajectory (verified in tests).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message types of the protocol.
+type (
+	// Hello is the client's handshake: its identity and aggregation
+	// weight C_i.
+	Hello struct {
+		ClientID int
+		Weight   float64
+	}
+	// Init is the server's reply: the synchronized initial weights and
+	// the run parameters every client must use.
+	Init struct {
+		Params []float64
+		K      int
+		Rounds int
+	}
+	// Upload is A_i: one client's top-k accumulated-gradient pairs for a
+	// round, plus its minibatch loss (the server's global-loss input).
+	Upload struct {
+		ClientID  int
+		Round     int
+		Idx       []int
+		Val       []float64
+		BatchLoss float64
+	}
+	// Broadcast is B: the aggregated sparse gradient for a round.
+	Broadcast struct {
+		Round int
+		Idx   []int
+		Val   []float64
+	}
+)
+
+// Conn is a bidirectional, typed, ordered message pipe.
+type Conn interface {
+	// Send transmits one protocol message.
+	Send(msg any) error
+	// Recv blocks for the next message; io.EOF after Close of the peer.
+	Recv() (any, error)
+	// Close releases the connection; safe to call twice.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// memConn is one endpoint of an in-memory pair. Close on either endpoint
+// tears the whole connection down, matching net.Conn semantics.
+type memConn struct {
+	in  <-chan any
+	out chan<- any
+
+	done      chan struct{} // shared by both endpoints
+	closeOnce *sync.Once    // shared by both endpoints
+}
+
+// NewMemPair returns two connected in-memory endpoints.
+func NewMemPair() (Conn, Conn) {
+	ab := make(chan any, 16)
+	ba := make(chan any, 16)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &memConn{in: ba, out: ab, done: done, closeOnce: once}
+	b := &memConn{in: ab, out: ba, done: done, closeOnce: once}
+	return a, b
+}
+
+func (c *memConn) Send(msg any) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- msg:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() (any, error) {
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.done:
+		// Drain anything already queued before reporting EOF.
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return nil, io.EOF
+		}
+	}
+}
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return nil
+}
+
+var registerOnce sync.Once
+
+// registerTypes makes the protocol messages gob-encodable as `any`.
+func registerTypes() {
+	registerOnce.Do(func() {
+		gob.Register(Hello{})
+		gob.Register(Init{})
+		gob.Register(Upload{})
+		gob.Register(Broadcast{})
+	})
+}
+
+// envelope wraps messages so gob transmits the dynamic type.
+type envelope struct {
+	Msg any
+}
+
+// gobConn is a Conn over any net.Conn using gob encoding.
+type gobConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	sendMu sync.Mutex
+}
+
+// NewGobConn wraps a network connection with gob framing.
+func NewGobConn(conn net.Conn) Conn {
+	registerTypes()
+	return &gobConn{
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+	}
+}
+
+func (c *gobConn) Send(msg any) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(envelope{Msg: msg}); err != nil {
+		return fmt.Errorf("transport: send: %w", err)
+	}
+	return nil
+}
+
+func (c *gobConn) Recv() (any, error) {
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	return env.Msg, nil
+}
+
+func (c *gobConn) Close() error { return c.conn.Close() }
+
+// FlakyConn wraps a Conn and fails after a fixed number of sends —
+// failure-injection instrumentation for the protocol tests.
+type FlakyConn struct {
+	Inner Conn
+	// FailAfter is how many Sends succeed before errors start.
+	FailAfter int
+
+	mu    sync.Mutex
+	sends int
+}
+
+// ErrInjected is the failure produced by FlakyConn.
+var ErrInjected = errors.New("transport: injected failure")
+
+func (f *FlakyConn) Send(msg any) error {
+	f.mu.Lock()
+	f.sends++
+	failed := f.sends > f.FailAfter
+	f.mu.Unlock()
+	if failed {
+		return ErrInjected
+	}
+	return f.Inner.Send(msg)
+}
+
+func (f *FlakyConn) Recv() (any, error) { return f.Inner.Recv() }
+func (f *FlakyConn) Close() error       { return f.Inner.Close() }
