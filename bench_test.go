@@ -17,8 +17,10 @@ import (
 	"testing"
 
 	"fedsparse/internal/core"
+	"fedsparse/internal/dataset"
 	"fedsparse/internal/experiments"
 	"fedsparse/internal/metrics"
+	"fedsparse/internal/nn"
 )
 
 // benchScale keeps benchmark runtime manageable on small CPU counts while
@@ -143,6 +145,71 @@ func reportKMonotonicity(b *testing.B, fig *experiments.FigureResult) {
 	fmt.Sscan(kTable.Rows[len(kTable.Rows)-1][1], &kHigh)
 	if kHigh > 0 {
 		b.ReportMetric(kLow/kHigh, "k-ratio-cheap/dear-comm")
+	}
+}
+
+// benchGSConfig builds a synthetic FAB-top-k run for the engine-scaling
+// benchmarks: an MLP of ≈ dTarget parameters over n clients, k = D/100
+// (the paper's k = 1000 at D ≈ 4×10⁵ sparsity ratio).
+func benchGSConfig(dTarget, n, rounds, workers int) Config {
+	const inDim = 64
+	hidden := (dTarget - 10) / (inDim + 1 + 10)
+	fed := dataset.GenerateFEMNIST(dataset.FEMNISTConfig{
+		NumClients:       n,
+		NumClasses:       10,
+		Dim:              inDim,
+		SamplesPerClient: 16,
+		ClassesPerClient: 4,
+		TestSamples:      10,
+		Noise:            0.4,
+		StyleShift:       0.2,
+		Seed:             9,
+	})
+	model := func() *nn.Network { return nn.NewMLP(inDim, []int{hidden}, 10) }
+	return Config{
+		Data:         fed,
+		Model:        model,
+		LearningRate: 0.1,
+		BatchSize:    4,
+		Rounds:       rounds,
+		Seed:         1,
+		Strategy:     &FABTopK{},
+		Controller:   NewFixedK(float64(model().D() / 100)),
+		Beta:         10,
+		Workers:      workers,
+	}
+}
+
+// BenchmarkRunGSParallel measures the parallel round engine against the
+// sequential legacy path (workers = 0) on the d ∈ {10⁴, 10⁵} ×
+// N ∈ {10, 100} grid BENCH_fl.json tracks. The reported ns/round metric
+// divides total Run time by round count, so it includes per-run client
+// setup amortized over the rounds; speedup ratios across worker counts
+// therefore slightly understate the pure per-round gain. Results are
+// bit-identical across the workers axis (see internal/fl's differential
+// tests), so every variant does identical numerical work.
+func BenchmarkRunGSParallel(b *testing.B) {
+	for _, grid := range []struct{ d, n int }{
+		{10_000, 10}, {10_000, 100}, {100_000, 10}, {100_000, 100},
+	} {
+		const rounds = 3
+		for _, workers := range []int{0, 2, 4, 8} {
+			name := fmt.Sprintf("d=%d/N=%d/workers=%d", grid.d, grid.n, workers)
+			b.Run(name, func(b *testing.B) {
+				cfg := benchGSConfig(grid.d, grid.n, rounds, workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Stats) != rounds {
+						b.Fatalf("got %d rounds", len(res.Stats))
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rounds), "ns/round")
+			})
+		}
 	}
 }
 

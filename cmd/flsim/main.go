@@ -16,6 +16,7 @@ import (
 	"log"
 	"math"
 	"os"
+	"runtime"
 
 	"fedsparse"
 )
@@ -33,15 +34,19 @@ func main() {
 		batch       = flag.Int("batch", 0, "minibatch size (0 = workload default)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		evalEvery   = flag.Int("eval-every", 0, "test-set evaluation cadence in rounds (0 = off)")
+		workers     = flag.Int("workers", 0, "per-client worker pool size, -1 = all CPUs (results are bit-identical at any value; 0 = sequential)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery); err != nil {
+	if *workers < 0 {
+		*workers = runtime.NumCPU()
+	}
+	if err := run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
-	rounds int, lr float64, batch int, seed int64, evalEvery int) error {
+	rounds int, lr float64, batch int, seed int64, evalEvery, workers int) error {
 
 	var w *fedsparse.Workload
 	switch datasetName {
@@ -74,6 +79,7 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		Seed:         seed,
 		Beta:         beta,
 		EvalEvery:    evalEvery,
+		Workers:      workers,
 	}
 
 	switch strategy {

@@ -31,7 +31,34 @@
 //		Strategy:     &fedsparse.FABTopK{},
 //		Controller:   fedsparse.NewAdaptiveSignOGD(10, float64(w.D), float64(w.D), 1.5, 20, nil),
 //		Beta:         10,
+//		Workers:      runtime.NumCPU(),
 //	})
+//
+// # Parallelism and determinism
+//
+// Config.Workers fans each round's per-client work — local gradient
+// computation, residual accumulation, top-k extraction, broadcast
+// application, and the probe-loss measurements — out over a pool of
+// goroutines. 0 (the default) runs the sequential legacy path; any
+// positive value uses that many workers. The protocol is embarrassingly
+// parallel across clients, and the engine exploits that without giving
+// up reproducibility:
+//
+//   - every simulated client owns its model, its error-feedback residuals,
+//     and its random stream, so scheduling cannot change what any client
+//     computes;
+//   - workers write results into slots indexed by client position, and
+//     every floating-point reduction (the weighted global loss, the probe
+//     means, FedAvg's weight average) runs on the coordinator in fixed
+//     client order.
+//
+// Run therefore returns bit-identical Results — round stats, losses, and
+// final weights — at every worker count, for every strategy, controller,
+// participation level, and quantization setting. The differential test
+// suite in internal/fl asserts exactly this, and `go test -race` covers
+// the pool under contention. Measured speedup on a multi-core runner
+// scales with min(Workers, clients) until per-round aggregation (which
+// is inherently ordered) dominates; BENCH_fl.json records the trajectory.
 //
 // See the examples directory for runnable programs and DESIGN.md for the
 // architecture and the per-figure experiment index.

@@ -1,0 +1,3 @@
+module fedsparse
+
+go 1.24

@@ -51,6 +51,10 @@ type Workload struct {
 	BatchSize    int
 	LearningRate float64
 	Seed         int64
+	// Workers sizes the engine's per-client worker pool for every run
+	// this workload spawns (0 = sequential; results are bit-identical
+	// at any value, see fl.Config.Workers).
+	Workers int
 }
 
 type scaleParams struct {
@@ -138,6 +142,7 @@ func (w *Workload) baseFL(beta float64, rounds int, seedOffset int64) fl.Config 
 		Rounds:       rounds,
 		Seed:         w.Seed + seedOffset,
 		Beta:         beta,
+		Workers:      w.Workers,
 	}
 }
 

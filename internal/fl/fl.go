@@ -92,6 +92,15 @@ type Config struct {
 	// accumulator. Wire cost per sparse element drops from 2 units to
 	// 1 + bits/64.
 	QuantBits int
+
+	// Workers fans the per-client work of each round (local gradients,
+	// residual accumulation, top-k extraction, broadcast application,
+	// probe losses) out over this many goroutines. 0 runs the sequential
+	// legacy path. Results are bit-identical at every worker count: each
+	// client owns its model, residuals, and rng, workers write into slots
+	// indexed by client position, and the coordinator reduces the slots
+	// in fixed order (see parallel.go for the shared-state audit).
+	Workers int
 }
 
 // RoundStats captures one round of training.
@@ -204,6 +213,8 @@ func validate(cfg *Config) error {
 		return errors.New("fl: Participation must be in [0, 1]")
 	case cfg.QuantBits != 0 && (cfg.QuantBits < 2 || cfg.QuantBits > 64):
 		return errors.New("fl: QuantBits must be 0 (off) or in [2, 64]")
+	case cfg.Workers < 0:
+		return errors.New("fl: Workers must be non-negative (0 = sequential)")
 	}
 	return cfg.Data.Validate()
 }
@@ -246,18 +257,22 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 
 		// (A) Local gradient computation and accumulation at every
 		// participant; pick the one-sample probe point h (Section IV-E).
+		// Fanned out over the worker pool: every write lands in a slot
+		// indexed by participant position pi, and the weighted-loss
+		// reduction below runs in pi order, so the result is bit-identical
+		// to the sequential path at any worker count.
 		var partWeight float64
 		for _, ci := range participants {
 			partWeight += clients[ci].weight
 		}
 		uploads := make([]gs.ClientUpload, nPart)
-		var weightedLoss float64
-		for pi, ci := range participants {
-			c := clients[ci]
+		lossShare := make([]float64, nPart)
+		parallelFor(cfg.Workers, nPart, func(pi, _ int) {
+			c := clients[participants[pi]]
 			xs, ys := c.data.Batch(c.rng, cfg.BatchSize)
 			batchLoss := c.net.MeanLossGrad(xs, ys)
 			tensor.AXPY(1, c.net.Grads(), c.acc)
-			weightedLoss += c.weight / partWeight * batchLoss
+			lossShare[pi] = c.weight / partWeight * batchLoss
 
 			h := c.rng.Intn(len(xs))
 			hx[pi], hy[pi] = xs[h], ys[h]
@@ -277,6 +292,10 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 				pairs = sparse.Quantize(pairs, cfg.QuantBits)
 			}
 			uploads[pi] = gs.ClientUpload{Pairs: pairs, Weight: c.weight}
+		})
+		var weightedLoss float64
+		for _, share := range lossShare {
+			weightedLoss += share
 		}
 
 		// Server selection (lines 8–11) — once; every client receives the
@@ -296,19 +315,27 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 
 		// (B)–(D) + lines 13–17. Every client (participant or not)
 		// applies the broadcast update; only participants measure the
-		// probe losses and carry residuals from this round.
+		// probe losses and carry residuals from this round. Fanned out
+		// over the worker pool: each iteration touches only its own
+		// client's state plus the read-only broadcast (agg, probeAgg,
+		// inJ), and probe/current losses land in pi-indexed slots.
 		inJ := make(map[int]bool, len(agg.Indices))
 		for _, j := range agg.Indices {
 			inJ[j] = true
 		}
 		eta := cfg.LearningRate
-		partPos := make(map[int]int, nPart)
+		partPos := make([]int, nClients)
+		for ci := range partPos {
+			partPos[ci] = -1
+		}
 		for pi, ci := range participants {
 			partPos[ci] = pi
 		}
-		for ci, c := range clients {
+		parallelFor(cfg.Workers, nClients, func(ci, _ int) {
+			c := clients[ci]
 			params := c.net.Params()
-			pi, isPart := partPos[ci]
+			pi := partPos[ci]
+			isPart := pi >= 0
 			if probeInt > 0 && isPart {
 				// w′(m) = w(m−1) − η·∇′: apply, measure, restore exactly.
 				saved := make([]float64, len(probeAgg.Indices))
@@ -326,7 +353,7 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 				params[j] -= eta * agg.Values[vi]
 			}
 			if !isPart {
-				continue
+				return
 			}
 			fCur[pi] = c.net.Loss(hx[pi], hy[pi])
 			// Lines 16–17: subtract the residual mass the server consumed.
@@ -339,7 +366,7 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 					c.acc[j] -= pairs.Val[vi]
 				}
 			}
-		}
+		})
 
 		if cfg.CheckSync {
 			if err := checkSync(clients); err != nil {
@@ -454,26 +481,54 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 	globalNet := cfg.Model()
 	globalNet.SetParams(clients[0].net.Params())
 
+	// Per-worker replicas of the global model for the loss measurement:
+	// forward passes cache activations inside the network, so the single
+	// globalNet cannot be shared across goroutines. A replica holds the
+	// same weights, so the measured losses — and therefore the fixed-order
+	// weighted sum — are bit-identical to the sequential path.
+	evalNets := []*nn.Network{globalNet}
+	for len(evalNets) < poolSize(cfg.Workers, len(clients)) {
+		evalNets = append(evalNets, cfg.Model())
+	}
+	lossShare := make([]float64, len(clients))
+
+	// The replicas only need re-syncing when globalNet actually changed:
+	// before the first round and after each aggregation.
+	replicasStale := true
 	for m := 1; m <= cfg.Rounds; m++ {
-		var weightedLoss float64
-		for _, c := range clients {
+		if replicasStale {
+			for _, en := range evalNets[1:] {
+				en.SetParams(globalNet.Params())
+			}
+			replicasStale = false
+		}
+		parallelFor(cfg.Workers, len(clients), func(i, w int) {
+			c := clients[i]
 			xs, ys := c.data.Batch(c.rng, cfg.BatchSize)
-			weightedLoss += c.weight / totalWeight * globalNet.MeanLoss(xs, ys)
+			lossShare[i] = c.weight / totalWeight * evalNets[w].MeanLoss(xs, ys)
 			c.net.MeanLossGrad(xs, ys)
 			// Local step: weights diverge between aggregations.
 			tensor.AXPY(-cfg.LearningRate, c.net.Grads(), c.net.Params())
+		})
+		var weightedLoss float64
+		for _, share := range lossShare {
+			weightedLoss += share
 		}
 		roundTime := cost.CompPerRound
 		aggregated := m%period == 0
 		if aggregated {
+			// The weighted average must accumulate in client order to stay
+			// bit-deterministic, so it stays on the coordinator; only the
+			// (disjoint-write) broadcast fans out.
 			tensor.Zero(avg)
 			for _, c := range clients {
 				tensor.AXPY(c.weight/totalWeight, c.net.Params(), avg)
 			}
-			for _, c := range clients {
-				c.net.SetParams(avg)
-			}
+			parallelFor(cfg.Workers, len(clients), func(i, _ int) {
+				clients[i].net.SetParams(avg)
+			})
 			globalNet.SetParams(avg)
+			replicasStale = true
 			roundTime += cost.CommTime(simtime.DenseUnits(d), simtime.DenseUnits(d))
 		}
 		clock.Advance(roundTime)

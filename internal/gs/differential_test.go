@@ -1,0 +1,111 @@
+package gs
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsparse/internal/sparse"
+)
+
+// requireSameAggregate asserts the two selections agree on every field,
+// including the per-client fairness counts.
+func requireSameAggregate(t *testing.T, trial int, a, b Aggregate) {
+	t.Helper()
+	if len(a.Indices) != len(b.Indices) {
+		t.Fatalf("trial %d: |J| %d vs %d", trial, len(a.Indices), len(b.Indices))
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatalf("trial %d: index %d: %d vs %d", trial, i, a.Indices[i], b.Indices[i])
+		}
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("trial %d: value at j=%d: %v vs %v", trial, a.Indices[i], a.Values[i], b.Values[i])
+		}
+	}
+	if len(a.PerClientUsed) != len(b.PerClientUsed) {
+		t.Fatalf("trial %d: PerClientUsed lengths %d vs %d", trial, len(a.PerClientUsed), len(b.PerClientUsed))
+	}
+	for ci := range a.PerClientUsed {
+		if a.PerClientUsed[ci] != b.PerClientUsed[ci] {
+			t.Fatalf("trial %d: client %d used %d vs %d", trial, ci, a.PerClientUsed[ci], b.PerClientUsed[ci])
+		}
+	}
+}
+
+// TestFABDifferentialLinearVsBinary cross-checks the two κ-selection
+// procedures on random upload sets with unequal client weights and
+// unequal upload lengths (stragglers with shorter top-k lists), asserting
+// the full Aggregate — indices, values, and fairness counts — matches.
+func TestFABDifferentialLinearVsBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bin := &FABTopK{}
+	lin := &FABTopK{LinearScan: true}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		d := 20 + rng.Intn(300)
+		k := 1 + rng.Intn(60)
+		ups := make([]ClientUpload, n)
+		for i := range ups {
+			dense := make([]float64, d)
+			for j := range dense {
+				dense[j] = rng.NormFloat64()
+			}
+			// Some clients upload fewer than k elements.
+			ki := k
+			if rng.Intn(3) == 0 {
+				ki = 1 + rng.Intn(k)
+			}
+			ups[i] = ClientUpload{Pairs: sparse.TopK(dense, ki), Weight: 1 + rng.Float64()*9}
+		}
+		requireSameAggregate(t, trial, bin.Aggregate(ups, k), lin.Aggregate(ups, k))
+	}
+}
+
+// TestFABDifferentialTieHeavy repeats the cross-check with quantized
+// gradient values, so the rank-(κ+1) fill step must break many exact
+// |value| ties identically in both procedures.
+func TestFABDifferentialTieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bin := &FABTopK{}
+	lin := &FABTopK{LinearScan: true}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		d := 30 + rng.Intn(120)
+		k := 1 + rng.Intn(40)
+		ups := make([]ClientUpload, n)
+		for i := range ups {
+			dense := make([]float64, d)
+			for j := range dense {
+				dense[j] = float64(rng.Intn(7)-3) * 0.25
+			}
+			ups[i] = ClientUpload{Pairs: sparse.TopK(dense, k), Weight: 1}
+		}
+		requireSameAggregate(t, trial, bin.Aggregate(ups, k), lin.Aggregate(ups, k))
+	}
+}
+
+// TestFABDifferentialDegenerate pins the edge cases both procedures must
+// agree on: empty uploads, k = 1, k beyond every upload, and a single
+// client.
+func TestFABDifferentialDegenerate(t *testing.T) {
+	bin := &FABTopK{}
+	lin := &FABTopK{LinearScan: true}
+	dense := []float64{3, -2, 1, 0.5, -0.25}
+
+	cases := []struct {
+		name string
+		ups  []ClientUpload
+		k    int
+	}{
+		{"no uploads", nil, 5},
+		{"empty pairs", []ClientUpload{{Pairs: sparse.Vec{}, Weight: 1}}, 3},
+		{"k=1", []ClientUpload{{Pairs: sparse.TopK(dense, 3), Weight: 1}, {Pairs: sparse.TopK(dense, 3), Weight: 2}}, 1},
+		{"k beyond uploads", []ClientUpload{{Pairs: sparse.TopK(dense, 2), Weight: 1}}, 50},
+		{"single client", []ClientUpload{{Pairs: sparse.TopK(dense, 4), Weight: 3}}, 2},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			requireSameAggregate(t, i, bin.Aggregate(tc.ups, tc.k), lin.Aggregate(tc.ups, tc.k))
+		})
+	}
+}

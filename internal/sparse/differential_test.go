@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// requireSameVec asserts two selections are identical element by element.
+func requireSameVec(t *testing.T, label string, a, b Vec) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("%s: lengths %d vs %d", label, a.Len(), b.Len())
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] || a.Val[i] != b.Val[i] {
+			t.Fatalf("%s: element %d: (%d, %v) vs (%d, %v)",
+				label, i, a.Idx[i], a.Val[i], b.Idx[i], b.Val[i])
+		}
+	}
+}
+
+// TestTopKDifferentialRandom cross-checks the quickselect TopK against the
+// heap reference on continuous random vectors across a spread of sizes,
+// including k near 0, near d, and beyond d.
+func TestTopKDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range []int{1, 2, 17, 256, 1000, 4096} {
+		dense := make([]float64, d)
+		for i := range dense {
+			dense[i] = rng.NormFloat64()
+		}
+		for _, k := range []int{0, 1, 2, d / 3, d - 1, d, d + 5} {
+			requireSameVec(t, "random", TopK(dense, k), TopKHeap(dense, k))
+		}
+	}
+}
+
+// TestTopKDifferentialTieHeavy is the same cross-check on vectors drawn
+// from a tiny value alphabet, so almost every |value| comparison is a tie
+// and selection is decided by the index tiebreak — the case where a
+// partition or heap-order bug would silently reorder results.
+func TestTopKDifferentialTieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	alphabets := [][]float64{
+		{0},                    // all ties at zero
+		{1, -1},                // one |value| level
+		{0, 0.5, -0.5, 1, -1},  // few levels, signs mixed
+		{2, 2, 2, -2, 0, 1e-9}, // dominant level plus noise floor
+	}
+	for _, alpha := range alphabets {
+		for _, d := range []int{5, 64, 777, 2048} {
+			dense := make([]float64, d)
+			for i := range dense {
+				dense[i] = alpha[rng.Intn(len(alpha))]
+			}
+			for _, k := range []int{1, 2, d / 2, d - 1, d} {
+				requireSameVec(t, "tie-heavy", TopK(dense, k), TopKHeap(dense, k))
+			}
+		}
+	}
+}
+
+// TestTopKDifferentialFuzz sweeps random (d, k, tie-density) triples so
+// the two implementations are compared far beyond the fixed grids above.
+func TestTopKDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 500; trial++ {
+		d := 1 + rng.Intn(300)
+		dense := make([]float64, d)
+		// levels controls tie density: 1 level = all tied, many = mostly
+		// distinct.
+		levels := 1 + rng.Intn(12)
+		for i := range dense {
+			dense[i] = float64(rng.Intn(2*levels+1)-levels) / float64(levels)
+		}
+		k := rng.Intn(d + 2)
+		requireSameVec(t, "fuzz", TopK(dense, k), TopKHeap(dense, k))
+	}
+}
