@@ -197,6 +197,7 @@ func BenchmarkRunGSParallel(b *testing.B) {
 			name := fmt.Sprintf("d=%d/N=%d/workers=%d", grid.d, grid.n, workers)
 			b.Run(name, func(b *testing.B) {
 				cfg := benchGSConfig(grid.d, grid.n, rounds, workers)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					res, err := Run(cfg)

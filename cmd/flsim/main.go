@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"fedsparse"
 )
@@ -35,14 +37,58 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		evalEvery   = flag.Int("eval-every", 0, "test-set evaluation cadence in rounds (0 = off)")
 		workers     = flag.Int("workers", 0, "per-client worker pool size, -1 = all CPUs (results are bit-identical at any value; 0 = sequential)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		*workers = runtime.NumCPU()
 	}
-	if err := run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers); err != nil {
+	err := withProfiles(*cpuProfile, *memProfile, func() error {
+		return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers)
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// withProfiles wraps fn with optional pprof capture: a CPU profile
+// covering exactly the run, and a post-run heap profile of the settled
+// live set (after a GC, so transient per-round garbage — which the
+// allocation-free round loop should not produce — stands out from real
+// retention). Empty paths disable each profile.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile() // no-op if already stopped below
+	}
+	runErr := fn()
+	// Stop the CPU profile before the heap capture so the forced GC and
+	// profile encoding don't land as samples in the CPU profile.
+	if cpuPath != "" {
+		pprof.StopCPUProfile()
+	}
+	if memPath != "" {
+		// Written even when the run failed — a heap profile is most
+		// useful exactly when diagnosing a broken run.
+		f, err := os.Create(memPath)
+		if err != nil {
+			return errors.Join(runErr, fmt.Errorf("memprofile: %w", err))
+		}
+		defer f.Close()
+		runtime.GC() // capture the settled live heap, not transient garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return errors.Join(runErr, fmt.Errorf("memprofile: %w", err))
+		}
+	}
+	return runErr
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -74,5 +77,41 @@ func TestCSVFloat(t *testing.T) {
 	nan /= nan
 	if got := csvFloat(nan); got != "" {
 		t.Fatalf("csvFloat(NaN) = %q", got)
+	}
+}
+
+func TestWithProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	ran := false
+	if err := withProfiles(cpu, mem, func() error {
+		ran = true
+		// Burn a little CPU so the profile has samples to encode.
+		s := 0.0
+		for i := 0; i < 1_000_000; i++ {
+			s += float64(i)
+		}
+		_ = s
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("withProfiles did not invoke fn")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// Disabled profiles and propagated errors.
+	wantErr := errors.New("boom")
+	if err := withProfiles("", "", func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 }

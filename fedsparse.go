@@ -39,26 +39,63 @@
 // Config.Workers fans each round's per-client work — local gradient
 // computation, residual accumulation, top-k extraction, broadcast
 // application, and the probe-loss measurements — out over a pool of
-// goroutines. 0 (the default) runs the sequential legacy path; any
+// goroutines, and additionally parallelizes the server-side weighted
+// reductions (FedAvg's weight average and the sparse-gradient
+// aggregation). 0 (the default) runs the sequential legacy path; any
 // positive value uses that many workers. The protocol is embarrassingly
 // parallel across clients, and the engine exploits that without giving
 // up reproducibility:
 //
 //   - every simulated client owns its model, its error-feedback residuals,
-//     and its random stream, so scheduling cannot change what any client
-//     computes;
+//     its random stream, and its hot-loop scratch, so scheduling cannot
+//     change what any client computes;
 //   - workers write results into slots indexed by client position, and
-//     every floating-point reduction (the weighted global loss, the probe
-//     means, FedAvg's weight average) runs on the coordinator in fixed
-//     client order.
+//     every floating-point reduction either runs on the coordinator in
+//     fixed client order (the weighted global loss, the probe means) or
+//     is partitioned by *coordinate* across the pool (FedAvg's average,
+//     the aggregation sums), with each coordinate's addition chain still
+//     executing in ascending client order inside exactly one chunk.
 //
-// Run therefore returns bit-identical Results — round stats, losses, and
-// final weights — at every worker count, for every strategy, controller,
-// participation level, and quantization setting. The differential test
-// suite in internal/fl asserts exactly this, and `go test -race` covers
-// the pool under contention. Measured speedup on a multi-core runner
-// scales with min(Workers, clients) until per-round aggregation (which
-// is inherently ordered) dominates; BENCH_fl.json records the trajectory.
+// That second form is the engine's fixed-order chunked tree reduction:
+// the coordinate space is split into contiguous chunks (the leaves of the
+// reduction tree), chunks combine by disjoint writes rather than
+// floating-point merges, and the per-coordinate operation sequence is
+// therefore independent of the worker count and identical to the
+// sequential loop. Run returns bit-identical Results — round stats,
+// losses, and final weights — at every worker count, for every strategy,
+// controller, participation level, and quantization setting. The
+// differential suites in internal/fl, internal/gs, and internal/sparse
+// assert exactly this, and `go test -race` covers the pool under
+// contention. Measured speedup on a multi-core runner scales with
+// min(Workers, clients) for the per-client phases and with the chunk
+// count for the server reductions; BENCH_fl.json records the trajectory.
+//
+// # Scratch types and allocation-free steady state
+//
+// The round loop reuses every per-round buffer, so steady-state training
+// performs no allocations in selection or aggregation. Two scratch types
+// surface that machinery for direct library use:
+//
+//   - TopKScratch + TopKInto: top-k selection into caller-owned storage.
+//     TopK remains the convenience wrapper that allocates per call.
+//   - AggScratch + the ScratchAggregator interface: every built-in
+//     Strategy aggregates allocation-free into a caller-owned scratch,
+//     computing the main k-element selection and the k′-probe selection
+//     in a single pass over the uploads.
+//
+// Reuse contract: scratches are meant to live for a whole run (or
+// process) and be reused across rounds — that is where the zero-alloc
+// steady state comes from; buffers grow to the largest shape seen and
+// stay there. Both types are single-goroutine state: share nothing, or
+// give each concurrent selector/aggregator its own. Selection and
+// aggregation results are pure functions of the inputs — never of
+// scratch history — so warm reuse cannot perturb a seeded run (the
+// differential suites pin this). Aggregates returned by AggregateInto
+// alias the scratch's buffers and are valid only until its next call;
+// copy them if they must outlive the round. When the model dimension is
+// known up front, AggScratch.Reserve pre-sizes the slabs and skips the
+// per-call scan for the largest uploaded coordinate — the round engines
+// do this.
 //
 // See the examples directory for runnable programs and DESIGN.md for the
 // architecture and the per-figure experiment index.
@@ -109,7 +146,16 @@ type (
 	ClientUpload = gs.ClientUpload
 	// Aggregate is the server's downlink selection.
 	Aggregate = gs.Aggregate
+	// AggScratch is the reusable allocation-free aggregation scratch.
+	AggScratch = gs.AggScratch
+	// ScratchAggregator is the allocation-free one-pass aggregation
+	// interface every built-in strategy implements.
+	ScratchAggregator = gs.ScratchAggregator
 )
+
+// NewAggScratch builds an aggregation scratch whose reductions use up to
+// the given number of workers (<= 1 stays sequential).
+var NewAggScratch = gs.NewAggScratch
 
 // Adaptive-k online learning (internal/core).
 type (
@@ -203,11 +249,15 @@ var NewCostModel = simtime.NewCostModel
 type (
 	// SparseVec is an index/value sparse vector.
 	SparseVec = sparse.Vec
+	// TopKScratch is the reusable selection scratch for TopKInto.
+	TopKScratch = sparse.TopKScratch
 )
 
 var (
-	// TopK selects the k largest-|value| elements.
+	// TopK selects the k largest-|value| elements (allocating per call).
 	TopK = sparse.TopK
+	// TopKInto is the allocation-free TopK into caller-owned storage.
+	TopKInto = sparse.TopKInto
 	// StochasticRound realizes a continuous k (Definition 2).
 	StochasticRound = sparse.StochasticRound
 )

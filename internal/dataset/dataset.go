@@ -36,11 +36,27 @@ func (d *Dataset) Len() int { return len(d.Samples) }
 // returns the feature and label slices (views into the dataset; callers
 // must not mutate the features).
 func (d *Dataset) Batch(rng *rand.Rand, size int) ([][]float64, []int) {
+	return d.BatchInto(nil, nil, rng, size)
+}
+
+// BatchInto is Batch writing into caller-owned buffers, reused when their
+// capacity suffices and grown otherwise — the allocation-free form for
+// per-round hot loops. It consumes exactly the same rng draws as Batch,
+// so the two are interchangeable without perturbing a seeded run.
+func (d *Dataset) BatchInto(xs [][]float64, ys []int, rng *rand.Rand, size int) ([][]float64, []int) {
 	if d.Len() == 0 {
 		panic("dataset: Batch on empty dataset")
 	}
-	xs := make([][]float64, size)
-	ys := make([]int, size)
+	if cap(xs) < size {
+		xs = make([][]float64, size)
+	} else {
+		xs = xs[:size]
+	}
+	if cap(ys) < size {
+		ys = make([]int, size)
+	} else {
+		ys = ys[:size]
+	}
 	for i := 0; i < size; i++ {
 		s := d.Samples[rng.Intn(d.Len())]
 		xs[i] = s.X

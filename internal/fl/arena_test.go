@@ -1,0 +1,133 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fedsparse/internal/tensor"
+)
+
+// TestPickParticipantsSequenceCompat pins the allocation-free participant
+// draw against the legacy implementation it replaced: rng.Perm(n)[:count]
+// followed by a sort. Same seeds must give the same subset AND leave the
+// rng in the same state (the draw consumes exactly rand.Perm's n Intn
+// calls), so whole engine runs stay bit-identical to historical behavior.
+func TestPickParticipantsSequenceCompat(t *testing.T) {
+	legacy := func(p float64, n int, rng *rand.Rand) []int {
+		if p <= 0 || p >= 1 {
+			out := make([]int, n)
+			for i := range out {
+				out[i] = i
+			}
+			return out
+		}
+		count := int(math.Ceil(p * float64(n)))
+		if count < 1 {
+			count = 1
+		}
+		if count > n {
+			count = n
+		}
+		perm := rng.Perm(n)[:count]
+		sort.Ints(perm)
+		return perm
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		metaRng := rand.New(rand.NewSource(seed + 100))
+		n := 1 + metaRng.Intn(40)
+		p := metaRng.Float64() * 1.2 // sometimes ≥ 1: the everyone path
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		var dst, perm []int
+		for round := 0; round < 5; round++ {
+			want := legacy(p, n, rngA)
+			dst, perm = pickParticipantsInto(dst, perm, p, n, rngB)
+			if len(want) != len(dst) {
+				t.Fatalf("seed %d round %d: %d participants, want %d", seed, round, len(dst), len(want))
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("seed %d round %d: participants %v, want %v", seed, round, dst, want)
+				}
+			}
+			// Streams must stay aligned across rounds.
+			if a, b := rngA.Int63(), rngB.Int63(); a != b {
+				t.Fatalf("seed %d round %d: rng streams diverged (%d vs %d)", seed, round, a, b)
+			}
+		}
+	}
+}
+
+// TestReduceWeightedMatchesSequential pins the fixed-order chunked
+// reduction: at every worker count the result is bit-identical to the
+// sequential Zero + in-order AXPY loop it parallelizes.
+func TestReduceWeightedMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, tc := range []struct{ n, d int }{{1, 7}, {3, 100}, {10, 1000}, {17, 4097}} {
+		vecs := make([][]float64, tc.n)
+		weights := make([]float64, tc.n)
+		for c := range vecs {
+			weights[c] = rng.Float64()
+			vecs[c] = make([]float64, tc.d)
+			for j := range vecs[c] {
+				vecs[c][j] = rng.NormFloat64()
+			}
+		}
+		want := make([]float64, tc.d)
+		tensor.Zero(want)
+		for c := range vecs {
+			tensor.AXPY(weights[c], vecs[c], want)
+		}
+		got := make([]float64, tc.d)
+		for _, workers := range []int{0, 1, 2, 4, 8, 33} {
+			for j := range got {
+				got[j] = math.NaN() // ensure every coordinate is written
+			}
+			reduceWeighted(workers, got, weights, vecs)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("n=%d d=%d workers=%d: coord %d = %v, want %v",
+						tc.n, tc.d, workers, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRoundArenaStamps exercises the epoch-stamped membership helpers the
+// round loop relies on.
+func TestRoundArenaStamps(t *testing.T) {
+	ar := newRoundArena(10, 4, 2)
+	ar.stampParticipants([]int{1, 3})
+	wantPos := []int{-1, 0, -1, 1}
+	for ci, want := range wantPos {
+		if got := ar.participantPos(ci); got != want {
+			t.Fatalf("round 1: participantPos(%d) = %d, want %d", ci, got, want)
+		}
+	}
+	// Next round invalidates the previous stamps in O(1).
+	ar.stampParticipants([]int{0})
+	wantPos = []int{0, -1, -1, -1}
+	for ci, want := range wantPos {
+		if got := ar.participantPos(ci); got != want {
+			t.Fatalf("round 2: participantPos(%d) = %d, want %d", ci, got, want)
+		}
+	}
+
+	ar.stampInJ([]int{2, 7})
+	for j := 0; j < 10; j++ {
+		in := ar.inJ[j] == ar.inJGen
+		if in != (j == 2 || j == 7) {
+			t.Fatalf("round 1: inJ membership of %d = %v", j, in)
+		}
+	}
+	ar.stampInJ([]int{4})
+	for j := 0; j < 10; j++ {
+		in := ar.inJ[j] == ar.inJGen
+		if in != (j == 4) {
+			t.Fatalf("round 2: inJ membership of %d = %v", j, in)
+		}
+	}
+}

@@ -13,6 +13,16 @@
 //     averaging every ⌊D/(2k)⌋ rounds — the send-all-or-nothing
 //     comparison of Section V-A with the same average communication
 //     overhead as k-element GS.
+//
+// The steady-state round loop is allocation-free on the sequential path
+// (Workers <= 1): every per-round buffer (top-k scratch, minibatch views,
+// upload slots, probe losses, selection membership) lives in a per-run
+// round arena or per-client scratch and is reused across rounds. Only
+// user-facing outputs (RoundStats, recorded per-client counts) and
+// optional paths (quantization clones, cadenced evaluations,
+// mandated-index strategies) still allocate. With Workers > 1 each
+// fan-out additionally spawns its pool goroutines, a small per-round
+// constant that buys the parallel speedup.
 package fl
 
 import (
@@ -20,12 +30,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"fedsparse/internal/core"
 	"fedsparse/internal/dataset"
 	"fedsparse/internal/gs"
 	"fedsparse/internal/nn"
+	"fedsparse/internal/par"
 	"fedsparse/internal/simtime"
 	"fedsparse/internal/sparse"
 	"fedsparse/internal/tensor"
@@ -95,11 +106,15 @@ type Config struct {
 
 	// Workers fans the per-client work of each round (local gradients,
 	// residual accumulation, top-k extraction, broadcast application,
-	// probe losses) out over this many goroutines. 0 runs the sequential
-	// legacy path. Results are bit-identical at every worker count: each
-	// client owns its model, residuals, and rng, workers write into slots
-	// indexed by client position, and the coordinator reduces the slots
-	// in fixed order (see parallel.go for the shared-state audit).
+	// probe losses) and the server-side weighted reductions (FedAvg's
+	// average, the GS sparse aggregation) out over this many goroutines.
+	// 0 runs the sequential legacy path. Results are bit-identical at
+	// every worker count: each client owns its model, residuals, rng, and
+	// scratch; workers write into slots indexed by client position; and
+	// every floating-point reduction either runs on the coordinator in
+	// fixed order or is partitioned by coordinate so each element's
+	// addition chain is unchanged (see parallel.go for the shared-state
+	// audit).
 	Workers int
 }
 
@@ -136,13 +151,23 @@ type Result struct {
 	Final *nn.Network
 }
 
-// client is one simulated participant.
+// client is one simulated participant. Alongside its model and residuals
+// it owns the reusable hot-loop buffers of phase A — top-k scratch,
+// upload pair storage, mandated-value storage, and minibatch views — so
+// per-round selection allocates nothing. All of it is single-goroutine
+// state touched only by whichever worker runs this client's iteration.
 type client struct {
 	net    *nn.Network
 	acc    []float64 // a_i, the accumulated local gradient
 	data   *dataset.Dataset
 	weight float64 // C_i
 	rng    *rand.Rand
+
+	topk    sparse.TopKScratch
+	pairs   sparse.Vec
+	mandVal []float64
+	xs      [][]float64
+	ys      []int
 }
 
 // Run executes the configured training and returns per-round statistics.
@@ -219,6 +244,77 @@ func validate(cfg *Config) error {
 	return cfg.Data.Validate()
 }
 
+// roundArena holds every per-round buffer of runGS, allocated once per run
+// and reused across rounds. Participant-indexed slots are re-sliced to the
+// round's participant count; the membership structures are epoch-stamped
+// slabs (slab[i] == generation means "in the set this round"), so clearing
+// them between rounds is O(1). The coordinator stamps the slabs between
+// fan-outs; workers only read them.
+type roundArena struct {
+	// Participant-indexed slots (length = this round's participant count).
+	fPrev, fCur, fProbe []float64
+	hx                  [][]float64 // the per-participant probe sample
+	hy                  []int
+	lossShare           []float64
+	uploads             []gs.ClientUpload
+
+	participants []int
+	permBuf      []int // Fisher–Yates scratch for the participant draw
+
+	inJ    []int32 // coordinate space: inJ[j] == inJGen means j ∈ J
+	inJGen int32
+
+	partPos   []int   // client space: participant position of client ci …
+	partGen   []int32 // … valid iff partGen[ci] == partEpoch
+	partEpoch int32
+
+	saved [][]float64 // per-worker probe save/restore buffers
+}
+
+func newRoundArena(d, nClients, pool int) *roundArena {
+	return &roundArena{
+		fPrev:        make([]float64, nClients),
+		fCur:         make([]float64, nClients),
+		fProbe:       make([]float64, nClients),
+		hx:           make([][]float64, nClients),
+		hy:           make([]int, nClients),
+		lossShare:    make([]float64, nClients),
+		uploads:      make([]gs.ClientUpload, nClients),
+		participants: make([]int, nClients),
+		permBuf:      make([]int, nClients),
+		inJ:          make([]int32, d),
+		partPos:      make([]int, nClients),
+		partGen:      make([]int32, nClients),
+		saved:        make([][]float64, pool),
+	}
+}
+
+// stampParticipants records each participant's position in the epoch-
+// stamped client-space slab (par.BumpEpoch handles the wrap-clear).
+func (ar *roundArena) stampParticipants(participants []int) {
+	par.BumpEpoch(&ar.partEpoch, ar.partGen)
+	for pi, ci := range participants {
+		ar.partPos[ci] = pi
+		ar.partGen[ci] = ar.partEpoch
+	}
+}
+
+// participantPos returns client ci's participant position, or -1.
+func (ar *roundArena) participantPos(ci int) int {
+	if ar.partGen[ci] == ar.partEpoch {
+		return ar.partPos[ci]
+	}
+	return -1
+}
+
+// stampInJ records the downlink index set J in the coordinate slab.
+func (ar *roundArena) stampInJ(indices []int) {
+	par.BumpEpoch(&ar.inJGen, ar.inJ)
+	for _, j := range indices {
+		ar.inJ[j] = ar.inJGen
+	}
+}
+
 // runGS is Algorithm 1 plus the Fig. 3 adaptive-k schedule.
 func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.CostModel,
 	ctrl core.Controller, engineRng *rand.Rand, d int) (*Result, error) {
@@ -231,6 +327,17 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	elemUnits := 2.0
 	if cfg.QuantBits > 0 && cfg.QuantBits < 64 {
 		elemUnits = 1 + float64(cfg.QuantBits)/64
+	}
+
+	ar := newRoundArena(d, nClients, poolSize(cfg.Workers, nClients))
+	// The built-in strategies aggregate allocation-free through a per-run
+	// scratch, computing the k and probe-k′ selections in one pass;
+	// external Strategy implementations fall back to two Aggregate calls.
+	scratchAgg, _ := cfg.Strategy.(gs.ScratchAggregator)
+	var aggScratch *gs.AggScratch
+	if scratchAgg != nil {
+		aggScratch = gs.NewAggScratch(cfg.Workers)
+		aggScratch.Reserve(d) // uploads only carry coordinates < d
 	}
 
 	for m := 1; m <= cfg.Rounds; m++ {
@@ -246,14 +353,17 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		probeInt := resolveProbe(dec.ProbeK, kInt, engineRng)
 
 		mandated := cfg.Strategy.MandatedIndices(m, d, kInt, engineRng)
-		participants := pickParticipants(cfg.Participation, nClients, engineRng)
+		ar.participants, ar.permBuf = pickParticipantsInto(ar.participants, ar.permBuf, cfg.Participation, nClients, engineRng)
+		participants := ar.participants
 		nPart := len(participants)
 
-		fPrev := make([]float64, nPart)
-		fCur := make([]float64, nPart)
-		fProbe := make([]float64, nPart)
-		hx := make([][]float64, nPart) // the per-participant probe sample
-		hy := make([]int, nPart)
+		fPrev := ar.fPrev[:nPart]
+		fCur := ar.fCur[:nPart]
+		fProbe := ar.fProbe[:nPart]
+		hx := ar.hx[:nPart]
+		hy := ar.hy[:nPart]
+		uploads := ar.uploads[:nPart]
+		lossShare := ar.lossShare[:nPart]
 
 		// (A) Local gradient computation and accumulation at every
 		// participant; pick the one-sample probe point h (Section IV-E).
@@ -265,11 +375,10 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		for _, ci := range participants {
 			partWeight += clients[ci].weight
 		}
-		uploads := make([]gs.ClientUpload, nPart)
-		lossShare := make([]float64, nPart)
 		parallelFor(cfg.Workers, nPart, func(pi, _ int) {
 			c := clients[participants[pi]]
-			xs, ys := c.data.Batch(c.rng, cfg.BatchSize)
+			c.xs, c.ys = c.data.BatchInto(c.xs, c.ys, c.rng, cfg.BatchSize)
+			xs, ys := c.xs, c.ys
 			batchLoss := c.net.MeanLossGrad(xs, ys)
 			tensor.AXPY(1, c.net.Grads(), c.acc)
 			lossShare[pi] = c.weight / partWeight * batchLoss
@@ -280,13 +389,17 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 
 			var pairs sparse.Vec
 			if mandated != nil {
-				vals := make([]float64, len(mandated))
+				if cap(c.mandVal) < len(mandated) {
+					c.mandVal = make([]float64, len(mandated))
+				}
+				vals := c.mandVal[:len(mandated)]
 				for vi, j := range mandated {
 					vals[vi] = c.acc[j]
 				}
 				pairs = sparse.Vec{Idx: mandated, Val: vals}
 			} else {
-				pairs = sparse.TopK(c.acc, kInt)
+				c.pairs = sparse.TopKInto(c.pairs, &c.topk, c.acc, kInt)
+				pairs = c.pairs
 			}
 			if cfg.QuantBits > 0 {
 				pairs = sparse.Quantize(pairs, cfg.QuantBits)
@@ -299,16 +412,20 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		}
 
 		// Server selection (lines 8–11) — once; every client receives the
-		// identical B, which is what keeps weights synchronized.
-		agg := cfg.Strategy.Aggregate(uploads, kInt)
+		// identical B, which is what keeps weights synchronized. The k and
+		// probe-k′ aggregates come out of a single pass over the uploads.
+		var agg, probeAgg gs.Aggregate
+		if scratchAgg != nil {
+			agg, probeAgg = scratchAgg.AggregateInto(aggScratch, uploads, kInt, probeInt)
+		} else {
+			agg = cfg.Strategy.Aggregate(uploads, kInt)
+			if probeInt > 0 {
+				probeAgg = cfg.Strategy.Aggregate(uploads, probeInt)
+			}
+		}
 		if cfg.QuantBits > 0 {
 			agg.Values = sparse.Quantize(sparse.Vec{Idx: agg.Indices, Val: agg.Values}, cfg.QuantBits).Val
-		}
-
-		var probeAgg gs.Aggregate
-		if probeInt > 0 {
-			probeAgg = cfg.Strategy.Aggregate(uploads, probeInt)
-			if cfg.QuantBits > 0 {
+			if probeInt > 0 {
 				probeAgg.Values = sparse.Quantize(sparse.Vec{Idx: probeAgg.Indices, Val: probeAgg.Values}, cfg.QuantBits).Val
 			}
 		}
@@ -317,28 +434,23 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		// applies the broadcast update; only participants measure the
 		// probe losses and carry residuals from this round. Fanned out
 		// over the worker pool: each iteration touches only its own
-		// client's state plus the read-only broadcast (agg, probeAgg,
-		// inJ), and probe/current losses land in pi-indexed slots.
-		inJ := make(map[int]bool, len(agg.Indices))
-		for _, j := range agg.Indices {
-			inJ[j] = true
-		}
+		// client's state plus the read-only broadcast (agg, probeAgg, and
+		// the arena's epoch slabs), and probe/current losses land in
+		// pi-indexed slots.
+		ar.stampInJ(agg.Indices)
+		ar.stampParticipants(participants)
 		eta := cfg.LearningRate
-		partPos := make([]int, nClients)
-		for ci := range partPos {
-			partPos[ci] = -1
-		}
-		for pi, ci := range participants {
-			partPos[ci] = pi
-		}
-		parallelFor(cfg.Workers, nClients, func(ci, _ int) {
+		parallelFor(cfg.Workers, nClients, func(ci, w int) {
 			c := clients[ci]
 			params := c.net.Params()
-			pi := partPos[ci]
+			pi := ar.participantPos(ci)
 			isPart := pi >= 0
 			if probeInt > 0 && isPart {
 				// w′(m) = w(m−1) − η·∇′: apply, measure, restore exactly.
-				saved := make([]float64, len(probeAgg.Indices))
+				if cap(ar.saved[w]) < len(probeAgg.Indices) {
+					ar.saved[w] = make([]float64, len(probeAgg.Indices))
+				}
+				saved := ar.saved[w][:len(probeAgg.Indices)]
 				for vi, j := range probeAgg.Indices {
 					saved[vi] = params[j]
 					params[j] -= eta * probeAgg.Values[vi]
@@ -362,7 +474,7 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 			// error feedback extends to the combined GS+quantization case.
 			pairs := uploads[pi].Pairs
 			for vi, j := range pairs.Idx {
-				if inJ[j] {
+				if ar.inJ[j] == ar.inJGen {
 					c.acc[j] -= pairs.Val[vi]
 				}
 			}
@@ -421,7 +533,9 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		}
 		if cfg.RecordPerClient {
 			// Remap participant-indexed counts onto the full client list
-			// (non-participants contribute 0 this round).
+			// (non-participants contribute 0 this round). This escapes
+			// into the returned stats, so it is the one per-round
+			// allocation the recording knob keeps.
 			used := make([]int, nClients)
 			for pi, ci := range participants {
 				used[ci] = agg.PerClientUsed[pi]
@@ -439,17 +553,27 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	return res, nil
 }
 
-// pickParticipants draws the round's client subset: everyone when p is 0
-// or 1, otherwise ⌈p·N⌉ clients uniformly without replacement (sorted, so
-// downstream iteration order is deterministic).
-func pickParticipants(p float64, n int, rng *rand.Rand) []int {
-	all := p <= 0 || p >= 1
-	if all {
-		out := make([]int, n)
-		for i := range out {
-			out[i] = i
+// pickParticipantsInto draws the round's client subset into dst: everyone
+// when p is 0 or 1, otherwise ⌈p·N⌉ clients uniformly without replacement
+// (sorted, so downstream iteration order is deterministic). perm is the
+// shuffle scratch; both buffers are grown as needed and returned.
+//
+// The draw runs an inside-out Fisher–Yates over the scratch buffer,
+// consuming exactly the n Intn draws rand.Perm consumes, in the same
+// order — it is the legacy rng.Perm(n)[:count] draw minus the per-round
+// allocations, so engine rng streams (and therefore whole runs) are
+// bit-identical to the historical behavior. TestPickParticipantsSequence-
+// Compat pins both the output and the rng consumption against rand.Perm.
+func pickParticipantsInto(dst, perm []int, p float64, n int, rng *rand.Rand) ([]int, []int) {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	if p <= 0 || p >= 1 {
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = i
 		}
-		return out
+		return dst, perm
 	}
 	count := int(math.Ceil(p * float64(n)))
 	if count < 1 {
@@ -458,9 +582,41 @@ func pickParticipants(p float64, n int, rng *rand.Rand) []int {
 	if count > n {
 		count = n
 	}
-	perm := rng.Perm(n)[:count]
-	sort.Ints(perm)
-	return perm
+	if cap(perm) < n {
+		perm = make([]int, n)
+	}
+	perm = perm[:n]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	dst = dst[:count]
+	copy(dst, perm[:count])
+	slices.Sort(dst)
+	return dst, perm
+}
+
+// pickParticipants is the allocating form of pickParticipantsInto.
+func pickParticipants(p float64, n int, rng *rand.Rand) []int {
+	dst, _ := pickParticipantsInto(nil, nil, p, n, rng)
+	return dst
+}
+
+// reduceWeighted overwrites dst with Σ_c weights[c]·vecs[c], fanned out
+// over the worker pool as a fixed-order chunked reduction: the coordinate
+// space is partitioned into contiguous chunks (the leaves of the reduction
+// tree) and each chunk accumulates the vectors in slice order. Chunks
+// write disjoint coordinates, so no floating-point merge happens across
+// workers and every coordinate's addition chain is exactly the sequential
+// Zero+AXPY loop's — the result is bit-identical at any worker count.
+func reduceWeighted(workers int, dst []float64, weights []float64, vecs [][]float64) {
+	n := len(dst)
+	chunks := par.Chunks(workers, n)
+	parallelFor(workers, chunks, func(i, _ int) {
+		lo, hi := tensor.ChunkBounds(n, chunks, i)
+		tensor.WeightedSumChunk(dst, weights, vecs, lo, hi)
+	})
 }
 
 // runFedAvg is the send-all-or-nothing comparison: local SGD steps with a
@@ -491,6 +647,13 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 		evalNets = append(evalNets, cfg.Model())
 	}
 	lossShare := make([]float64, len(clients))
+	// The aggregation weights and parameter views of the weighted
+	// reduction, hoisted out of the loop.
+	weightFrac := make([]float64, len(clients))
+	paramVecs := make([][]float64, len(clients))
+	for i, c := range clients {
+		weightFrac[i] = c.weight / totalWeight
+	}
 
 	// The replicas only need re-syncing when globalNet actually changed:
 	// before the first round and after each aggregation.
@@ -504,9 +667,9 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 		}
 		parallelFor(cfg.Workers, len(clients), func(i, w int) {
 			c := clients[i]
-			xs, ys := c.data.Batch(c.rng, cfg.BatchSize)
-			lossShare[i] = c.weight / totalWeight * evalNets[w].MeanLoss(xs, ys)
-			c.net.MeanLossGrad(xs, ys)
+			c.xs, c.ys = c.data.BatchInto(c.xs, c.ys, c.rng, cfg.BatchSize)
+			lossShare[i] = c.weight / totalWeight * evalNets[w].MeanLoss(c.xs, c.ys)
+			c.net.MeanLossGrad(c.xs, c.ys)
 			// Local step: weights diverge between aggregations.
 			tensor.AXPY(-cfg.LearningRate, c.net.Grads(), c.net.Params())
 		})
@@ -517,13 +680,14 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 		roundTime := cost.CompPerRound
 		aggregated := m%period == 0
 		if aggregated {
-			// The weighted average must accumulate in client order to stay
-			// bit-deterministic, so it stays on the coordinator; only the
-			// (disjoint-write) broadcast fans out.
-			tensor.Zero(avg)
-			for _, c := range clients {
-				tensor.AXPY(c.weight/totalWeight, c.net.Params(), avg)
+			// Server-side weighted average: a fixed-order chunked
+			// reduction over the worker pool (see reduceWeighted) —
+			// parallel at large N·D yet bit-identical to the in-order
+			// client accumulation at any worker count.
+			for i, c := range clients {
+				paramVecs[i] = c.net.Params()
 			}
+			reduceWeighted(cfg.Workers, avg, weightFrac, paramVecs)
 			parallelFor(cfg.Workers, len(clients), func(i, _ int) {
 				clients[i].net.SetParams(avg)
 			})

@@ -1,100 +1,50 @@
 package fl
 
-import (
-	"sync"
-	"sync/atomic"
-)
+import "fedsparse/internal/par"
 
-// This file is the worker pool behind Config.Workers. The per-client
-// phases of a round (local gradient + residual accumulation + top-k
-// extraction, and broadcast application + probe losses) are independent
-// across clients, so they fan out over a fixed pool of goroutines while
-// the engine stays bit-deterministic at any worker count.
+// This file documents the worker pool behind Config.Workers (the pool
+// primitive itself lives in internal/par, shared with the gs server-side
+// aggregation). The per-client phases of a round (local gradient +
+// residual accumulation + top-k extraction, and broadcast application +
+// probe losses) are independent across clients, so they fan out over a
+// fixed pool of goroutines while the engine stays bit-deterministic at any
+// worker count.
 //
 // Shared-state audit (what makes the fan-out safe):
 //
 //   - Each client owns its *nn.Network — layers cache forward activations
 //     per instance, so a network is single-goroutine scratch — plus its
-//     residual accumulator a_i and its *rand.Rand. Every random draw a
-//     client makes (minibatch, probe sample) comes from its own stream
-//     and happens in a fixed per-client order, so the streams advance
-//     identically regardless of how iterations are scheduled.
-//   - tensor kernels are stateless; sparse.TopK allocates its index
-//     scratch and pivot rng locally per call; sparse.Quantize clones.
-//   - dataset.Batch returns read-only views of the client's samples.
+//     residual accumulator a_i, its *rand.Rand, and its reusable top-k /
+//     upload / minibatch buffers. Every random draw a client makes
+//     (minibatch, probe sample) comes from its own stream and happens in a
+//     fixed per-client order, so the streams advance identically
+//     regardless of how iterations are scheduled.
+//   - tensor kernels are stateless; sparse.TopKInto touches only the
+//     caller-owned scratch (one scratch per client); sparse.Quantize
+//     clones.
+//   - dataset.BatchInto fills caller-owned buffers with read-only views of
+//     the client's samples.
 //   - The engine rng (stochastic k rounding, participant selection,
 //     mandated indices), the gs.Strategy aggregation, and the controller
-//     run only on the coordinating goroutine, between the fan-outs.
+//     run only on the coordinating goroutine, between the fan-outs. The
+//     round arena's epoch-stamped slabs (inJ membership, participant
+//     positions) are likewise stamped by the coordinator and only read
+//     inside the fan-outs.
 //
 // Determinism then reduces to the merge: workers write every result into
 // a slot indexed by participant (or client) position, and the coordinator
 // reduces the slots in index order, so each float64 summation performs
 // the exact same operations in the exact same order as the sequential
-// legacy path.
+// legacy path. The server-side weighted reductions (FedAvg's weight
+// average, the gs sparse aggregation) fan out over coordinate chunks
+// instead: each coordinate's addition chain still runs in ascending client
+// order inside exactly one chunk, so those results are bit-identical to
+// the sequential reduction too (see reduceWeighted and gs.AggScratch).
 
 // poolSize returns how many goroutines parallelFor(workers, n, ·) uses:
 // min(workers, n), and at least 1 (workers <= 1 means sequential).
-func poolSize(workers, n int) int {
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+func poolSize(workers, n int) int { return par.PoolSize(workers, n) }
 
-// parallelFor runs fn(i, worker) for every i in [0, n). With workers <= 1
-// every call runs inline in index order — the sequential legacy path.
-// Otherwise poolSize(workers, n) goroutines claim iterations dynamically
-// (scheduling order is nondeterministic), so callers must write results
-// into slots indexed by i and reduce in fixed order afterwards; worker is
-// the stable pool index in [0, poolSize) for per-worker scratch. A panic
-// in any iteration is re-raised on the calling goroutine, matching the
-// sequential path's failure mode.
-func parallelFor(workers, n int, fn func(i, worker int)) {
-	workers = poolSize(workers, n)
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i, 0)
-		}
-		return
-	}
-	var (
-		next     int64
-		wg       sync.WaitGroup
-		panicMu  sync.Mutex
-		panicVal any
-		aborted  atomic.Bool
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					// Keep the original panic value so callers can match
-					// it exactly as on the sequential path (the rethrow
-					// trades the worker's stack for the coordinator's).
-					panicMu.Lock()
-					if panicVal == nil {
-						panicVal = r
-					}
-					panicMu.Unlock()
-					aborted.Store(true)
-				}
-			}()
-			for !aborted.Load() {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i, worker)
-			}
-		}(w)
-	}
-	wg.Wait()
-	if panicVal != nil {
-		panic(panicVal)
-	}
-}
+// parallelFor runs fn(i, worker) for every i in [0, n); see par.For for
+// the scheduling and determinism contract.
+func parallelFor(workers, n int, fn func(i, worker int)) { par.For(workers, n, fn) }

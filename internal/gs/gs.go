@@ -12,10 +12,16 @@
 // selection: the index set J and aggregated values
 //
 //	b_j = (1/C) Σ_i C_i·a_ij·1[j ∈ J_i]   (Algorithm 1, line 10).
+//
+// Every built-in strategy offers two aggregation entry points with
+// bit-identical results: Aggregate (the Strategy interface — the map-based
+// path in reference.go, allocating O(uploaded pairs) per call) and
+// AggregateInto (the ScratchAggregator interface: allocation-free with a
+// warm caller-owned AggScratch, one-pass main + probe aggregation, and a
+// deterministic parallel reduction — see scratch.go).
 package gs
 
 import (
-	"math"
 	"math/rand"
 	"sort"
 
@@ -68,37 +74,6 @@ func totalWeight(uploads []ClientUpload) float64 {
 	return c
 }
 
-// aggregateOver computes b_j for every j in the index set `in`, using only
-// clients whose upload contains j, and fills PerClientUsed.
-func aggregateOver(uploads []ClientUpload, in map[int]bool) Aggregate {
-	c := totalWeight(uploads)
-	sums := make(map[int]float64, len(in))
-	used := make([]int, len(uploads))
-	for ci, u := range uploads {
-		w := u.Weight / c
-		for pi, j := range u.Pairs.Idx {
-			if !in[j] {
-				continue
-			}
-			sums[j] += w * u.Pairs.Val[pi]
-			used[ci]++
-		}
-	}
-	agg := Aggregate{
-		Indices:       make([]int, 0, len(in)),
-		PerClientUsed: used,
-	}
-	for j := range in {
-		agg.Indices = append(agg.Indices, j)
-	}
-	sort.Ints(agg.Indices)
-	agg.Values = make([]float64, len(agg.Indices))
-	for i, j := range agg.Indices {
-		agg.Values[i] = sums[j]
-	}
-	return agg
-}
-
 // FABTopK is the paper's fairness-aware bidirectional top-k strategy. The
 // downlink carries exactly min(k, distinct-uploaded) elements chosen so
 // that every client contributes at least ⌊k/N⌋ of them: a rank cutoff κ is
@@ -112,6 +87,7 @@ type FABTopK struct {
 }
 
 var _ Strategy = (*FABTopK)(nil)
+var _ ScratchAggregator = (*FABTopK)(nil)
 
 func (s *FABTopK) Name() string {
 	if s.LinearScan {
@@ -124,108 +100,7 @@ func (s *FABTopK) MandatedIndices(_, _, _ int, _ *rand.Rand) []int { return nil 
 func (s *FABTopK) Dense() bool                                     { return false }
 
 func (s *FABTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
-	var kappa int
-	if s.LinearScan {
-		kappa = selectKappaLinear(uploads, k)
-	} else {
-		kappa = selectKappaBinary(uploads, k)
-	}
-	in := unionUpTo(uploads, kappa)
-
-	// Fill to k with the largest-|value| rank-(κ+1) candidates not already
-	// selected (paper: elements of (∪J^{κ+1}) \ (∪J^κ)).
-	if len(in) < k {
-		type cand struct {
-			idx    int
-			absVal float64
-			client int
-		}
-		var cands []cand
-		for ci, u := range uploads {
-			if kappa < u.Pairs.Len() {
-				j := u.Pairs.Idx[kappa]
-				if !in[j] {
-					cands = append(cands, cand{j, math.Abs(u.Pairs.Val[kappa]), ci})
-				}
-			}
-		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].absVal != cands[b].absVal {
-				return cands[a].absVal > cands[b].absVal
-			}
-			if cands[a].idx != cands[b].idx {
-				return cands[a].idx < cands[b].idx
-			}
-			return cands[a].client < cands[b].client
-		})
-		for _, cd := range cands {
-			if len(in) >= k {
-				break
-			}
-			in[cd.idx] = true // duplicates collapse naturally
-		}
-	}
-	return aggregateOver(uploads, in)
-}
-
-// unionUpTo returns ∪_i J_i^κ: the union of every client's top-κ indices.
-func unionUpTo(uploads []ClientUpload, kappa int) map[int]bool {
-	in := make(map[int]bool, kappa*len(uploads))
-	for _, u := range uploads {
-		n := kappa
-		if n > u.Pairs.Len() {
-			n = u.Pairs.Len()
-		}
-		for _, j := range u.Pairs.Idx[:n] {
-			in[j] = true
-		}
-	}
-	return in
-}
-
-// selectKappaBinary finds the largest κ with |∪_i J_i^κ| ≤ k by binary
-// search, the paper's O(N·D·logD) procedure.
-func selectKappaBinary(uploads []ClientUpload, k int) int {
-	maxLen := 0
-	for _, u := range uploads {
-		if u.Pairs.Len() > maxLen {
-			maxLen = u.Pairs.Len()
-		}
-	}
-	lo, hi := 0, maxLen
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if len(unionUpTo(uploads, mid)) <= k {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
-}
-
-// selectKappaLinear finds the same κ by growing the union one rank at a
-// time (O(N·D) total work; ablation counterpart to the binary search).
-func selectKappaLinear(uploads []ClientUpload, k int) int {
-	maxLen := 0
-	for _, u := range uploads {
-		if u.Pairs.Len() > maxLen {
-			maxLen = u.Pairs.Len()
-		}
-	}
-	in := make(map[int]bool)
-	for kappa := 1; kappa <= maxLen; kappa++ {
-		// Grow the union with every client's rank-κ element (0-based κ−1).
-		for _, u := range uploads {
-			if kappa <= u.Pairs.Len() {
-				in[u.Pairs.Idx[kappa-1]] = true
-			}
-		}
-		if len(in) > k {
-			return kappa - 1
-		}
-	}
-	return maxLen
+	return referenceAggregate(s, uploads, k)
 }
 
 // FUBTopK is the fairness-unaware bidirectional top-k of [28]/[31]: the
@@ -235,42 +110,14 @@ func selectKappaLinear(uploads []ClientUpload, k int) int {
 type FUBTopK struct{}
 
 var _ Strategy = (*FUBTopK)(nil)
+var _ ScratchAggregator = (*FUBTopK)(nil)
 
 func (FUBTopK) Name() string                                    { return "fub-top-k" }
 func (FUBTopK) MandatedIndices(_, _, _ int, _ *rand.Rand) []int { return nil }
 func (FUBTopK) Dense() bool                                     { return false }
 
-func (FUBTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
-	c := totalWeight(uploads)
-	sums := make(map[int]float64)
-	for _, u := range uploads {
-		w := u.Weight / c
-		for pi, j := range u.Pairs.Idx {
-			sums[j] += w * u.Pairs.Val[pi]
-		}
-	}
-	type entry struct {
-		idx int
-		abs float64
-	}
-	entries := make([]entry, 0, len(sums))
-	for j, v := range sums {
-		entries = append(entries, entry{j, math.Abs(v)})
-	}
-	sort.Slice(entries, func(a, b int) bool {
-		if entries[a].abs != entries[b].abs {
-			return entries[a].abs > entries[b].abs
-		}
-		return entries[a].idx < entries[b].idx
-	})
-	if k > len(entries) {
-		k = len(entries)
-	}
-	in := make(map[int]bool, k)
-	for _, e := range entries[:k] {
-		in[e.idx] = true
-	}
-	return aggregateOver(uploads, in)
+func (s FUBTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
+	return referenceAggregate(s, uploads, k)
 }
 
 // UniTopK is unidirectional top-k [22]: every uploaded index is aggregated
@@ -278,19 +125,14 @@ func (FUBTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
 type UniTopK struct{}
 
 var _ Strategy = (*UniTopK)(nil)
+var _ ScratchAggregator = (*UniTopK)(nil)
 
 func (UniTopK) Name() string                                    { return "uni-top-k" }
 func (UniTopK) MandatedIndices(_, _, _ int, _ *rand.Rand) []int { return nil }
 func (UniTopK) Dense() bool                                     { return false }
 
-func (UniTopK) Aggregate(uploads []ClientUpload, _ int) Aggregate {
-	in := make(map[int]bool)
-	for _, u := range uploads {
-		for _, j := range u.Pairs.Idx {
-			in[j] = true
-		}
-	}
-	return aggregateOver(uploads, in)
+func (s UniTopK) Aggregate(uploads []ClientUpload, k int) Aggregate {
+	return referenceAggregate(s, uploads, k)
 }
 
 // PeriodicK is random sparsification [8]/[30]: the server draws k random
@@ -299,6 +141,7 @@ func (UniTopK) Aggregate(uploads []ClientUpload, _ int) Aggregate {
 type PeriodicK struct{}
 
 var _ Strategy = (*PeriodicK)(nil)
+var _ ScratchAggregator = (*PeriodicK)(nil)
 
 func (PeriodicK) Name() string { return "periodic-k" }
 func (PeriodicK) Dense() bool  { return false }
@@ -327,14 +170,8 @@ func (PeriodicK) MandatedIndices(_, d, k int, rng *rand.Rand) []int {
 	return out
 }
 
-func (PeriodicK) Aggregate(uploads []ClientUpload, _ int) Aggregate {
-	in := make(map[int]bool)
-	for _, u := range uploads {
-		for _, j := range u.Pairs.Idx {
-			in[j] = true
-		}
-	}
-	return aggregateOver(uploads, in)
+func (s PeriodicK) Aggregate(uploads []ClientUpload, k int) Aggregate {
+	return referenceAggregate(s, uploads, k)
 }
 
 // SendAll transmits the full accumulated gradient every round — the
@@ -342,20 +179,15 @@ func (PeriodicK) Aggregate(uploads []ClientUpload, _ int) Aggregate {
 type SendAll struct{}
 
 var _ Strategy = (*SendAll)(nil)
+var _ ScratchAggregator = (*SendAll)(nil)
 
 func (SendAll) Name() string { return "send-all" }
 func (SendAll) Dense() bool  { return true }
 
 func (SendAll) MandatedIndices(_, d, _ int, _ *rand.Rand) []int { return allIndices(d) }
 
-func (SendAll) Aggregate(uploads []ClientUpload, _ int) Aggregate {
-	in := make(map[int]bool)
-	for _, u := range uploads {
-		for _, j := range u.Pairs.Idx {
-			in[j] = true
-		}
-	}
-	return aggregateOver(uploads, in)
+func (s SendAll) Aggregate(uploads []ClientUpload, k int) Aggregate {
+	return referenceAggregate(s, uploads, k)
 }
 
 func allIndices(d int) []int {

@@ -1,0 +1,684 @@
+package gs
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"fedsparse/internal/par"
+	"fedsparse/internal/tensor"
+)
+
+// This file is the production aggregation path: epoch-stamped dense
+// scratch arrays instead of the map-based reference in reference.go. An
+// AggScratch owns every buffer a round of server-side selection needs, so
+// a warm scratch aggregates with zero allocations; the engine keeps one
+// per run and calls AggregateInto once per round, computing the k-element
+// aggregate and the k′-probe aggregate in a single pass over the uploads.
+//
+// Determinism contract: for every strategy, every (k, probeK), and every
+// worker count, AggregateInto returns results bit-identical to the
+// reference Aggregate — same indices, same float64 values, same fairness
+// counts. Selection is integer work with strict total tie-breaks, so it is
+// trivially deterministic; the floating-point sums are deterministic
+// because each coordinate's additions always run in ascending client
+// order. The parallel path partitions the *coordinates* across workers
+// (never the clients), so parallelism changes which goroutine computes a
+// chain, never the chain itself. The differential suite pins all of this.
+
+// parallelAggMinPairs gates the parallel reduction: below this many
+// uploaded pairs the fan-out overhead exceeds the aggregation itself and
+// the sequential path is used. Results are identical either way.
+const parallelAggMinPairs = 4096
+
+// AggScratch holds the reusable state of the scratch-based aggregation
+// paths. The zero value is NOT ready to use; call NewAggScratch. A scratch
+// may be reused across rounds and runs of any strategies and dimensions —
+// buffers grow to the largest dimension seen — but is single-goroutine
+// state (the parallel reduction inside AggregateInto manages its own
+// workers). Aggregates returned by AggregateInto alias the scratch's
+// output buffers and stay valid only until its next call.
+type AggScratch struct {
+	workers int
+
+	// reserved means Reserve fixed the slab dimension: skip the per-call
+	// maxDim scan and trust coordinates to be in range.
+	reserved bool
+
+	// Epoch-stamped membership slabs over the coordinate space: mark*[j]
+	// == gen* means coordinate j is in the corresponding set for the
+	// current call. Bumping a generation empties its set in O(1). markTmp
+	// backs transient sets (κ-search unions, FUB's seen-set).
+	markMain  []int32
+	markProbe []int32
+	markTmp   []int32
+	genMain   int32
+	genProbe  int32
+	genTmp    int32
+
+	// sums[j] accumulates b_j for the current call's main ∪ probe members;
+	// only member coordinates are zeroed and read, never the whole array.
+	sums []float64
+
+	membersMain  []int
+	membersProbe []int
+	allUploaded  []int // FUB ranking: every uploaded index, insertion order
+	entries      []fubEntry
+	cands        []fabCand
+	unionBuf     []int // parallel path: merged main ∪ probe members
+
+	// Output buffers: one set per selection so the main and probe
+	// aggregates stay valid together.
+	outIdxMain   []int
+	outValMain   []float64
+	outUsedMain  []int
+	outIdxProbe  []int
+	outValProbe  []float64
+	outUsedProbe []int
+
+	// Parallel reduction: index-sorted copies of the uploads in CSR layout
+	// (client ci owns csrIdx/csrVal[csrOff[ci]:csrOff[ci+1]]).
+	csrOff []int
+	csrIdx []int
+	csrVal []float64
+}
+
+// fubEntry is one aggregated coordinate in FUB's |b_j| ranking.
+type fubEntry struct {
+	idx int
+	abs float64
+}
+
+// fabCand is one rank-(κ+1) fill candidate in FAB's selection.
+type fabCand struct {
+	idx    int
+	absVal float64
+	client int
+}
+
+// NewAggScratch returns an empty scratch whose parallel reduction uses up
+// to `workers` goroutines (<= 1 keeps every aggregation sequential).
+func NewAggScratch(workers int) *AggScratch {
+	return &AggScratch{workers: workers}
+}
+
+// ScratchAggregator is implemented by every built-in strategy: the
+// allocation-free aggregation path computing the main k-element selection
+// and (when probeK > 0) the k′-probe selection in one pass over the
+// uploads. Both returned Aggregates alias the scratch's buffers — valid
+// until its next use. With probeK <= 0 the probe Aggregate is zero.
+//
+// Uploads must not repeat a coordinate within one client's pairs — every
+// real producer (TopK selection, Quantize, the mandated-index strategies)
+// already guarantees this. The parallel reduction's index sort relies on
+// it: with a duplicated coordinate the within-client addition order would
+// become unspecified, and the bit-identical-at-any-worker-count contract
+// would not hold for that degenerate input.
+type ScratchAggregator interface {
+	AggregateInto(s *AggScratch, uploads []ClientUpload, k, probeK int) (main, probe Aggregate)
+}
+
+// Reserve pre-sizes the coordinate-indexed slabs for dimension-dim models
+// and promises every subsequently uploaded coordinate is < dim, letting
+// AggregateInto skip its per-call scan for the largest uploaded coordinate
+// (an O(total pairs) pass that is pure overhead when the caller already
+// knows D, as the round engines do). Violating the promise panics with an
+// index error. Un-reserved scratches keep sizing themselves per call.
+func (s *AggScratch) Reserve(dim int) {
+	s.ensureDim(dim)
+	s.reserved = true
+}
+
+// prepare sizes the slabs for this call's uploads unless Reserve already
+// fixed the dimension.
+func (s *AggScratch) prepare(uploads []ClientUpload) {
+	if !s.reserved {
+		s.ensureDim(maxDim(uploads))
+	}
+}
+
+// ensureDim grows the coordinate-indexed slabs to at least dim.
+func (s *AggScratch) ensureDim(dim int) {
+	if len(s.markMain) >= dim {
+		return
+	}
+	grow := func(m []int32) []int32 {
+		n := make([]int32, dim)
+		copy(n, m)
+		return n
+	}
+	s.markMain = grow(s.markMain)
+	s.markProbe = grow(s.markProbe)
+	s.markTmp = grow(s.markTmp)
+	sums := make([]float64, dim)
+	copy(sums, s.sums)
+	s.sums = sums
+}
+
+// maxDim returns 1 + the largest uploaded coordinate (0 when empty).
+func maxDim(uploads []ClientUpload) int {
+	d := 0
+	for _, u := range uploads {
+		for _, j := range u.Pairs.Idx {
+			if j >= d {
+				d = j + 1
+			}
+		}
+	}
+	return d
+}
+
+func totalPairs(uploads []ClientUpload) int {
+	n := 0
+	for _, u := range uploads {
+		n += u.Pairs.Len()
+	}
+	return n
+}
+
+// countUnionUpTo returns |∪_i J_i^κ| using the transient slab.
+func (s *AggScratch) countUnionUpTo(uploads []ClientUpload, kappa int) int {
+	gen := par.BumpEpoch(&s.genTmp, s.markTmp)
+	count := 0
+	for _, u := range uploads {
+		n := min(kappa, u.Pairs.Len())
+		for _, j := range u.Pairs.Idx[:n] {
+			if s.markTmp[j] != gen {
+				s.markTmp[j] = gen
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// kappaBinary is selectKappaBinary on the scratch slabs.
+func (s *AggScratch) kappaBinary(uploads []ClientUpload, k int) int {
+	maxLen := 0
+	for _, u := range uploads {
+		maxLen = max(maxLen, u.Pairs.Len())
+	}
+	lo, hi := 0, maxLen
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if s.countUnionUpTo(uploads, mid) <= k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// kappaLinear is selectKappaLinear on the scratch slabs: one transient
+// generation, growing the union a rank at a time.
+func (s *AggScratch) kappaLinear(uploads []ClientUpload, k int) int {
+	maxLen := 0
+	for _, u := range uploads {
+		maxLen = max(maxLen, u.Pairs.Len())
+	}
+	gen := par.BumpEpoch(&s.genTmp, s.markTmp)
+	count := 0
+	for kappa := 1; kappa <= maxLen; kappa++ {
+		for _, u := range uploads {
+			if kappa <= u.Pairs.Len() {
+				if j := u.Pairs.Idx[kappa-1]; s.markTmp[j] != gen {
+					s.markTmp[j] = gen
+					count++
+				}
+			}
+		}
+		if count > k {
+			return kappa - 1
+		}
+	}
+	return maxLen
+}
+
+// fabSelect runs FAB's selection (κ search, union, rank-(κ+1) fill) into
+// the given membership slab, returning the appended member list. The
+// candidate ordering replicates the reference comparator exactly, so the
+// selected set — and the order duplicates collapse in — is identical.
+func (s *AggScratch) fabSelect(uploads []ClientUpload, k int, linear bool,
+	mark []int32, gen int32, members []int) []int {
+
+	var kappa int
+	if linear {
+		kappa = s.kappaLinear(uploads, k)
+	} else {
+		kappa = s.kappaBinary(uploads, k)
+	}
+	for _, u := range uploads {
+		n := min(kappa, u.Pairs.Len())
+		for _, j := range u.Pairs.Idx[:n] {
+			if mark[j] != gen {
+				mark[j] = gen
+				members = append(members, j)
+			}
+		}
+	}
+	if len(members) < k {
+		s.cands = s.cands[:0]
+		for ci, u := range uploads {
+			if kappa < u.Pairs.Len() {
+				j := u.Pairs.Idx[kappa]
+				if mark[j] != gen {
+					s.cands = append(s.cands, fabCand{j, math.Abs(u.Pairs.Val[kappa]), ci})
+				}
+			}
+		}
+		slices.SortFunc(s.cands, func(a, b fabCand) int {
+			switch {
+			case a.absVal != b.absVal:
+				if a.absVal > b.absVal {
+					return -1
+				}
+				return 1
+			case a.idx != b.idx:
+				return a.idx - b.idx
+			default:
+				return a.client - b.client
+			}
+		})
+		for _, cd := range s.cands {
+			if len(members) >= k {
+				break
+			}
+			if mark[cd.idx] != gen {
+				mark[cd.idx] = gen
+				members = append(members, cd.idx)
+			}
+		}
+	}
+	return members
+}
+
+// fubRank computes b_j over every uploaded coordinate and sorts the
+// (coordinate, |b_j|) entries by the reference comparator. Because the
+// comparator is a strict total order, sorting the insertion-ordered list
+// here and the map-ordered list in the reference yields the same sequence;
+// and because a probe selection is just a shorter prefix of this ranking,
+// main and probe share one ranking pass.
+func (s *AggScratch) fubRank(uploads []ClientUpload) {
+	gen := par.BumpEpoch(&s.genTmp, s.markTmp)
+	s.allUploaded = s.allUploaded[:0]
+	c := totalWeight(uploads)
+	for _, u := range uploads {
+		w := u.Weight / c
+		for pi, j := range u.Pairs.Idx {
+			if s.markTmp[j] != gen {
+				s.markTmp[j] = gen
+				s.sums[j] = 0
+				s.allUploaded = append(s.allUploaded, j)
+			}
+			s.sums[j] += w * u.Pairs.Val[pi]
+		}
+	}
+	s.entries = s.entries[:0]
+	for _, j := range s.allUploaded {
+		s.entries = append(s.entries, fubEntry{j, math.Abs(s.sums[j])})
+	}
+	slices.SortFunc(s.entries, func(a, b fubEntry) int {
+		switch {
+		case a.abs != b.abs:
+			if a.abs > b.abs {
+				return -1
+			}
+			return 1
+		default:
+			return a.idx - b.idx
+		}
+	})
+}
+
+// beginMain / beginProbe start fresh selections for the current call.
+func (s *AggScratch) beginMain() {
+	par.BumpEpoch(&s.genMain, s.markMain)
+	s.membersMain = s.membersMain[:0]
+}
+
+func (s *AggScratch) beginProbe() {
+	par.BumpEpoch(&s.genProbe, s.markProbe)
+	s.membersProbe = s.membersProbe[:0]
+}
+
+func (s *AggScratch) addMain(j int) {
+	if s.markMain[j] != s.genMain {
+		s.markMain[j] = s.genMain
+		s.membersMain = append(s.membersMain, j)
+	}
+}
+
+func (s *AggScratch) addProbe(j int) {
+	if s.markProbe[j] != s.genProbe {
+		s.markProbe[j] = s.genProbe
+		s.membersProbe = append(s.membersProbe, j)
+	}
+}
+
+// unionSelect marks every uploaded coordinate as a main member (the
+// selection of the unidirectional, periodic, and send-all strategies).
+func (s *AggScratch) unionSelect(uploads []ClientUpload) {
+	s.beginMain()
+	for _, u := range uploads {
+		for _, j := range u.Pairs.Idx {
+			s.addMain(j)
+		}
+	}
+}
+
+// finish turns the marked selections into sorted, value-filled Aggregates:
+// sort members, zero their sums, run the single weighted accumulation pass
+// (sequential or coordinate-parallel), and fill the output buffers.
+// sumsValid says s.sums[j] already holds the exact b_j for every member
+// (FUB's ranking pass computes it with the identical ascending-client
+// chain), so only the integer fairness counts remain to be tallied.
+func (s *AggScratch) finish(uploads []ClientUpload, hasProbe, sumsValid bool) (Aggregate, Aggregate) {
+	slices.Sort(s.membersMain)
+	if hasProbe {
+		slices.Sort(s.membersProbe)
+	}
+	nUp := len(uploads)
+	s.outUsedMain = resetInts(s.outUsedMain, nUp)
+	if hasProbe {
+		s.outUsedProbe = resetInts(s.outUsedProbe, nUp)
+	}
+
+	if sumsValid {
+		s.countUsed(uploads, hasProbe)
+	} else {
+		for _, j := range s.membersMain {
+			s.sums[j] = 0
+		}
+		if hasProbe {
+			for _, j := range s.membersProbe {
+				s.sums[j] = 0
+			}
+		}
+		if s.workers > 1 && totalPairs(uploads) >= parallelAggMinPairs {
+			s.accumulateParallel(uploads, hasProbe)
+		} else {
+			s.accumulateSequential(uploads, hasProbe)
+		}
+	}
+
+	s.outIdxMain = growInts(s.outIdxMain, len(s.membersMain))
+	s.outValMain = growFloats(s.outValMain, len(s.membersMain))
+	copy(s.outIdxMain, s.membersMain)
+	for i, j := range s.membersMain {
+		s.outValMain[i] = s.sums[j]
+	}
+	main := Aggregate{Indices: s.outIdxMain, Values: s.outValMain, PerClientUsed: s.outUsedMain}
+
+	var probe Aggregate
+	if hasProbe {
+		s.outIdxProbe = growInts(s.outIdxProbe, len(s.membersProbe))
+		s.outValProbe = growFloats(s.outValProbe, len(s.membersProbe))
+		copy(s.outIdxProbe, s.membersProbe)
+		for i, j := range s.membersProbe {
+			s.outValProbe[i] = s.sums[j]
+		}
+		probe = Aggregate{Indices: s.outIdxProbe, Values: s.outValProbe, PerClientUsed: s.outUsedProbe}
+	}
+	return main, probe
+}
+
+// accumulateSequential is the single-goroutine accumulation: clients in
+// ascending order, pairs in upload order — the exact operation sequence of
+// the reference path, shared between the main and probe selections.
+func (s *AggScratch) accumulateSequential(uploads []ClientUpload, hasProbe bool) {
+	c := totalWeight(uploads)
+	for ci, u := range uploads {
+		w := u.Weight / c
+		for pi, j := range u.Pairs.Idx {
+			inMain := s.markMain[j] == s.genMain
+			inProbe := hasProbe && s.markProbe[j] == s.genProbe
+			if inMain || inProbe {
+				s.sums[j] += w * u.Pairs.Val[pi]
+			}
+			if inMain {
+				s.outUsedMain[ci]++
+			}
+			if inProbe {
+				s.outUsedProbe[ci]++
+			}
+		}
+	}
+}
+
+// accumulateParallel fans the weighted reduction out over the worker pool
+// while staying bit-identical to accumulateSequential. The member
+// coordinates are partitioned into contiguous chunks (the leaves of the
+// reduction tree); each chunk accumulates its coordinates over all clients
+// in ascending order, walking an index-sorted CSR copy of the uploads so a
+// worker only visits pairs inside its chunk's coordinate range. Combining
+// chunks needs no floating-point merge at all — chunks write disjoint
+// coordinates — so every b_j is produced by the same ascending-client
+// addition chain as the sequential path, just on a different goroutine.
+func (s *AggScratch) accumulateParallel(uploads []ClientUpload, hasProbe bool) {
+	nUp := len(uploads)
+
+	// Index-sorted CSR copy of the uploads, built client-parallel (each
+	// client owns a disjoint segment).
+	s.csrOff = growInts(s.csrOff, nUp+1)
+	off := 0
+	for ci, u := range uploads {
+		s.csrOff[ci] = off
+		off += u.Pairs.Len()
+	}
+	s.csrOff[nUp] = off
+	s.csrIdx = growInts(s.csrIdx, off)
+	s.csrVal = growFloats(s.csrVal, off)
+	par.For(s.workers, nUp, func(ci, _ int) {
+		lo, hi := s.csrOff[ci], s.csrOff[ci+1]
+		copy(s.csrIdx[lo:hi], uploads[ci].Pairs.Idx)
+		copy(s.csrVal[lo:hi], uploads[ci].Pairs.Val)
+		sortPairsByIdx(s.csrIdx[lo:hi], s.csrVal[lo:hi])
+	})
+
+	// The coordinates needing sums: main ∪ probe members, ascending.
+	union := s.membersMain
+	if hasProbe {
+		s.unionBuf = mergeSortedDedup(s.unionBuf[:0], s.membersMain, s.membersProbe)
+		union = s.unionBuf
+	}
+
+	nChunks := par.Chunks(s.workers, len(union))
+	c := totalWeight(uploads)
+	par.For(s.workers, nChunks, func(chunk, _ int) {
+		lo, hi := tensor.ChunkBounds(len(union), nChunks, chunk)
+		if lo >= hi {
+			return
+		}
+		jlo, jhi := union[lo], union[hi-1]
+		for ci := 0; ci < nUp; ci++ {
+			w := uploads[ci].Weight / c
+			a, b := s.csrOff[ci], s.csrOff[ci+1]
+			seg := s.csrIdx[a:b]
+			for p := a + sort.SearchInts(seg, jlo); p < b && s.csrIdx[p] <= jhi; p++ {
+				j := s.csrIdx[p]
+				if s.markMain[j] == s.genMain || (hasProbe && s.markProbe[j] == s.genProbe) {
+					s.sums[j] += w * s.csrVal[p]
+				}
+			}
+		}
+	})
+
+	s.countUsed(uploads, hasProbe)
+}
+
+// countUsed tallies the fairness counts — how many of each client's
+// uploaded pairs landed in the main/probe selections. Pure integer work
+// into one disjoint slot per client, so the fan-out order is invisible.
+// The sequential path loops inline (a par.For closure would cost the
+// warm-scratch aggregation its zero-alloc guarantee), and the fan-out is
+// gated on the same pair count as the accumulation so tiny uploads never
+// pay goroutine overhead for integer tallies.
+func (s *AggScratch) countUsed(uploads []ClientUpload, hasProbe bool) {
+	if s.workers > 1 && totalPairs(uploads) >= parallelAggMinPairs {
+		par.For(s.workers, len(uploads), func(ci, _ int) {
+			s.countUsedClient(uploads, ci, hasProbe)
+		})
+		return
+	}
+	for ci := range uploads {
+		s.countUsedClient(uploads, ci, hasProbe)
+	}
+}
+
+func (s *AggScratch) countUsedClient(uploads []ClientUpload, ci int, hasProbe bool) {
+	countM, countP := 0, 0
+	for _, j := range uploads[ci].Pairs.Idx {
+		if s.markMain[j] == s.genMain {
+			countM++
+		}
+		if hasProbe && s.markProbe[j] == s.genProbe {
+			countP++
+		}
+	}
+	s.outUsedMain[ci] = countM
+	if hasProbe {
+		s.outUsedProbe[ci] = countP
+	}
+}
+
+// AggregateInto implementations — see ScratchAggregator.
+
+func (s *FABTopK) AggregateInto(a *AggScratch, uploads []ClientUpload, k, probeK int) (Aggregate, Aggregate) {
+	a.prepare(uploads)
+	a.beginMain()
+	a.membersMain = a.fabSelect(uploads, k, s.LinearScan, a.markMain, a.genMain, a.membersMain)
+	hasProbe := probeK > 0
+	if hasProbe {
+		a.beginProbe()
+		a.membersProbe = a.fabSelect(uploads, probeK, s.LinearScan, a.markProbe, a.genProbe, a.membersProbe)
+	}
+	return a.finish(uploads, hasProbe, false)
+}
+
+func (FUBTopK) AggregateInto(a *AggScratch, uploads []ClientUpload, k, probeK int) (Aggregate, Aggregate) {
+	a.prepare(uploads)
+	a.fubRank(uploads)
+	a.beginMain()
+	for _, e := range a.entries[:min(k, len(a.entries))] {
+		a.addMain(e.idx)
+	}
+	hasProbe := probeK > 0
+	if hasProbe {
+		a.beginProbe()
+		for _, e := range a.entries[:min(probeK, len(a.entries))] {
+			a.addProbe(e.idx)
+		}
+	}
+	// fubRank already left the exact b_j of every uploaded coordinate in
+	// a.sums (same ascending-client addition chain the accumulation pass
+	// would run), so only the fairness counts remain.
+	return a.finish(uploads, hasProbe, true)
+}
+
+// unionAggregateInto is shared by the strategies whose selection is the
+// whole upload union (k is ignored): the probe selection is then identical
+// to the main one, so its members are copied rather than re-derived.
+func unionAggregateInto(a *AggScratch, uploads []ClientUpload, probeK int) (Aggregate, Aggregate) {
+	a.prepare(uploads)
+	a.unionSelect(uploads)
+	hasProbe := probeK > 0
+	if hasProbe {
+		a.beginProbe()
+		for _, j := range a.membersMain {
+			a.addProbe(j)
+		}
+	}
+	return a.finish(uploads, hasProbe, false)
+}
+
+func (UniTopK) AggregateInto(a *AggScratch, uploads []ClientUpload, _, probeK int) (Aggregate, Aggregate) {
+	return unionAggregateInto(a, uploads, probeK)
+}
+
+func (PeriodicK) AggregateInto(a *AggScratch, uploads []ClientUpload, _, probeK int) (Aggregate, Aggregate) {
+	return unionAggregateInto(a, uploads, probeK)
+}
+
+func (SendAll) AggregateInto(a *AggScratch, uploads []ClientUpload, _, probeK int) (Aggregate, Aggregate) {
+	return unionAggregateInto(a, uploads, probeK)
+}
+
+// sortPairsByIdx heapsorts the parallel (idx, val) slices by ascending
+// index. Coordinates within one upload are distinct, so the order is
+// unique and the algorithm choice invisible; heapsort keeps it
+// allocation-free.
+func sortPairsByIdx(idx []int, val []float64) {
+	n := len(idx)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownPair(idx, val, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		idx[0], idx[end] = idx[end], idx[0]
+		val[0], val[end] = val[end], val[0]
+		siftDownPair(idx, val, 0, end)
+	}
+}
+
+func siftDownPair(idx []int, val []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && idx[child] < idx[child+1] {
+			child++
+		}
+		if idx[root] >= idx[child] {
+			return
+		}
+		idx[root], idx[child] = idx[child], idx[root]
+		val[root], val[child] = val[child], val[root]
+		root = child
+	}
+}
+
+// mergeSortedDedup appends the sorted-set union of a and b onto dst.
+func mergeSortedDedup(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
+// growInts returns s resized to n without zeroing (contents unspecified).
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// resetInts returns s resized to n with every element zeroed.
+func resetInts(s []int, n int) []int {
+	s = growInts(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

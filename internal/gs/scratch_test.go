@@ -1,0 +1,180 @@
+package gs
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsparse/internal/sparse"
+)
+
+// scratchStrategies is every built-in strategy through its scratch path.
+func scratchStrategies() []Strategy {
+	return []Strategy{
+		&FABTopK{}, &FABTopK{LinearScan: true}, FUBTopK{}, UniTopK{}, PeriodicK{}, SendAll{},
+	}
+}
+
+// tieUploads fabricates uploads with values from a tiny alphabet, so the
+// selections are decided almost entirely by tie-breaking.
+func tieUploads(rng *rand.Rand, n, d, k int) []ClientUpload {
+	ups := make([]ClientUpload, n)
+	for i := range ups {
+		dense := make([]float64, d)
+		for j := range dense {
+			dense[j] = float64(rng.Intn(7)-3) * 0.25
+		}
+		ki := k
+		if rng.Intn(3) == 0 {
+			ki = 1 + rng.Intn(k) // stragglers with shorter top-k lists
+		}
+		ups[i] = ClientUpload{Pairs: sparse.TopK(dense, ki), Weight: 1 + rng.Float64()*9}
+	}
+	return ups
+}
+
+// TestScratchDifferentialAllStrategies pins the tentpole guarantee: for
+// every strategy, AggregateInto on a warm reused scratch — main selection
+// and one-pass probe selection alike — is bit-identical to the map-based
+// reference implementation. Sequential and parallel reductions are both
+// covered (the scratch with workers=8 takes the coordinate-parallel path
+// whenever the uploads are large enough).
+func TestScratchDifferentialAllStrategies(t *testing.T) {
+	for _, workers := range []int{0, 8} {
+		scratch := NewAggScratch(workers)
+		rng := rand.New(rand.NewSource(21 + int64(workers)))
+		for trial := 0; trial < 120; trial++ {
+			n := 1 + rng.Intn(10)
+			d := 20 + rng.Intn(300)
+			k := 1 + rng.Intn(60)
+			probeK := rng.Intn(k) // 0 disables the probe
+			ups := randomUploads(rng, n, d, k)
+			for _, s := range scratchStrategies() {
+				main, probe := s.(ScratchAggregator).AggregateInto(scratch, ups, k, probeK)
+				requireSameAggregate(t, trial, referenceAggregate(s, ups, k), main)
+				if probeK > 0 {
+					requireSameAggregate(t, trial, referenceAggregate(s, ups, probeK), probe)
+				} else if probe.Indices != nil || probe.Values != nil || probe.PerClientUsed != nil {
+					t.Fatalf("trial %d: %s: probeK=0 returned non-zero probe", trial, s.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestScratchDifferentialTieHeavy repeats the cross-check on quantized
+// values so the κ fill and the FUB ranking must break exact-|value| ties
+// identically to the reference comparators.
+func TestScratchDifferentialTieHeavy(t *testing.T) {
+	scratch := NewAggScratch(0)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(8)
+		d := 30 + rng.Intn(120)
+		k := 1 + rng.Intn(40)
+		probeK := rng.Intn(k)
+		ups := tieUploads(rng, n, d, k)
+		for _, s := range scratchStrategies() {
+			main, probe := s.(ScratchAggregator).AggregateInto(scratch, ups, k, probeK)
+			requireSameAggregate(t, trial, referenceAggregate(s, ups, k), main)
+			if probeK > 0 {
+				requireSameAggregate(t, trial, referenceAggregate(s, ups, probeK), probe)
+			}
+		}
+	}
+}
+
+// TestScratchDifferentialParallelLarge forces the coordinate-parallel
+// reduction (uploads above the pair threshold) and checks it against both
+// the reference and the sequential scratch path.
+func TestScratchDifferentialParallelLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n, d, k = 16, 8000, 400 // 6400 pairs > parallelAggMinPairs
+	ups := randomUploads(rng, n, d, k)
+	probeK := k / 3
+	seq := NewAggScratch(0)
+	for _, s := range scratchStrategies() {
+		for _, workers := range []int{2, 4, 8} {
+			par := NewAggScratch(workers)
+			pMain, pProbe := s.(ScratchAggregator).AggregateInto(par, ups, k, probeK)
+			requireSameAggregate(t, workers, referenceAggregate(s, ups, k), pMain)
+			requireSameAggregate(t, workers, referenceAggregate(s, ups, probeK), pProbe)
+			sMain, sProbe := s.(ScratchAggregator).AggregateInto(seq, ups, k, probeK)
+			requireSameAggregate(t, workers, sMain, pMain)
+			requireSameAggregate(t, workers, sProbe, pProbe)
+		}
+	}
+}
+
+// TestScratchDegenerate pins the edge cases the scratch path must agree
+// with the reference on: no uploads, empty pairs, k = 1, k beyond every
+// upload, and a single client.
+func TestScratchDegenerate(t *testing.T) {
+	dense := []float64{3, -2, 1, 0.5, -0.25}
+	cases := []struct {
+		name string
+		ups  []ClientUpload
+		k    int
+	}{
+		{"no uploads", nil, 5},
+		{"empty pairs", []ClientUpload{{Pairs: sparse.Vec{}, Weight: 1}}, 3},
+		{"k=1", []ClientUpload{{Pairs: sparse.TopK(dense, 3), Weight: 1}, {Pairs: sparse.TopK(dense, 3), Weight: 2}}, 1},
+		{"k beyond uploads", []ClientUpload{{Pairs: sparse.TopK(dense, 2), Weight: 1}}, 50},
+		{"single client", []ClientUpload{{Pairs: sparse.TopK(dense, 4), Weight: 3}}, 2},
+	}
+	scratch := NewAggScratch(0)
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, s := range scratchStrategies() {
+				main, _ := s.(ScratchAggregator).AggregateInto(scratch, tc.ups, tc.k, 0)
+				requireSameAggregate(t, i, referenceAggregate(s, tc.ups, tc.k), main)
+			}
+		})
+	}
+}
+
+// TestAggregateAllocsWarmScratch is the allocation-regression gate: with a
+// warm scratch and the sequential reduction, AggregateInto performs zero
+// allocations for every strategy, probe included.
+func TestAggregateAllocsWarmScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	ups := randomUploads(rng, 8, 2000, 120)
+	scratch := NewAggScratch(0)
+	for _, s := range scratchStrategies() {
+		sa := s.(ScratchAggregator)
+		sa.AggregateInto(scratch, ups, 120, 40) // warm the buffers
+		allocs := testing.AllocsPerRun(20, func() {
+			sa.AggregateInto(scratch, ups, 120, 40)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: %v allocs/op on warm scratch, want 0", s.Name(), allocs)
+		}
+	}
+}
+
+// BenchmarkAggregate measures the map-based reference against the
+// scratch-based path (BENCH_fl.json tracks the ratio). The scratch
+// variant also computes the probe aggregate, so the comparison understates
+// its advantage in engine rounds that probe.
+func BenchmarkAggregate(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	const n, d, k = 32, 20000, 500
+	ups := randomUploads(rng, n, d, k)
+	for _, s := range scratchStrategies() {
+		b.Run(s.Name()+"/map", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				referenceAggregate(s, ups, k)
+			}
+		})
+		b.Run(s.Name()+"/scratch", func(b *testing.B) {
+			scratch := NewAggScratch(0)
+			sa := s.(ScratchAggregator)
+			sa.AggregateInto(scratch, ups, k, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sa.AggregateInto(scratch, ups, k, 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package par
+
+import (
+	"math"
+	"testing"
+)
+
+// The pool primitive itself (For, PoolSize) is additionally exercised by
+// internal/fl's parallel_test suite through the engine's wrappers.
+
+func TestPoolSize(t *testing.T) {
+	tests := []struct{ workers, n, want int }{
+		{0, 10, 1}, {1, 10, 1}, {4, 10, 4}, {16, 3, 3}, {4, 0, 1}, {-2, 5, 1},
+	}
+	for _, tt := range tests {
+		if got := PoolSize(tt.workers, tt.n); got != tt.want {
+			t.Fatalf("PoolSize(%d, %d) = %d, want %d", tt.workers, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestChunks(t *testing.T) {
+	tests := []struct{ workers, n, want int }{
+		{0, 100, 1},  // sequential: one chunk
+		{1, 100, 1},  // one worker: one chunk
+		{4, 100, 16}, // 4×oversubscription
+		{4, 6, 6},    // capped at n (PoolSize(4,6)=4, 16 capped to 6)
+		{8, 2, 2},    // pool shrinks to n first
+		{4, 0, 1},    // empty range still yields one (empty) chunk
+	}
+	for _, tt := range tests {
+		if got := Chunks(tt.workers, tt.n); got != tt.want {
+			t.Fatalf("Chunks(%d, %d) = %d, want %d", tt.workers, tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestBumpEpochWrap drives the generation counter across the int32 wrap
+// and checks the slab is cleared so stale stamps cannot alias.
+func TestBumpEpochWrap(t *testing.T) {
+	slab := []int32{math.MaxInt32, 5, 0}
+	gen := int32(math.MaxInt32)
+	got := BumpEpoch(&gen, slab)
+	if got != 1 || gen != 1 {
+		t.Fatalf("post-wrap generation = %d, want 1", got)
+	}
+	for i, v := range slab {
+		if v != 0 {
+			t.Fatalf("slab[%d] = %d after wrap, want 0", i, v)
+		}
+	}
+	if next := BumpEpoch(&gen, slab); next != 2 {
+		t.Fatalf("next generation = %d, want 2", next)
+	}
+}

@@ -67,30 +67,109 @@ func rankLess(dense []float64, i, j int) bool {
 //
 // Selection uses expected-O(D) quickselect followed by an O(k log k) sort
 // of the selected prefix; TopKHeap is the O(D log k) reference
-// implementation the tests cross-check against.
+// implementation the tests cross-check against. TopK is a thin wrapper
+// over TopKInto that allocates fresh storage per call; hot paths should
+// hold a TopKScratch and call TopKInto directly.
 func TopK(dense []float64, k int) Vec {
+	return TopKInto(Vec{}, nil, dense, k)
+}
+
+// TopKScratch is the reusable state of TopKInto: the O(D) index buffer the
+// quickselect partitions, plus the persistent pivot rng. The selection
+// result is a deterministic function of (dense, k) alone — the rng only
+// picks pivots, and the selected set plus its final rank order are unique
+// under the strict total order — so reusing one scratch across calls (and
+// letting the rng state advance) cannot change any output. A scratch is
+// single-goroutine state: give each concurrent selector its own.
+type TopKScratch struct {
+	idx []int
+	rng *rand.Rand
+}
+
+// TopKInto is TopK writing into caller-owned storage: dst's slices are
+// reused when their capacity suffices (grown otherwise), and scratch holds
+// the index buffer and pivot rng across calls. After the first call at a
+// given dimension, steady-state selection performs zero allocations. A nil
+// scratch allocates a transient one, which is exactly TopK.
+func TopKInto(dst Vec, scratch *TopKScratch, dense []float64, k int) Vec {
 	d := len(dense)
 	if k <= 0 || d == 0 {
-		return Vec{}
+		dst.Idx, dst.Val = dst.Idx[:0], dst.Val[:0]
+		return dst
 	}
 	if k > d {
 		k = d
 	}
-	idx := make([]int, d)
+	var local TopKScratch
+	if scratch == nil {
+		scratch = &local
+	}
+	if cap(scratch.idx) < d {
+		scratch.idx = make([]int, d)
+	}
+	idx := scratch.idx[:d]
 	for i := range idx {
 		idx[i] = i
 	}
 	if k < d {
-		quickselect(dense, idx, k, rand.New(rand.NewSource(int64(d)*1e6+int64(k))))
+		if scratch.rng == nil {
+			// Any seed works: pivots affect running time, never results.
+			scratch.rng = rand.New(rand.NewSource(int64(d)*1e6 + int64(k)))
+		}
+		quickselect(dense, idx, k, scratch.rng)
 	}
 	sel := idx[:k]
-	sort.Slice(sel, func(a, b int) bool { return rankLess(dense, sel[a], sel[b]) })
-	v := Vec{Idx: make([]int, k), Val: make([]float64, k)}
-	for i, ix := range sel {
-		v.Idx[i] = ix
-		v.Val[i] = dense[ix]
+	sortByRank(dense, sel)
+	if cap(dst.Idx) < k {
+		dst.Idx = make([]int, k)
+	} else {
+		dst.Idx = dst.Idx[:k]
 	}
-	return v
+	if cap(dst.Val) < k {
+		dst.Val = make([]float64, k)
+	} else {
+		dst.Val = dst.Val[:k]
+	}
+	for i, ix := range sel {
+		dst.Idx[i] = ix
+		dst.Val[i] = dense[ix]
+	}
+	return dst
+}
+
+// sortByRank heapsorts sel into rank order (rankLess first). Heapsort
+// keeps the hot selection path allocation-free — sort.Slice costs a
+// closure and reflection per call — and because rankLess is a strict
+// total order the resulting permutation is identical for any correct
+// sorting algorithm.
+func sortByRank(dense []float64, sel []int) {
+	n := len(sel)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownRank(dense, sel, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		sel[0], sel[end] = sel[end], sel[0]
+		siftDownRank(dense, sel, 0, end)
+	}
+}
+
+// siftDownRank restores the max-heap property (rank-last element at the
+// root) for the subtree of sel[:end] rooted at root.
+func siftDownRank(dense []float64, sel []int, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && rankLess(dense, sel[child], sel[child+1]) {
+			child++
+		}
+		if !rankLess(dense, sel[root], sel[child]) {
+			return
+		}
+		sel[root], sel[child] = sel[child], sel[root]
+		root = child
+	}
 }
 
 // quickselect partitions idx so that its first k entries are the k

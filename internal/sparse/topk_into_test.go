@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestTopKIntoDifferentialWarmScratch reuses one scratch and one dst Vec
+// across many (d, k) shapes — letting the persistent pivot rng advance
+// arbitrarily — and checks every result against the heap reference. This
+// pins the scratch-reuse contract: selection output is a function of
+// (dense, k) alone, never of scratch state.
+func TestTopKIntoDifferentialWarmScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var scratch TopKScratch
+	var dst Vec
+	for trial := 0; trial < 400; trial++ {
+		d := 1 + rng.Intn(400)
+		dense := make([]float64, d)
+		levels := 1 + rng.Intn(10) // mix tie-heavy and distinct values
+		for i := range dense {
+			dense[i] = float64(rng.Intn(2*levels+1)-levels) / float64(levels)
+		}
+		k := rng.Intn(d + 2)
+		dst = TopKInto(dst, &scratch, dense, k)
+		requireSameVec(t, "warm-scratch", dst, TopKHeap(dense, k))
+	}
+}
+
+// TestTopKIntoMatchesTopK pins the wrapper contract: TopK and TopKInto
+// (fresh or warm scratch) are element-identical.
+func TestTopKIntoMatchesTopK(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	var scratch TopKScratch
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + rng.Intn(300)
+		dense := make([]float64, d)
+		for i := range dense {
+			dense[i] = rng.NormFloat64()
+		}
+		k := rng.Intn(d + 2)
+		requireSameVec(t, "fresh", TopKInto(Vec{}, nil, dense, k), TopK(dense, k))
+		requireSameVec(t, "warm", TopKInto(Vec{}, &scratch, dense, k), TopK(dense, k))
+	}
+}
+
+// TestTopKIntoReusesBuffers asserts dst's backing arrays are reused when
+// capacity suffices and grown when it does not.
+func TestTopKIntoReusesBuffers(t *testing.T) {
+	dense := []float64{5, -4, 3, -2, 1}
+	dst := Vec{Idx: make([]int, 0, 8), Val: make([]float64, 0, 8)}
+	idxCap, valCap := &dst.Idx[:1][0], &dst.Val[:1][0]
+	dst = TopKInto(dst, nil, dense, 3)
+	if &dst.Idx[0] != idxCap || &dst.Val[0] != valCap {
+		t.Fatal("TopKInto reallocated despite sufficient capacity")
+	}
+	if dst.Len() != 3 || dst.Idx[0] != 0 || dst.Val[0] != 5 {
+		t.Fatalf("unexpected selection %+v", dst)
+	}
+	// Insufficient capacity grows.
+	small := Vec{Idx: make([]int, 1), Val: make([]float64, 1)}
+	small = TopKInto(small, nil, dense, 5)
+	if small.Len() != 5 {
+		t.Fatalf("grown selection has %d elements, want 5", small.Len())
+	}
+}
+
+// TestTopKIntoAllocsSteadyState is the allocation-regression gate: with a
+// warm scratch and a capacious dst, selection allocates nothing.
+func TestTopKIntoAllocsSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	const d, k = 4096, 128
+	dense := make([]float64, d)
+	for i := range dense {
+		dense[i] = rng.NormFloat64()
+	}
+	var scratch TopKScratch
+	var dst Vec
+	dst = TopKInto(dst, &scratch, dense, k) // warm the buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = TopKInto(dst, &scratch, dense, k)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKInto allocated %v/op on warm scratch, want 0", allocs)
+	}
+}
+
+// BenchmarkTopKInto compares the allocating TopK against the scratch path
+// at the engine's typical shape (k = D/100).
+func BenchmarkTopKInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(54))
+	for _, d := range []int{10_000, 100_000} {
+		dense := make([]float64, d)
+		for i := range dense {
+			dense[i] = rng.NormFloat64()
+		}
+		k := d / 100
+		b.Run("alloc/d="+strconv.Itoa(d), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				TopK(dense, k)
+			}
+		})
+		b.Run("scratch/d="+strconv.Itoa(d), func(b *testing.B) {
+			var scratch TopKScratch
+			var dst Vec
+			dst = TopKInto(dst, &scratch, dense, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = TopKInto(dst, &scratch, dense, k)
+			}
+		})
+	}
+}

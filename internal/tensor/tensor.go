@@ -104,6 +104,47 @@ func AXPY(a float64, x, y []float64) {
 	}
 }
 
+// ChunkBounds splits [0, n) into `chunks` near-equal contiguous ranges and
+// returns the half-open bounds of chunk i. Chunks cover [0, n) exactly,
+// never overlap, and their sizes differ by at most one, so a reduction
+// partitioned with ChunkBounds touches every coordinate exactly once
+// regardless of the chunk count.
+func ChunkBounds(n, chunks, i int) (lo, hi int) {
+	if chunks < 1 {
+		panic("tensor: ChunkBounds needs at least 1 chunk")
+	}
+	return i * n / chunks, (i + 1) * n / chunks
+}
+
+// AXPYChunk computes y[lo:hi] += a·x[lo:hi] in place — the chunked form of
+// AXPY used by the engine's coordinate-partitioned weighted reductions.
+func AXPYChunk(a float64, x, y []float64, lo, hi int) {
+	if len(x) != len(y) {
+		panic("tensor: AXPYChunk length mismatch")
+	}
+	xs, ys := x[lo:hi], y[lo:hi]
+	for i, v := range xs {
+		ys[i] += a * v
+	}
+}
+
+// WeightedSumChunk overwrites dst[lo:hi] with Σ_c weights[c]·vecs[c][lo:hi],
+// accumulating the vectors in slice order. Because every coordinate's
+// addition chain runs in the same (vector 0, 1, 2, …) order no matter how
+// [0, len(dst)) is partitioned into chunks, computing the full reduction
+// chunk by chunk — sequentially or with one goroutine per chunk — yields a
+// result bit-identical to Zero(dst) followed by in-order AXPY calls over
+// the whole vectors.
+func WeightedSumChunk(dst []float64, weights []float64, vecs [][]float64, lo, hi int) {
+	if len(weights) != len(vecs) {
+		panic("tensor: WeightedSumChunk weights/vecs length mismatch")
+	}
+	Zero(dst[lo:hi])
+	for c, v := range vecs {
+		AXPYChunk(weights[c], v, dst, lo, hi)
+	}
+}
+
 // Scale multiplies every element of x by a in place.
 func Scale(a float64, x []float64) {
 	for i := range x {

@@ -275,3 +275,79 @@ func BenchmarkMatVec128(b *testing.B) {
 		m.MatVec(dst, x)
 	}
 }
+
+func TestChunkBoundsPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1000, 4097} {
+		for _, chunks := range []int{1, 2, 3, 7, 16, 100} {
+			prev := 0
+			for i := 0; i < chunks; i++ {
+				lo, hi := ChunkBounds(n, chunks, i)
+				if lo != prev {
+					t.Fatalf("n=%d chunks=%d: chunk %d starts at %d, want %d", n, chunks, i, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d chunks=%d: chunk %d inverted [%d, %d)", n, chunks, i, lo, hi)
+				}
+				if size := hi - lo; size > n/chunks+1 {
+					t.Fatalf("n=%d chunks=%d: chunk %d size %d unbalanced", n, chunks, i, size)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d chunks=%d: chunks cover [0, %d), want [0, %d)", n, chunks, prev, n)
+			}
+		}
+	}
+}
+
+func TestAXPYChunk(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	AXPYChunk(2, x, y, 1, 4)
+	want := []float64{10, 24, 36, 48, 50}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+	assertPanics := func(f func()) {
+		defer func() { recover() }()
+		f()
+		t.Fatal("AXPYChunk length mismatch did not panic")
+	}
+	assertPanics(func() { AXPYChunk(1, make([]float64, 2), make([]float64, 3), 0, 2) })
+}
+
+// TestWeightedSumChunkMatchesSequential pins the chunked reduction
+// identity: assembling the sum from any chunk partition is bit-identical
+// to Zero followed by in-order AXPY over the full vectors.
+func TestWeightedSumChunkMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n, d = 7, 1003
+	vecs := make([][]float64, n)
+	weights := make([]float64, n)
+	for c := range vecs {
+		weights[c] = rng.NormFloat64()
+		vecs[c] = make([]float64, d)
+		for j := range vecs[c] {
+			vecs[c][j] = rng.NormFloat64()
+		}
+	}
+	want := make([]float64, d)
+	Zero(want)
+	for c := range vecs {
+		AXPY(weights[c], vecs[c], want)
+	}
+	got := make([]float64, d)
+	for _, chunks := range []int{1, 2, 5, 64, d} {
+		for i := 0; i < chunks; i++ {
+			lo, hi := ChunkBounds(d, chunks, i)
+			WeightedSumChunk(got, weights, vecs, lo, hi)
+		}
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("chunks=%d: coord %d = %v, want %v", chunks, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -67,9 +67,20 @@ func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
 	}
 
 	strategy := &gs.FABTopK{}
+	// One warm scratch for the whole run: aggregation is allocation-free
+	// after the first round. The broadcast copies the |J|-sized result out
+	// of the scratch because in-memory conns pass messages by reference
+	// and the scratch buffers are overwritten next round.
+	scratch := gs.NewAggScratch(0)
+	scratch.Reserve(len(cfg.InitialParams)) // coordinates index the model
+	uploads := make([]gs.ClientUpload, len(ordered))
+	// Duplicate-coordinate detection slab for upload validation: seen[j]
+	// == seenToken means coordinate j already appeared in the upload
+	// currently being checked. An int token never wraps in practice.
+	seen := make([]int, len(cfg.InitialParams))
+	seenToken := 0
 	records := make([]RoundRecord, 0, cfg.Rounds)
 	for m := 1; m <= cfg.Rounds; m++ {
-		uploads := make([]gs.ClientUpload, len(ordered))
 		var weightedLoss float64
 		for id, conn := range ordered {
 			msg, err := conn.Recv()
@@ -84,14 +95,39 @@ func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
 				return records, fmt.Errorf("transport: round %d: stale upload (round %d from client %d)",
 					m, up.Round, up.ClientID)
 			}
+			// The aggregation path trusts uploads to be well-formed
+			// (parallel Idx/Val, coordinates indexing the model, no
+			// coordinate repeated within one upload), so a malformed
+			// peer upload must fail here as a protocol error, not an
+			// aggregation panic or a silent double-count.
+			if len(up.Idx) != len(up.Val) {
+				return records, fmt.Errorf("transport: round %d: client %d uploaded %d indices with %d values",
+					m, id, len(up.Idx), len(up.Val))
+			}
+			seenToken++
+			for _, j := range up.Idx {
+				if j < 0 || j >= len(cfg.InitialParams) {
+					return records, fmt.Errorf("transport: round %d: client %d uploaded index %d out of range [0, %d)",
+						m, id, j, len(cfg.InitialParams))
+				}
+				if seen[j] == seenToken {
+					return records, fmt.Errorf("transport: round %d: client %d uploaded duplicate index %d",
+						m, id, j)
+				}
+				seen[j] = seenToken
+			}
 			uploads[id] = gs.ClientUpload{
 				Pairs:  sparse.Vec{Idx: up.Idx, Val: up.Val},
 				Weight: weights[id],
 			}
 			weightedLoss += weights[id] / totalWeight * up.BatchLoss
 		}
-		agg := strategy.Aggregate(uploads, cfg.K)
-		bc := Broadcast{Round: m, Idx: agg.Indices, Val: agg.Values}
+		agg, _ := strategy.AggregateInto(scratch, uploads, cfg.K, 0)
+		bc := Broadcast{
+			Round: m,
+			Idx:   append([]int(nil), agg.Indices...),
+			Val:   append([]float64(nil), agg.Values...),
+		}
 		for id, conn := range ordered {
 			if err := conn.Send(bc); err != nil {
 				return records, fmt.Errorf("transport: round %d send to client %d: %w", m, id, err)
@@ -132,16 +168,27 @@ func RunClient(conn Conn, cfg ClientConfig) error {
 	net.SetParams(init.Params)
 	acc := make([]float64, net.D())
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Reusable selection and minibatch buffers (the same zero-alloc hot
+	// loop as the simulator engine). Reusing pairs across rounds is safe
+	// even over by-reference in-memory conns: the protocol is lockstep —
+	// the server reads every round-m upload before broadcasting, and the
+	// client only overwrites the buffer after receiving that broadcast.
+	var (
+		topk  sparse.TopKScratch
+		pairs sparse.Vec
+		xs    [][]float64
+		ys    []int
+	)
 
 	for m := 1; m <= init.Rounds; m++ {
-		xs, ys := cfg.Data.Batch(rng, cfg.BatchSize)
+		xs, ys = cfg.Data.BatchInto(xs, ys, rng, cfg.BatchSize)
 		batchLoss := net.MeanLossGrad(xs, ys)
 		tensor.AXPY(1, net.Grads(), acc)
 		// Mirror the reference engine's probe-sample draw so RNG streams
 		// stay aligned (the fixed-k protocol does not use the sample).
 		_ = rng.Intn(len(xs))
 
-		pairs := sparse.TopK(acc, init.K)
+		pairs = sparse.TopKInto(pairs, &topk, acc, init.K)
 		up := Upload{
 			ClientID:  cfg.ID,
 			Round:     m,

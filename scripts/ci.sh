@@ -1,12 +1,21 @@
 #!/usr/bin/env sh
-# CI gate: static checks, full build + test, then the race detector over
-# the concurrency-bearing packages (the fl worker pool and the selection
-# code it calls into).
+# CI gate: static checks, full build + test, the race detector over the
+# concurrency-bearing packages (the shared worker pool, the fl round
+# engine, and the selection/aggregation code it calls into), and a 1x
+# smoke run of the perf benchmarks so the bench code cannot rot.
 #
 # Usage: scripts/ci.sh  (from the repository root)
 set -eux
 
+# gofmt -l prints offending files; any output fails the gate.
+test -z "$(gofmt -l .)"
+
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/...
+go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/...
+# Perf micro-benches + the engine grid, one iteration each: keeps the
+# benchmark code compiling AND executing without paying for real timings.
+go test -run '^$' -bench 'BenchmarkTopKInto' -benchtime=1x ./internal/sparse/
+go test -run '^$' -bench 'BenchmarkAggregate' -benchtime=1x ./internal/gs/
+go test -run '^$' -bench 'BenchmarkRunGSParallel' -benchtime=1x .
