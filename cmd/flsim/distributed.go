@@ -1,0 +1,141 @@
+// The multi-process deployment roles of flsim: one coordinator process
+// listens for clients and aggregation shards on a single TCP address,
+// shard processes run the range-restricted reductions, and client
+// processes train on their data partition. With the same dataset/scale/
+// seed flags in every process, the run's trajectory is bit-identical to
+// `flsim -role sim` (and to any shard or worker count).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"fedsparse"
+)
+
+// buildWorkload resolves the dataset flag to a workload; every role
+// builds the same one so weights, models, and data partitions agree
+// across processes.
+func buildWorkload(datasetName, scale string) (*fedsparse.Workload, error) {
+	switch datasetName {
+	case "femnist":
+		return fedsparse.NewFEMNISTWorkload(fedsparse.Scale(scale)), nil
+	case "cifar":
+		return fedsparse.NewCIFARWorkload(fedsparse.Scale(scale)), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", datasetName)
+	}
+}
+
+// runCoordinator listens for the expected number of clients and shards,
+// then drives the distributed FAB-top-k run and emits the per-round CSV.
+func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, seed int64,
+	listenAddr string, nClients, nShards int, acceptTimeout time.Duration) error {
+
+	w, err := buildWorkload(datasetName, scale)
+	if err != nil {
+		return err
+	}
+	if k == 0 {
+		k = w.KFixed
+	}
+	if rounds == 0 {
+		rounds = w.Rounds
+	}
+	if nClients == 0 {
+		nClients = w.Data.NumClients()
+	}
+	ln, err := fedsparse.Listen(listenAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d shards (k=%d, %d rounds)\n",
+		ln.Addr(), nClients, nShards, k, rounds)
+	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, acceptTimeout)
+}
+
+// coordinate is the listener-driven core of the coordinator role,
+// separated so tests can bind the listener themselves.
+func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
+	k, rounds int, seed int64, nClients, nShards int, acceptTimeout time.Duration) error {
+
+	// Synchronized initial weights: the same construction as the
+	// reference engine with this seed.
+	ref := w.Model()
+	ref.InitWeights(rand.New(rand.NewSource(seed)))
+
+	clients, shardConns, err := fedsparse.AcceptPeers(ln, nClients, nShards, acceptTimeout)
+	if err != nil {
+		return err
+	}
+
+	records, err := fedsparse.RunServerPeers(clients, fedsparse.ServerConfig{
+		K:             k,
+		Rounds:        rounds,
+		InitialParams: ref.Params(),
+		ShardConns:    shardConns,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "round,loss,downlink_elems")
+	for _, r := range records {
+		fmt.Fprintf(out, "%d,%.6f,%d\n", r.Round, r.Loss, r.DownlinkElems)
+	}
+	return nil
+}
+
+// runShardRole connects to the coordinator as an aggregation shard and
+// serves range reductions until the run completes.
+func runShardRole(connect string) error {
+	if connect == "" {
+		return errors.New("flsim: -role shard requires -connect")
+	}
+	conn, err := fedsparse.DialShard(connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return fedsparse.RunShard(conn)
+}
+
+// runClientRole connects to the coordinator as participant `id` and
+// trains until the run completes. k and rounds come from the
+// coordinator's Init, so only the workload flags and the id must agree.
+func runClientRole(datasetName, scale string, id int, seed int64, lr float64, batch int, connect string) error {
+	if connect == "" {
+		return errors.New("flsim: -role client requires -connect")
+	}
+	w, err := buildWorkload(datasetName, scale)
+	if err != nil {
+		return err
+	}
+	if id < 0 || id >= w.Data.NumClients() {
+		return fmt.Errorf("flsim: client id %d out of range [0, %d)", id, w.Data.NumClients())
+	}
+	if lr == 0 {
+		lr = w.LearningRate
+	}
+	if batch == 0 {
+		batch = w.BatchSize
+	}
+	conn, err := fedsparse.Dial(connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return fedsparse.RunClient(conn, fedsparse.ClientConfig{
+		ID:           id,
+		Data:         &w.Data.Clients[id],
+		Model:        w.Model,
+		LearningRate: lr,
+		BatchSize:    batch,
+		// The reference engine's per-client seeding scheme, for
+		// trajectory-identical runs.
+		Seed: seed + 1000003*int64(id+1),
+	})
+}

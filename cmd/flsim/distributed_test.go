@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedsparse"
+)
+
+// TestDistributedRolesEndToEnd runs the full multi-process topology
+// in-process over loopback TCP: one coordinator, two aggregation shards,
+// and every workload client, all through the same role entry points the
+// CLI dispatches to.
+func TestDistributedRolesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	const (
+		dataset = "femnist"
+		scale   = "tiny"
+		k       = 20
+		rounds  = 8
+		seed    = int64(3)
+		nShards = 2
+	)
+	w, err := buildWorkload(dataset, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.Data.NumClients()
+
+	ln, err := fedsparse.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	var out bytes.Buffer
+	coordDone := make(chan error, 1)
+	go func() {
+		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, time.Minute)
+	}()
+
+	var wg sync.WaitGroup
+	shardErrs := make([]error, nShards)
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			shardErrs[s] = runShardRole(addr)
+		}(s)
+	}
+	clientErrs := make([]error, n)
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			clientErrs[id] = runClientRole(dataset, scale, id, seed, 0, 0, addr)
+		}(id)
+	}
+
+	if err := <-coordDone; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+	for s, err := range shardErrs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	for id, err := range clientErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", id, err)
+		}
+	}
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header + one line per round.
+	if len(lines) != rounds+1 {
+		t.Fatalf("coordinator CSV has %d lines, want %d:\n%s", len(lines), rounds+1, out.String())
+	}
+	if lines[0] != "round,loss,downlink_elems" {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+}
+
+// TestRoleValidation covers the role flag plumbing that needs no network.
+func TestRoleValidation(t *testing.T) {
+	if err := runShardRole(""); err == nil {
+		t.Fatal("shard role without -connect accepted")
+	}
+	if err := runClientRole("femnist", "tiny", 0, 1, 0, 0, ""); err == nil {
+		t.Fatal("client role without -connect accepted")
+	}
+	if err := runClientRole("imagenet", "tiny", 0, 1, 0, 0, "x"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := runClientRole("femnist", "tiny", -3, 1, 0, 0, "127.0.0.1:1"); err == nil {
+		t.Fatal("negative client id accepted")
+	}
+}

@@ -7,6 +7,15 @@
 //	flsim -dataset femnist -strategy fab -k 100 -beta 10 -rounds 400
 //	flsim -dataset cifar -adaptive alg3 -beta 100 -rounds 600
 //	flsim -strategy fedavg -k 100 -beta 10
+//	flsim -shards 4 -workers 4 -strategy fab            (sharded aggregation, in-process)
+//
+// Beyond the simulation, flsim can run each role of a real multi-process
+// deployment (one command per process, same dataset/scale/seed flags
+// everywhere):
+//
+//	flsim -role coordinator -listen 127.0.0.1:7000 -shards 2 -k 100 -rounds 50
+//	flsim -role shard  -connect 127.0.0.1:7000      (× the -shards count)
+//	flsim -role client -connect 127.0.0.1:7000 -id 0 (× the client count)
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"fedsparse"
 )
@@ -37,16 +47,41 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		evalEvery   = flag.Int("eval-every", 0, "test-set evaluation cadence in rounds (0 = off)")
 		workers     = flag.Int("workers", 0, "per-client worker pool size, -1 = all CPUs (results are bit-identical at any value; 0 = sequential)")
+		shards      = flag.Int("shards", 0, "sim: run the server aggregation through that many in-process coordinate shards (bit-identical at any value; 0 = unsharded); coordinator: shard processes to wait for")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
+		role        = flag.String("role", "sim", "process role: sim (in-process simulation), coordinator, shard, client")
+		listenAddr  = flag.String("listen", "127.0.0.1:0", "coordinator: TCP address to listen on")
+		connectAddr = flag.String("connect", "", "shard/client: the coordinator's address")
+		clients     = flag.Int("clients", 0, "coordinator: client processes to wait for (0 = the workload's client count)")
+		clientID    = flag.Int("id", 0, "client: this participant's client ID")
+		acceptWait  = flag.Duration("accept-timeout", 2*time.Minute, "coordinator: how long to wait for all peers to arrive (0 = forever)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		*workers = runtime.NumCPU()
 	}
-	err := withProfiles(*cpuProfile, *memProfile, func() error {
-		return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers)
-	})
+	var err error
+	switch *role {
+	case "sim":
+		err = withProfiles(*cpuProfile, *memProfile, func() error {
+			return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards)
+		})
+	case "coordinator":
+		// The distributed protocol is fixed-k FAB-top-k; reject flags that
+		// would silently mean something else in sim mode.
+		if *strategy != "fab" || *adaptive != "none" {
+			err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
+			break
+		}
+		err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *acceptWait)
+	case "shard":
+		err = runShardRole(*connectAddr)
+	case "client":
+		err = runClientRole(*datasetName, *scale, *clientID, *seed, *lr, *batch, *connectAddr)
+	default:
+		err = fmt.Errorf("unknown role %q", *role)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,16 +127,11 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
-	rounds int, lr float64, batch int, seed int64, evalEvery, workers int) error {
+	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int) error {
 
-	var w *fedsparse.Workload
-	switch datasetName {
-	case "femnist":
-		w = fedsparse.NewFEMNISTWorkload(fedsparse.Scale(scale))
-	case "cifar":
-		w = fedsparse.NewCIFARWorkload(fedsparse.Scale(scale))
-	default:
-		return fmt.Errorf("unknown dataset %q", datasetName)
+	w, err := buildWorkload(datasetName, scale)
+	if err != nil {
+		return err
 	}
 	if k == 0 {
 		k = w.KFixed
@@ -126,6 +156,7 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		Beta:         beta,
 		EvalEvery:    evalEvery,
 		Workers:      workers,
+		Shards:       shards,
 	}
 
 	switch strategy {

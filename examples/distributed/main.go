@@ -1,15 +1,20 @@
 // Command distributed runs the FAB-top-k protocol over real TCP
-// connections on localhost: a coordinator goroutine and one process-like
+// connections on localhost with a sharded aggregation tier: a coordinator
+// goroutine, two aggregation-shard goroutines, and one process-like
 // goroutine per client exchange the actual Algorithm 1 messages (sparse
-// uploads A_i, aggregated broadcast B) through gob-encoded streams.
+// uploads A_i, routed shard reductions, aggregated broadcast B) through
+// gob-encoded streams. All roles connect to one listener — the
+// coordinator classifies each peer by its first message — and the
+// resulting trajectory is bit-identical to an unsharded or in-process
+// run with the same seeds.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand"
-	"net"
 	"sync"
+	"time"
 
 	"fedsparse"
 )
@@ -24,9 +29,10 @@ func run() error {
 	w := fedsparse.NewFEMNISTWorkload(fedsparse.ScaleTiny)
 	n := w.Data.NumClients()
 	const (
-		k      = 40
-		rounds = 50
-		seed   = 5
+		k       = 40
+		rounds  = 50
+		seed    = 5
+		nShards = 2
 	)
 
 	// Synchronized initial weights, exactly as the coordinator would
@@ -34,38 +40,46 @@ func run() error {
 	ref := w.Model()
 	ref.InitWeights(rand.New(rand.NewSource(seed)))
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := fedsparse.Listen("127.0.0.1:0")
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("coordinator listening on %s; %d clients, k=%d, %d rounds\n",
-		ln.Addr(), n, k, rounds)
+	addr := ln.Addr().String()
+	fmt.Printf("coordinator listening on %s; %d clients, %d aggregation shards, k=%d, %d rounds\n",
+		addr, n, nShards, k, rounds)
 
-	accepted := make(chan fedsparse.Conn, n)
-	go func() {
-		for i := 0; i < n; i++ {
-			c, err := ln.Accept()
+	// Shard processes: dial in, identify as shards, serve range
+	// reductions until the run completes.
+	var wg sync.WaitGroup
+	shardErrs := make([]error, nShards)
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn, err := fedsparse.DialShard(addr)
 			if err != nil {
+				shardErrs[s] = err
 				return
 			}
-			accepted <- fedsparse.NewGobConn(c)
-		}
-	}()
+			defer conn.Close()
+			shardErrs[s] = fedsparse.RunShard(conn)
+		}(s)
+	}
 
-	var wg sync.WaitGroup
+	// Client processes.
 	clientErrs := make([]error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", ln.Addr().String())
+			conn, err := fedsparse.Dial(addr)
 			if err != nil {
 				clientErrs[id] = err
 				return
 			}
 			defer conn.Close()
-			clientErrs[id] = fedsparse.RunClient(fedsparse.NewGobConn(conn), fedsparse.ClientConfig{
+			clientErrs[id] = fedsparse.RunClient(conn, fedsparse.ClientConfig{
 				ID:           id,
 				Data:         &w.Data.Clients[id],
 				Model:        w.Model,
@@ -76,19 +90,29 @@ func run() error {
 		}(i)
 	}
 
-	serverConns := make([]fedsparse.Conn, n)
-	for i := 0; i < n; i++ {
-		serverConns[i] = <-accepted
+	// Coordinator: classify incoming peers by their first message until
+	// every client and shard has arrived (bounded, so a crashed peer
+	// surfaces as an error instead of a hang).
+	clients, shardConns, err := fedsparse.AcceptPeers(ln, n, nShards, time.Minute)
+	if err != nil {
+		return err
 	}
-	records, err := fedsparse.RunServer(serverConns, fedsparse.ServerConfig{
+
+	records, err := fedsparse.RunServerPeers(clients, fedsparse.ServerConfig{
 		K:             k,
 		Rounds:        rounds,
 		InitialParams: ref.Params(),
+		ShardConns:    shardConns,
 	})
 	if err != nil {
 		return err
 	}
 	wg.Wait()
+	for s, e := range shardErrs {
+		if e != nil {
+			return fmt.Errorf("shard %d: %w", s, e)
+		}
+	}
 	for id, e := range clientErrs {
 		if e != nil {
 			return fmt.Errorf("client %d: %w", id, e)
@@ -101,7 +125,7 @@ func run() error {
 			fmt.Printf("%5d  %13.3f  %3d\n", r.Round, r.Loss, r.DownlinkElems)
 		}
 	}
-	fmt.Printf("\nloss over the wire: %.3f -> %.3f across %d TCP clients\n",
-		records[0].Loss, records[len(records)-1].Loss, n)
+	fmt.Printf("\nloss over the wire: %.3f -> %.3f across %d TCP clients and %d shards\n",
+		records[0].Loss, records[len(records)-1].Loss, n, nShards)
 	return nil
 }

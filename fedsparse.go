@@ -70,6 +70,33 @@
 // min(Workers, clients) for the per-client phases and with the chunk
 // count for the server reductions; BENCH_fl.json records the trajectory.
 //
+// # Sharded server aggregation
+//
+// The same chunked-reduction structure extends across process
+// boundaries: Config.Shards partitions the coordinate space into S
+// contiguous ranges and runs the server-side aggregation as S
+// independent range reductions plus a coordinator-side selection
+// (gs.ShardedScratch), and the transport package deploys the identical
+// two entry points over real connections — a coordinator routes each
+// client upload's (index, value, rank) entries to shard owners
+// (RunShard peers over in-memory pairs, or real processes over
+// Dial/Listen), gathers their RangeAgg reductions, and selects on the
+// merge. Because every coordinate's addition chain runs in exactly one
+// shard, in ascending client order, the aggregate is bit-identical to
+// the single-process engine at every shard count — the determinism
+// guarantee survives the distribution axis the north-star architecture
+// needs. The coordinator–shard–client topology:
+//
+//	clients ──Hello/Upload──▶ coordinator ──ShardUpload──▶ shards
+//	clients ◀──Init/Broadcast─ coordinator ◀──ShardResult── shards
+//
+// One listener serves both roles: AcceptPeer classifies each incoming
+// connection by its first message (Hello = client, ShardHello = shard;
+// see DialShard), clients go to RunServerPeers and shard connections to
+// ServerConfig.ShardConns. The flsim command exposes all three roles
+// (-role coordinator|shard|client with -listen/-connect), so a real
+// multi-process deployment is one command per process.
+//
 // # Scratch types and allocation-free steady state
 //
 // The round loop reuses every per-round buffer, so steady-state training
@@ -151,11 +178,27 @@ type (
 	// ScratchAggregator is the allocation-free one-pass aggregation
 	// interface every built-in strategy implements.
 	ScratchAggregator = gs.ScratchAggregator
+	// RangeAgg is one shard's reduction over a contiguous coordinate
+	// range: exact b_j sums plus minimal upload ranks.
+	RangeAgg = gs.RangeAgg
+	// ShardSelector is the coordinator-side selection of the sharded
+	// aggregation tier, implemented by every built-in strategy.
+	ShardSelector = gs.ShardSelector
+	// ShardedScratch runs the sharded aggregation tier in-process.
+	ShardedScratch = gs.ShardedScratch
 )
 
 // NewAggScratch builds an aggregation scratch whose reductions use up to
 // the given number of workers (<= 1 stays sequential).
 var NewAggScratch = gs.NewAggScratch
+
+// NewShardedScratch builds an in-process sharded aggregation scratch;
+// RangeReduceInto is the per-shard range reduction it (and the transport
+// tier's shard processes) are built on.
+var (
+	NewShardedScratch = gs.NewShardedScratch
+	RangeReduceInto   = gs.RangeReduceInto
+)
 
 // Adaptive-k online learning (internal/core).
 type (
@@ -317,12 +360,26 @@ type (
 	ClientConfig = transport.ClientConfig
 	// RoundRecord is the distributed server's per-round log.
 	RoundRecord = transport.RoundRecord
+	// Peer is an incoming coordinator connection classified by role.
+	Peer = transport.Peer
+	// Listener accepts gob-framed Conns on a TCP address.
+	Listener = transport.Listener
+	// ShardGroup is the coordinator's handle on a shard tier.
+	ShardGroup = transport.ShardGroup
 )
 
 // Transport constructors and drivers.
 var (
-	NewMemPair = transport.NewMemPair
-	NewGobConn = transport.NewGobConn
-	RunServer  = transport.RunServer
-	RunClient  = transport.RunClient
+	NewMemPair     = transport.NewMemPair
+	NewGobConn     = transport.NewGobConn
+	RunServer      = transport.RunServer
+	RunServerPeers = transport.RunServerPeers
+	RunClient      = transport.RunClient
+	RunShard       = transport.RunShard
+	NewShardGroup  = transport.NewShardGroup
+	Dial           = transport.Dial
+	DialShard      = transport.DialShard
+	Listen         = transport.Listen
+	AcceptPeer     = transport.AcceptPeer
+	AcceptPeers    = transport.AcceptPeers
 )

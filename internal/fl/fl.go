@@ -116,6 +116,18 @@ type Config struct {
 	// addition chain is unchanged (see parallel.go for the shared-state
 	// audit).
 	Workers int
+
+	// Shards routes the server-side GS aggregation through the
+	// coordinate-sharded tier (gs.ShardedScratch): the coordinate space is
+	// split into this many contiguous ranges, each reduced independently
+	// — the in-process twin of the transport package's coordinator–shard
+	// deployment. 0 keeps the single-scratch path. Results are
+	// bit-identical at every shard count (each coordinate's addition
+	// chain runs in exactly one shard, in ascending client order), so the
+	// knob trades memory (O(Shards·D) scratch slabs) for reduction
+	// parallelism without touching the trajectory. GS mode only; the
+	// Strategy must implement gs.ShardSelector (all built-ins do).
+	Shards int
 }
 
 // RoundStats captures one round of training.
@@ -240,6 +252,15 @@ func validate(cfg *Config) error {
 		return errors.New("fl: QuantBits must be 0 (off) or in [2, 64]")
 	case cfg.Workers < 0:
 		return errors.New("fl: Workers must be non-negative (0 = sequential)")
+	case cfg.Shards < 0:
+		return errors.New("fl: Shards must be non-negative (0 = unsharded)")
+	case cfg.Shards > 0 && cfg.FedAvg:
+		return errors.New("fl: Shards applies to GS mode only (FedAvg has no sparse aggregation)")
+	}
+	if cfg.Shards > 0 {
+		if _, ok := cfg.Strategy.(gs.ShardSelector); !ok {
+			return fmt.Errorf("fl: Shards > 0 requires a strategy implementing gs.ShardSelector; %s does not", cfg.Strategy.Name())
+		}
 	}
 	return cfg.Data.Validate()
 }
@@ -269,6 +290,11 @@ type roundArena struct {
 	partEpoch int32
 
 	saved [][]float64 // per-worker probe save/restore buffers
+
+	// mand backs the allocation-free mandated-index draws (periodic-k's
+	// Fisher–Yates, send-all's identity set), so those strategies stop
+	// rebuilding their index slice every round.
+	mand gs.MandateScratch
 }
 
 func newRoundArena(d, nClients, pool int) *roundArena {
@@ -333,12 +359,24 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	// The built-in strategies aggregate allocation-free through a per-run
 	// scratch, computing the k and probe-k′ selections in one pass;
 	// external Strategy implementations fall back to two Aggregate calls.
+	// With Shards > 0 the aggregation instead runs through the
+	// coordinate-sharded tier (validated to be supported), bit-identical
+	// to the single-scratch path.
 	scratchAgg, _ := cfg.Strategy.(gs.ScratchAggregator)
 	var aggScratch *gs.AggScratch
-	if scratchAgg != nil {
+	var shardedAgg *gs.ShardedScratch
+	var shardSel gs.ShardSelector
+	if cfg.Shards > 0 {
+		shardSel = cfg.Strategy.(gs.ShardSelector)
+		shardedAgg = gs.NewShardedScratch(cfg.Shards, cfg.Workers, d)
+	} else if scratchAgg != nil {
 		aggScratch = gs.NewAggScratch(cfg.Workers)
 		aggScratch.Reserve(d) // uploads only carry coordinates < d
 	}
+	// Mandated-index strategies draw through the arena scratch when they
+	// support it — same rng stream and indices, none of the per-round
+	// slice rebuilding.
+	mandInto, _ := cfg.Strategy.(gs.MandatedIntoStrategy)
 
 	for m := 1; m <= cfg.Rounds; m++ {
 		dec := ctrl.Decide(m)
@@ -352,7 +390,12 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		}
 		probeInt := resolveProbe(dec.ProbeK, kInt, engineRng)
 
-		mandated := cfg.Strategy.MandatedIndices(m, d, kInt, engineRng)
+		var mandated []int
+		if mandInto != nil {
+			mandated = mandInto.MandatedIndicesInto(&ar.mand, m, d, kInt, engineRng)
+		} else {
+			mandated = cfg.Strategy.MandatedIndices(m, d, kInt, engineRng)
+		}
 		ar.participants, ar.permBuf = pickParticipantsInto(ar.participants, ar.permBuf, cfg.Participation, nClients, engineRng)
 		participants := ar.participants
 		nPart := len(participants)
@@ -415,7 +458,9 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		// identical B, which is what keeps weights synchronized. The k and
 		// probe-k′ aggregates come out of a single pass over the uploads.
 		var agg, probeAgg gs.Aggregate
-		if scratchAgg != nil {
+		if shardedAgg != nil {
+			agg, probeAgg = shardedAgg.Aggregate(shardSel, uploads, kInt, probeInt)
+		} else if scratchAgg != nil {
 			agg, probeAgg = scratchAgg.AggregateInto(aggScratch, uploads, kInt, probeInt)
 		} else {
 			agg = cfg.Strategy.Aggregate(uploads, kInt)

@@ -1,0 +1,109 @@
+package fl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedsparse/internal/gs"
+)
+
+// TestShardedBitIdenticalToUnsharded is the engine-level differential
+// guarantee of the sharded aggregation tier: for every GS grid config,
+// Run with Shards ∈ {1, 2, 4} × Workers ∈ {0, 4} produces a
+// byte-identical Result to the unsharded sequential path. Combined with
+// the transport-level differential suite (which pins the wire-routed tier
+// against gs.ShardedScratch's building blocks), this extends the
+// bit-identical contract to the shards axis.
+func TestShardedBitIdenticalToUnsharded(t *testing.T) {
+	for _, tc := range diffGrid() {
+		if strings.Contains(tc.name, "fedavg") {
+			continue // FedAvg has no sparse aggregation to shard
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			refCfg := diffConfig()
+			tc.mutate(&refCfg)
+			refCfg.Workers = 0
+			refCfg.Shards = 0
+			ref, err := Run(refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				for _, workers := range []int{0, 4} {
+					cfg := diffConfig()
+					tc.mutate(&cfg) // fresh controller: controllers are stateful
+					cfg.Shards = shards
+					cfg.Workers = workers
+					got, err := Run(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireBitIdentical(t, tc.name, ref, got)
+				}
+			}
+		})
+	}
+}
+
+func TestShardsValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Shards = -1
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("Shards: -1 not rejected: %v", err)
+	}
+
+	cfg = smallConfig()
+	cfg.Strategy = nil
+	cfg.FedAvg = true
+	cfg.FedAvgKEquiv = 50
+	cfg.Shards = 2
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("Shards with FedAvg not rejected: %v", err)
+	}
+
+	// legacyMandate forwards by explicit methods only, so none of the
+	// inner strategy's fast-path interfaces promote through it.
+	cfg = smallConfig()
+	cfg.Strategy = legacyMandate{gs.FUBTopK{}}
+	cfg.Shards = 2
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "ShardSelector") {
+		t.Fatalf("Shards with non-ShardSelector strategy not rejected: %v", err)
+	}
+}
+
+// TestMandatedArenaPathMatchesLegacy pins the engine's arena-backed
+// mandated-index draws end to end: a PeriodicK run must be bit-identical
+// to one driven through the legacy allocating MandatedIndices (forced by
+// hiding the MandatedIntoStrategy interface behind a wrapper).
+func TestMandatedArenaPathMatchesLegacy(t *testing.T) {
+	for _, strat := range []gs.Strategy{gs.PeriodicK{}, gs.SendAll{}} {
+		cfg := diffConfig()
+		cfg.Strategy = strat
+		fast, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacyCfg := diffConfig()
+		legacyCfg.Strategy = legacyMandate{strat}
+		legacy, err := Run(legacyCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitIdentical(t, strat.Name(), legacy, fast)
+	}
+}
+
+// legacyMandate hides the Into fast paths so the engine falls back to the
+// allocating MandatedIndices draw (and, via the missing ScratchAggregator,
+// the reference Aggregate) — the pre-arena behavior.
+type legacyMandate struct{ inner gs.Strategy }
+
+func (l legacyMandate) Name() string { return l.inner.Name() }
+func (l legacyMandate) Dense() bool  { return l.inner.Dense() }
+func (l legacyMandate) MandatedIndices(round, d, k int, rng *rand.Rand) []int {
+	return l.inner.MandatedIndices(round, d, k, rng)
+}
+func (l legacyMandate) Aggregate(uploads []gs.ClientUpload, k int) gs.Aggregate {
+	return l.inner.Aggregate(uploads, k)
+}

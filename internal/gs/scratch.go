@@ -60,12 +60,24 @@ type AggScratch struct {
 	// only member coordinates are zeroed and read, never the whole array.
 	sums []float64
 
+	// minRank[j] tracks the smallest upload rank at which coordinate j
+	// appears during a range reduction (shard.go); valid only for markTmp
+	// members of the current call, like sums.
+	minRank []int
+
 	membersMain  []int
 	membersProbe []int
 	allUploaded  []int // FUB ranking: every uploaded index, insertion order
 	entries      []fubEntry
 	cands        []fabCand
 	unionBuf     []int // parallel path: merged main ∪ probe members
+
+	// Sharded-aggregation buffers (shard.go): the range reduction's
+	// outputs and the coordinator-side selection's min-rank histogram.
+	rangeIdx  []int
+	rangeSum  []float64
+	rangeRank []int
+	rankHist  []int
 
 	// Output buffers: one set per selection so the main and probe
 	// aggregates stay valid together.
@@ -137,22 +149,22 @@ func (s *AggScratch) prepare(uploads []ClientUpload) {
 	}
 }
 
-// ensureDim grows the coordinate-indexed slabs to at least dim.
+// ensureDim grows the reduction slabs (transient marks, sums, min
+// ranks) to at least dim. The selection slabs (markMain/markProbe) grow
+// lazily in beginMain/beginProbe instead, so reduction-only scratches —
+// the per-shard workers of the sharded tier, which only ever run
+// RangeReduceInto — never allocate them at all.
 func (s *AggScratch) ensureDim(dim int) {
-	if len(s.markMain) >= dim {
+	if len(s.markTmp) >= dim {
 		return
 	}
-	grow := func(m []int32) []int32 {
-		n := make([]int32, dim)
-		copy(n, m)
-		return n
-	}
-	s.markMain = grow(s.markMain)
-	s.markProbe = grow(s.markProbe)
-	s.markTmp = grow(s.markTmp)
+	s.markTmp = growInt32s(s.markTmp, dim)
 	sums := make([]float64, dim)
 	copy(sums, s.sums)
 	s.sums = sums
+	ranks := make([]int, dim)
+	copy(ranks, s.minRank)
+	s.minRank = ranks
 }
 
 // maxDim returns 1 + the largest uploaded coordinate (0 when empty).
@@ -267,19 +279,7 @@ func (s *AggScratch) fabSelect(uploads []ClientUpload, k int, linear bool,
 				}
 			}
 		}
-		slices.SortFunc(s.cands, func(a, b fabCand) int {
-			switch {
-			case a.absVal != b.absVal:
-				if a.absVal > b.absVal {
-					return -1
-				}
-				return 1
-			case a.idx != b.idx:
-				return a.idx - b.idx
-			default:
-				return a.client - b.client
-			}
-		})
+		slices.SortFunc(s.cands, compareFABCands)
 		for _, cd := range s.cands {
 			if len(members) >= k {
 				break
@@ -318,26 +318,60 @@ func (s *AggScratch) fubRank(uploads []ClientUpload) {
 	for _, j := range s.allUploaded {
 		s.entries = append(s.entries, fubEntry{j, math.Abs(s.sums[j])})
 	}
-	slices.SortFunc(s.entries, func(a, b fubEntry) int {
-		switch {
-		case a.abs != b.abs:
-			if a.abs > b.abs {
-				return -1
-			}
-			return 1
-		default:
-			return a.idx - b.idx
-		}
-	})
+	slices.SortFunc(s.entries, compareFUBEntries)
 }
 
-// beginMain / beginProbe start fresh selections for the current call.
+// compareFABCands and compareFUBEntries are the strict total orders the
+// reference comparators define (reference.go keeps its own copies — it
+// is the independent differential oracle). Every production path —
+// single-scratch and sharded alike — sorts with THESE functions, so a
+// tie-break tweak cannot desynchronize the paths from each other.
+
+// compareFABCands orders FAB fill candidates: |value| descending, then
+// coordinate, then client.
+func compareFABCands(a, b fabCand) int {
+	switch {
+	case a.absVal != b.absVal:
+		if a.absVal > b.absVal {
+			return -1
+		}
+		return 1
+	case a.idx != b.idx:
+		return a.idx - b.idx
+	default:
+		return a.client - b.client
+	}
+}
+
+// compareFUBEntries orders FUB's ranking: |b_j| descending, then
+// coordinate.
+func compareFUBEntries(a, b fubEntry) int {
+	switch {
+	case a.abs != b.abs:
+		if a.abs > b.abs {
+			return -1
+		}
+		return 1
+	default:
+		return a.idx - b.idx
+	}
+}
+
+// beginMain / beginProbe start fresh selections for the current call,
+// growing their membership slab to the reduction slabs' dimension (the
+// lazy counterpart of ensureDim — see its comment).
 func (s *AggScratch) beginMain() {
+	if len(s.markMain) < len(s.markTmp) {
+		s.markMain = growInt32s(s.markMain, len(s.markTmp))
+	}
 	par.BumpEpoch(&s.genMain, s.markMain)
 	s.membersMain = s.membersMain[:0]
 }
 
 func (s *AggScratch) beginProbe() {
+	if len(s.markProbe) < len(s.markTmp) {
+		s.markProbe = growInt32s(s.markProbe, len(s.markTmp))
+	}
 	par.BumpEpoch(&s.genProbe, s.markProbe)
 	s.membersProbe = s.membersProbe[:0]
 }
@@ -657,6 +691,17 @@ func mergeSortedDedup(dst, a, b []int) []int {
 	}
 	dst = append(dst, a[i:]...)
 	return append(dst, b[j:]...)
+}
+
+// growInt32s grows s to length n, preserving contents and zeroing the
+// new region (epoch slabs rely on fresh entries being stale).
+func growInt32s(s []int32, n int) []int32 {
+	if len(s) >= n {
+		return s
+	}
+	grown := make([]int32, n)
+	copy(grown, s)
+	return grown
 }
 
 // growInts returns s resized to n without zeroing (contents unspecified).

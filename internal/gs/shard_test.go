@@ -1,0 +1,214 @@
+package gs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/tensor"
+)
+
+// TestShardedDifferentialAllStrategies pins the sharded tier's tentpole
+// guarantee: ShardedScratch.Aggregate — S range reductions merged and
+// selected by the coordinator — is bit-identical to AggregateInto on a
+// single scratch for every strategy, shard count, worker count, and probe
+// setting.
+func TestShardedDifferentialAllStrategies(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		rng := rand.New(rand.NewSource(31 + int64(workers)))
+		single := NewAggScratch(0)
+		for trial := 0; trial < 60; trial++ {
+			n := 1 + rng.Intn(10)
+			d := 20 + rng.Intn(300)
+			k := 1 + rng.Intn(60)
+			probeK := rng.Intn(k) // 0 disables the probe
+			ups := randomUploads(rng, n, d, k)
+			for _, shards := range []int{1, 2, 4, 7} {
+				ss := NewShardedScratch(shards, workers, d)
+				for _, s := range scratchStrategies() {
+					wantMain, wantProbe := s.(ScratchAggregator).AggregateInto(single, ups, k, probeK)
+					gotMain, gotProbe := ss.Aggregate(s.(ShardSelector), ups, k, probeK)
+					requireSameAggregate(t, trial, wantMain, gotMain)
+					if probeK > 0 {
+						requireSameAggregate(t, trial, wantProbe, gotProbe)
+					} else if gotProbe.Indices != nil || gotProbe.Values != nil || gotProbe.PerClientUsed != nil {
+						t.Fatalf("trial %d: %s: probeK=0 returned non-zero probe", trial, s.Name())
+					}
+					// Compare against the single-scratch result BEFORE the
+					// next strategy reuses `single` (both alias scratches).
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDifferentialTieHeavy repeats the cross-check on quantized
+// values, where FAB's κ fill and FUB's ranking are decided almost
+// entirely by tie-breaking — the merged selection must replicate the
+// reference comparators exactly.
+func TestShardedDifferentialTieHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	single := NewAggScratch(0)
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(8)
+		d := 30 + rng.Intn(120)
+		k := 1 + rng.Intn(40)
+		probeK := rng.Intn(k)
+		ups := tieUploads(rng, n, d, k)
+		for _, shards := range []int{2, 3, 5} {
+			ss := NewShardedScratch(shards, 0, d)
+			for _, s := range scratchStrategies() {
+				wantMain, wantProbe := s.(ScratchAggregator).AggregateInto(single, ups, k, probeK)
+				gotMain, gotProbe := ss.Aggregate(s.(ShardSelector), ups, k, probeK)
+				requireSameAggregate(t, trial, wantMain, gotMain)
+				if probeK > 0 {
+					requireSameAggregate(t, trial, wantProbe, gotProbe)
+				}
+			}
+		}
+	}
+}
+
+// routeUploads slices the uploads into per-shard range views with their
+// original ranks — the exact transformation the transport coordinator
+// applies before forwarding to shard processes.
+func routeUploads(ups []ClientUpload, d, shards, shard int) (ranged []ClientUpload, ranks [][]int, lo, hi int) {
+	lo, hi = tensor.ChunkBounds(d, shards, shard)
+	ranged = make([]ClientUpload, len(ups))
+	ranks = make([][]int, len(ups))
+	for ci, u := range ups {
+		var idx []int
+		var val []float64
+		var rk []int
+		for pi, j := range u.Pairs.Idx {
+			if j >= lo && j < hi {
+				idx = append(idx, j)
+				val = append(val, u.Pairs.Val[pi])
+				rk = append(rk, pi)
+			}
+		}
+		ranged[ci] = ClientUpload{Pairs: sparse.Vec{Idx: idx, Val: val}, Weight: u.Weight}
+		ranks[ci] = rk
+	}
+	return ranged, ranks, lo, hi
+}
+
+// TestRangeReduceRankedMatchesDirect pins the wire-shaped path: reducing
+// pre-routed range slices with explicit ranks produces exactly the
+// reduction of the original uploads over the same range — sums bitwise,
+// min-ranks included.
+func TestRangeReduceRankedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		d := 25 + rng.Intn(200)
+		k := 1 + rng.Intn(30)
+		ups := randomUploads(rng, n, d, k)
+		for _, shards := range []int{1, 2, 4} {
+			for shard := 0; shard < shards; shard++ {
+				direct := NewAggScratch(0)
+				routed := NewAggScratch(0)
+				lo, hi := tensor.ChunkBounds(d, shards, shard)
+				want := RangeReduceInto(direct, ups, nil, lo, hi)
+				ranged, ranks, rlo, rhi := routeUploads(ups, d, shards, shard)
+				if rlo != lo || rhi != hi {
+					t.Fatalf("bounds mismatch: [%d,%d) vs [%d,%d)", rlo, rhi, lo, hi)
+				}
+				got := RangeReduceInto(routed, ranged, ranks, lo, hi)
+				if len(want.Idx) != len(got.Idx) {
+					t.Fatalf("trial %d shard %d/%d: %d vs %d coords", trial, shard, shards, len(want.Idx), len(got.Idx))
+				}
+				for i := range want.Idx {
+					if want.Idx[i] != got.Idx[i] || want.Sum[i] != got.Sum[i] || want.MinRank[i] != got.MinRank[i] {
+						t.Fatalf("trial %d shard %d/%d entry %d: (%d,%v,%d) vs (%d,%v,%d)",
+							trial, shard, shards, i,
+							want.Idx[i], want.Sum[i], want.MinRank[i],
+							got.Idx[i], got.Sum[i], got.MinRank[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDegenerate covers the edges: no uploads, empty pairs, more
+// shards than coordinates, k beyond every upload.
+func TestShardedDegenerate(t *testing.T) {
+	dense := []float64{3, -2, 1, 0.5, -0.25}
+	cases := []struct {
+		name string
+		ups  []ClientUpload
+		d, k int
+	}{
+		{"no uploads", nil, 5, 5},
+		{"empty pairs", []ClientUpload{{Pairs: sparse.Vec{}, Weight: 1}}, 5, 3},
+		{"more shards than dims", []ClientUpload{{Pairs: sparse.TopK(dense, 3), Weight: 1}}, 5, 2},
+		{"k beyond uploads", []ClientUpload{{Pairs: sparse.TopK(dense, 2), Weight: 1}}, 5, 50},
+	}
+	single := NewAggScratch(0)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ss := NewShardedScratch(8, 0, tc.d) // 8 shards over d=5: some ranges empty
+			for _, s := range scratchStrategies() {
+				wantMain, _ := s.(ScratchAggregator).AggregateInto(single, tc.ups, tc.k, 0)
+				gotMain, _ := ss.Aggregate(s.(ShardSelector), tc.ups, tc.k, 0)
+				requireSameAggregate(t, 0, wantMain, gotMain)
+			}
+		})
+	}
+}
+
+// TestShardedAllocsWarm extends the allocation-regression gate to the
+// sharded tier: a warm sequential ShardedScratch aggregates with zero
+// allocations for every strategy, probe included.
+func TestShardedAllocsWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	const n, d, k = 8, 2000, 120
+	ups := randomUploads(rng, n, d, k)
+	ss := NewShardedScratch(4, 0, d)
+	for _, s := range scratchStrategies() {
+		sel := s.(ShardSelector)
+		ss.Aggregate(sel, ups, k, 40) // warm the buffers
+		allocs := testing.AllocsPerRun(20, func() {
+			ss.Aggregate(sel, ups, k, 40)
+		})
+		if allocs != 0 {
+			t.Fatalf("%s: %v allocs/op on warm sharded scratch, want 0", s.Name(), allocs)
+		}
+	}
+}
+
+// BenchmarkShardedAggregate tracks the sharded tier against the
+// single-scratch path at the engine's server shape (the per-round work a
+// shard tier splits). On one core the shards axis is pure overhead; on a
+// multi-core runner the workers>1 variants show the fan-out win.
+func BenchmarkShardedAggregate(b *testing.B) {
+	rng := rand.New(rand.NewSource(35))
+	const n, d, k = 32, 20000, 500
+	ups := randomUploads(rng, n, d, k)
+	strat := &FABTopK{}
+	b.Run("single", func(b *testing.B) {
+		scratch := NewAggScratch(0)
+		strat.AggregateInto(scratch, ups, k, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			strat.AggregateInto(scratch, ups, k, 0)
+		}
+	})
+	for _, shards := range []int{2, 4} {
+		for _, workers := range []int{0, 4} {
+			name := fmt.Sprintf("shards=%d/workers=%d", shards, workers)
+			b.Run(name, func(b *testing.B) {
+				ss := NewShardedScratch(shards, workers, d)
+				ss.Aggregate(strat, ups, k, 0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ss.Aggregate(strat, ups, k, 0)
+				}
+			})
+		}
+	}
+}

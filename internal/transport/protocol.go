@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"time"
 
 	"fedsparse/internal/dataset"
 	"fedsparse/internal/gs"
@@ -20,6 +22,143 @@ type ServerConfig struct {
 	// client (generate them with the same seed as the reference engine
 	// for trajectory-identical runs).
 	InitialParams []float64
+	// ShardConns are connections to aggregation shards (RunShard peers).
+	// Empty keeps the aggregation on the coordinator; otherwise the
+	// coordinate space is partitioned across the shards and every round's
+	// reduction runs through the shard tier (see shard.go) — with results
+	// bit-identical to the local path at any shard count.
+	ShardConns []Conn
+}
+
+// Peer is one incoming coordinator connection classified by its first
+// message: a client (Hello consumed and recorded) or an aggregation
+// shard (Hello == nil). AcceptPeer lets one listener serve both roles.
+type Peer struct {
+	Conn  Conn
+	Hello *Hello
+}
+
+// AcceptPeer reads a connection's first message and classifies the peer.
+func AcceptPeer(conn Conn) (Peer, error) {
+	msg, err := conn.Recv()
+	if err != nil {
+		return Peer{}, fmt.Errorf("transport: peer handshake recv: %w", err)
+	}
+	switch h := msg.(type) {
+	case Hello:
+		return Peer{Conn: conn, Hello: &h}, nil
+	case ShardHello:
+		return Peer{Conn: conn}, nil
+	default:
+		return Peer{}, fmt.Errorf("transport: expected Hello or ShardHello, got %T", msg)
+	}
+}
+
+// AcceptPeers accepts connections from ln and classifies each by its
+// first message until nClients clients and nShards shards have arrived,
+// returning them ready for RunServerPeers and ServerConfig.ShardConns.
+// Each handshake is read on its own goroutine, so a connection that
+// never sends one (a port scanner, a health check, a peer that died
+// mid-dial) cannot stall the deployment; unclassifiable connections and
+// surplus peers of an already-filled role are closed and ignored. It
+// returns an error when the listener fails, or when `timeout` (> 0; 0
+// waits forever) elapses before the quota fills — an expected peer that
+// crashed before its handshake then surfaces as a loud error reporting
+// how far the collection got, instead of a silent hang.
+func AcceptPeers(ln *Listener, nClients, nShards int, timeout time.Duration) ([]Peer, []Conn, error) {
+	clients := make([]Peer, 0, nClients)
+	shards := make([]Conn, 0, nShards)
+	if nClients <= 0 && nShards <= 0 {
+		return clients, shards, nil
+	}
+
+	type outcome struct {
+		peer Peer
+		conn Conn
+		err  error
+	}
+	results := make(chan outcome)
+	acceptErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done) // releases the classifier and accept goroutines (LIFO: after the pending close below)
+
+	// Connections accepted but not yet classified; on return, closing
+	// them unblocks any handshake reads still parked on silent peers.
+	var mu sync.Mutex
+	pending := make(map[Conn]bool)
+	finished := false
+	defer func() {
+		mu.Lock()
+		finished = true
+		conns := make([]Conn, 0, len(pending))
+		for c := range pending {
+			conns = append(conns, c)
+		}
+		mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				case <-done:
+				}
+				return
+			}
+			mu.Lock()
+			if finished {
+				mu.Unlock()
+				conn.Close()
+				return
+			}
+			pending[conn] = true
+			mu.Unlock()
+			go func(conn Conn) {
+				peer, err := AcceptPeer(conn)
+				select {
+				case results <- outcome{peer: peer, conn: conn, err: err}:
+				case <-done:
+					conn.Close()
+				}
+			}(conn)
+		}
+	}()
+
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	for len(clients) < nClients || len(shards) < nShards {
+		select {
+		case <-timeoutCh:
+			return nil, nil, fmt.Errorf("transport: timed out after %v waiting for peers (%d/%d clients, %d/%d shards arrived)",
+				timeout, len(clients), nClients, len(shards), nShards)
+		case out := <-results:
+			mu.Lock()
+			delete(pending, out.conn)
+			mu.Unlock()
+			switch {
+			case out.err != nil:
+				out.conn.Close() // junk handshake or dead conn: ignore
+			case out.peer.Hello != nil && len(clients) < nClients:
+				clients = append(clients, out.peer)
+			case out.peer.Hello == nil && len(shards) < nShards:
+				shards = append(shards, out.peer.Conn)
+			default:
+				out.conn.Close() // surplus peer for a filled role
+			}
+		case err := <-acceptErr:
+			return nil, nil, err
+		}
+	}
+	return clients, shards, nil
 }
 
 // RoundRecord is the server's per-round log.
@@ -31,15 +170,10 @@ type RoundRecord struct {
 
 // RunServer drives one FAB-top-k training over the given client
 // connections: handshake, then Rounds iterations of gather-A_i /
-// broadcast-B. It returns the per-round records.
+// broadcast-B. It returns the per-round records. With cfg.ShardConns set
+// the per-round aggregation is delegated to the shard tier.
 func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
-	if len(conns) == 0 {
-		return nil, fmt.Errorf("transport: server needs at least one client")
-	}
-	// Handshake: collect Hellos, order connections by client ID.
-	ordered := make([]Conn, len(conns))
-	weights := make([]float64, len(conns))
-	var totalWeight float64
+	peers := make([]Peer, 0, len(conns))
 	for _, conn := range conns {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -49,15 +183,47 @@ func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
 		if !ok {
 			return nil, fmt.Errorf("transport: expected Hello, got %T", msg)
 		}
-		if hello.ClientID < 0 || hello.ClientID >= len(conns) {
+		peers = append(peers, Peer{Conn: conn, Hello: &hello})
+	}
+	return RunServerPeers(peers, cfg)
+}
+
+// RunServerPeers is RunServer for pre-classified client connections whose
+// Hello was already consumed (the shared-listener path: AcceptPeer sorts
+// incoming connections into clients and shards, clients go here, shard
+// connections go into cfg.ShardConns).
+func RunServerPeers(clients []Peer, cfg ServerConfig) ([]RoundRecord, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("transport: server needs at least one client")
+	}
+	// Order connections by client ID.
+	ordered := make([]Conn, len(clients))
+	weights := make([]float64, len(clients))
+	var totalWeight float64
+	for _, peer := range clients {
+		if peer.Hello == nil {
+			return nil, fmt.Errorf("transport: shard peer passed as client (shard conns belong in ServerConfig.ShardConns)")
+		}
+		hello := *peer.Hello
+		if hello.ClientID < 0 || hello.ClientID >= len(clients) {
 			return nil, fmt.Errorf("transport: client id %d out of range", hello.ClientID)
 		}
 		if ordered[hello.ClientID] != nil {
 			return nil, fmt.Errorf("transport: duplicate client id %d", hello.ClientID)
 		}
-		ordered[hello.ClientID] = conn
+		ordered[hello.ClientID] = peer.Conn
 		weights[hello.ClientID] = hello.Weight
 		totalWeight += hello.Weight
+	}
+	// Assign the shard tier (if any) before releasing the clients into
+	// the round loop: shards need the client weight vector.
+	var shards *ShardGroup
+	if len(cfg.ShardConns) > 0 {
+		var err error
+		shards, err = NewShardGroup(cfg.ShardConns, len(cfg.InitialParams), cfg.Rounds, weights)
+		if err != nil {
+			return nil, err
+		}
 	}
 	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds}
 	for _, conn := range ordered {
@@ -70,9 +236,14 @@ func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
 	// One warm scratch for the whole run: aggregation is allocation-free
 	// after the first round. The broadcast copies the |J|-sized result out
 	// of the scratch because in-memory conns pass messages by reference
-	// and the scratch buffers are overwritten next round.
-	scratch := gs.NewAggScratch(0)
-	scratch.Reserve(len(cfg.InitialParams)) // coordinates index the model
+	// and the scratch buffers are overwritten next round. With a shard
+	// tier the reduction state lives in the shards (and the ShardGroup's
+	// selection scratch), so no local scratch is built at all.
+	var scratch *gs.AggScratch
+	if shards == nil {
+		scratch = gs.NewAggScratch(0)
+		scratch.Reserve(len(cfg.InitialParams)) // coordinates index the model
+	}
 	uploads := make([]gs.ClientUpload, len(ordered))
 	// Duplicate-coordinate detection slab for upload validation: seen[j]
 	// == seenToken means coordinate j already appeared in the upload
@@ -122,7 +293,16 @@ func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
 			}
 			weightedLoss += weights[id] / totalWeight * up.BatchLoss
 		}
-		agg, _ := strategy.AggregateInto(scratch, uploads, cfg.K, 0)
+		var agg gs.Aggregate
+		if shards != nil {
+			var err error
+			agg, _, err = shards.Aggregate(strategy, uploads, m, cfg.K, 0)
+			if err != nil {
+				return records, err
+			}
+		} else {
+			agg, _ = strategy.AggregateInto(scratch, uploads, cfg.K, 0)
+		}
 		bc := Broadcast{
 			Round: m,
 			Idx:   append([]int(nil), agg.Indices...),

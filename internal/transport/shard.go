@@ -1,0 +1,331 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+
+	"fedsparse/internal/gs"
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/tensor"
+)
+
+// This file is the wire form of the coordinate-sharded aggregation tier
+// (gs/shard.go): the coordinator partitions the model's coordinate space
+// into S contiguous ranges with tensor.ChunkBounds, routes every client
+// upload's (index, value) pairs — tagged with their original upload ranks
+// — to the owning shards, and each shard runs the range-restricted
+// reduction before the coordinator's selection merges the results. Shards
+// can be goroutines over NewMemPair or real processes over Dial/Listen;
+// either way the aggregate is bit-identical to the single-process engine
+// at every shard count (the differential suite pins mem and TCP alike).
+
+// Shard-tier message types.
+type (
+	// ShardHello identifies a connection as an aggregation shard on a
+	// shared coordinator listener (clients send Hello instead).
+	ShardHello struct{}
+
+	// ShardAssign is the coordinator's handshake reply to a shard: its
+	// identity, the partition geometry, the run length, and every
+	// client's aggregation weight C_i (the shard needs the full weight
+	// vector — the total weight C divides every sum, including clients
+	// with no pairs in the shard's range).
+	ShardAssign struct {
+		ShardID   int
+		NumShards int
+		Dim       int
+		Rounds    int
+		Weights   []float64
+	}
+
+	// ShardUpload is one round's routed pairs for one shard, all clients
+	// concatenated: client ci's entries are Idx/Val/Rank[Off[ci]:Off[ci+1]].
+	// Rank is each pair's 0-based position in the client's original
+	// upload — the selection metadata the shard's reduction preserves
+	// (range slicing destroys positions, so ranks ride along explicitly).
+	ShardUpload struct {
+		Round int
+		Off   []int
+		Idx   []int
+		Val   []float64
+		Rank  []int
+	}
+
+	// ShardResult is a shard's reduction for one round: for every
+	// distinct uploaded coordinate in its range, ascending, the exact
+	// weighted sum b_j and the minimal upload rank (gs.RangeAgg on the
+	// wire).
+	ShardResult struct {
+		Round   int
+		ShardID int
+		Idx     []int
+		Sum     []float64
+		MinRank []int
+	}
+)
+
+// RunShard executes one aggregation shard over its coordinator
+// connection: receive the ShardAssign, then for every round receive the
+// routed ShardUpload, reduce it over the assigned coordinate range, and
+// reply with the ShardResult. It returns nil after the assigned number of
+// rounds, and an error on a malformed assignment or upload (out-of-range
+// or duplicated coordinates, non-ascending ranks, inconsistent offsets) —
+// the validation mirror of RunServer's client-upload checks, so a broken
+// coordinator fails as a protocol error, not an aggregation panic.
+//
+// Like the client's reusable pair buffers, the reply aliases the shard's
+// scratch: the protocol is lockstep (the coordinator consumes round m's
+// result before routing round m+1), which makes reuse safe even over
+// by-reference in-memory conns.
+func RunShard(conn Conn) error {
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("transport: shard assign recv: %w", err)
+	}
+	assign, ok := msg.(ShardAssign)
+	if !ok {
+		return fmt.Errorf("transport: shard expected ShardAssign, got %T", msg)
+	}
+	if assign.NumShards < 1 || assign.ShardID < 0 || assign.ShardID >= assign.NumShards {
+		return fmt.Errorf("transport: shard id %d out of range [0, %d)", assign.ShardID, assign.NumShards)
+	}
+	if assign.Dim < 1 || assign.Rounds < 0 || len(assign.Weights) == 0 {
+		return fmt.Errorf("transport: bad shard assignment (dim=%d rounds=%d clients=%d)",
+			assign.Dim, assign.Rounds, len(assign.Weights))
+	}
+	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
+	n := len(assign.Weights)
+
+	scratch := gs.NewAggScratch(0)
+	scratch.Reserve(assign.Dim)
+	uploads := make([]gs.ClientUpload, n)
+	ranks := make([][]int, n)
+	for ci := range uploads {
+		uploads[ci].Weight = assign.Weights[ci]
+	}
+	// Duplicate-coordinate slab, one token per (round, client) check.
+	seen := make([]int, assign.Dim)
+	seenToken := 0
+
+	for m := 1; m <= assign.Rounds; m++ {
+		msg, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("transport: shard %d round %d recv: %w", assign.ShardID, m, err)
+		}
+		up, ok := msg.(ShardUpload)
+		if !ok {
+			return fmt.Errorf("transport: shard %d round %d: expected ShardUpload, got %T", assign.ShardID, m, msg)
+		}
+		if up.Round != m {
+			return fmt.Errorf("transport: shard %d: stale upload (round %d, want %d)", assign.ShardID, up.Round, m)
+		}
+		if len(up.Off) != n+1 || up.Off[0] != 0 || up.Off[n] != len(up.Idx) ||
+			len(up.Idx) != len(up.Val) || len(up.Idx) != len(up.Rank) {
+			return fmt.Errorf("transport: shard %d round %d: inconsistent upload shape (%d offsets for %d clients, %d/%d/%d entries)",
+				assign.ShardID, m, len(up.Off), n, len(up.Idx), len(up.Val), len(up.Rank))
+		}
+		for ci := 0; ci < n; ci++ {
+			a, b := up.Off[ci], up.Off[ci+1]
+			if a > b || b > len(up.Idx) {
+				return fmt.Errorf("transport: shard %d round %d: bad offsets for client %d (%d, %d)",
+					assign.ShardID, m, ci, a, b)
+			}
+			seenToken++
+			for pi := a; pi < b; pi++ {
+				j := up.Idx[pi]
+				if j < lo || j >= hi {
+					return fmt.Errorf("transport: shard %d round %d: client %d routed index %d outside range [%d, %d)",
+						assign.ShardID, m, ci, j, lo, hi)
+				}
+				if seen[j] == seenToken {
+					return fmt.Errorf("transport: shard %d round %d: client %d routed duplicate index %d",
+						assign.ShardID, m, ci, j)
+				}
+				seen[j] = seenToken
+				if up.Rank[pi] < 0 || (pi > a && up.Rank[pi] <= up.Rank[pi-1]) {
+					return fmt.Errorf("transport: shard %d round %d: client %d ranks not ascending at entry %d",
+						assign.ShardID, m, ci, pi-a)
+				}
+			}
+			uploads[ci].Pairs = sparse.Vec{Idx: up.Idx[a:b], Val: up.Val[a:b]}
+			ranks[ci] = up.Rank[a:b]
+		}
+		red := gs.RangeReduceInto(scratch, uploads, ranks, lo, hi)
+		res := ShardResult{Round: m, ShardID: assign.ShardID, Idx: red.Idx, Sum: red.Sum, MinRank: red.MinRank}
+		if err := conn.Send(res); err != nil {
+			return fmt.Errorf("transport: shard %d round %d send: %w", assign.ShardID, m, err)
+		}
+	}
+	return nil
+}
+
+// ShardGroup is the coordinator's handle on a set of shard connections:
+// it assigns the partition at construction and then aggregates one round
+// at a time by routing, gathering, and selecting. Single-goroutine state,
+// like the scratches it wraps; returned Aggregates alias the selection
+// scratch and stay valid until the next Aggregate call.
+type ShardGroup struct {
+	conns   []Conn
+	dim     int
+	weights []float64
+	bounds  []int // len(conns)+1 chunk boundaries over [0, dim)
+	sel     *gs.AggScratch
+
+	// Reusable routing and merge buffers.
+	offs [][]int
+	idxs [][]int
+	vals [][]float64
+	rnks [][]int
+
+	mergedIdx  []int
+	mergedSum  []float64
+	mergedRank []int
+}
+
+// NewShardGroup sends every shard its ShardAssign and returns the group.
+// dim is the model dimension, rounds the run length, weights the
+// aggregation weight C_i of each client in client-ID order — Aggregate
+// validates its uploads against them.
+func NewShardGroup(conns []Conn, dim, rounds int, weights []float64) (*ShardGroup, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("transport: shard group needs at least one shard")
+	}
+	if dim < 1 || len(weights) == 0 {
+		return nil, fmt.Errorf("transport: bad shard group geometry (dim=%d clients=%d)", dim, len(weights))
+	}
+	g := &ShardGroup{
+		conns:   conns,
+		dim:     dim,
+		weights: append([]float64(nil), weights...),
+		bounds:  make([]int, len(conns)+1),
+		sel:     gs.NewAggScratch(0),
+		offs:    make([][]int, len(conns)),
+		idxs:    make([][]int, len(conns)),
+		vals:    make([][]float64, len(conns)),
+		rnks:    make([][]int, len(conns)),
+	}
+	g.sel.Reserve(dim)
+	for s := range conns {
+		lo, hi := tensor.ChunkBounds(dim, len(conns), s)
+		g.bounds[s], g.bounds[s+1] = lo, hi
+		g.offs[s] = make([]int, len(weights)+1)
+	}
+	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: g.weights}
+	for s, conn := range conns {
+		assign.ShardID = s
+		if err := conn.Send(assign); err != nil {
+			return nil, fmt.Errorf("transport: assign shard %d: %w", s, err)
+		}
+	}
+	return g, nil
+}
+
+// shardOf returns the shard owning coordinate j.
+func (g *ShardGroup) shardOf(j int) int {
+	return sort.SearchInts(g.bounds, j+1) - 1
+}
+
+// Aggregate runs one round through the shard tier: route the uploads'
+// pairs to their owning shards, gather every shard's range reduction, and
+// select on the merged results — bit-identical to
+// strat.AggregateInto(…, uploads, k, probeK) on a single scratch. The
+// uploads must be in client-ID order with the weights the group was built
+// with.
+func (g *ShardGroup) Aggregate(strat gs.ShardSelector, uploads []gs.ClientUpload, round, k, probeK int) (main, probe gs.Aggregate, err error) {
+	if len(uploads) != len(g.weights) {
+		return main, probe, fmt.Errorf("transport: round %d: %d uploads for %d assigned clients", round, len(uploads), len(g.weights))
+	}
+	// Route. Every pair lands in exactly one shard; ranks are the pair's
+	// position in the client's original upload.
+	for s := range g.conns {
+		g.idxs[s] = g.idxs[s][:0]
+		g.vals[s] = g.vals[s][:0]
+		g.rnks[s] = g.rnks[s][:0]
+		g.offs[s][0] = 0
+	}
+	maxLen := 0
+	for ci, u := range uploads {
+		if u.Weight != g.weights[ci] {
+			return main, probe, fmt.Errorf("transport: round %d: client %d weight %v != assigned %v",
+				round, ci, u.Weight, g.weights[ci])
+		}
+		maxLen = max(maxLen, u.Pairs.Len())
+		for pi, j := range u.Pairs.Idx {
+			if j < 0 || j >= g.dim {
+				return main, probe, fmt.Errorf("transport: round %d: client %d index %d out of range [0, %d)",
+					round, ci, j, g.dim)
+			}
+			s := g.shardOf(j)
+			g.idxs[s] = append(g.idxs[s], j)
+			g.vals[s] = append(g.vals[s], u.Pairs.Val[pi])
+			g.rnks[s] = append(g.rnks[s], pi)
+		}
+		for s := range g.conns {
+			g.offs[s][ci+1] = len(g.idxs[s])
+		}
+	}
+	for s, conn := range g.conns {
+		up := ShardUpload{Round: round, Off: g.offs[s], Idx: g.idxs[s], Val: g.vals[s], Rank: g.rnks[s]}
+		if err := conn.Send(up); err != nil {
+			return main, probe, fmt.Errorf("transport: round %d send to shard %d: %w", round, s, err)
+		}
+	}
+
+	// Gather and merge. Shard ranges are contiguous and ascending, so
+	// concatenating per-shard results in shard order keeps the merged
+	// index list globally ascending — no merge arithmetic at all.
+	g.mergedIdx = g.mergedIdx[:0]
+	g.mergedSum = g.mergedSum[:0]
+	g.mergedRank = g.mergedRank[:0]
+	for s, conn := range g.conns {
+		msg, err := conn.Recv()
+		if err != nil {
+			return main, probe, fmt.Errorf("transport: round %d recv from shard %d: %w", round, s, err)
+		}
+		res, ok := msg.(ShardResult)
+		if !ok {
+			return main, probe, fmt.Errorf("transport: round %d: shard %d sent %T, want ShardResult", round, s, msg)
+		}
+		if res.Round != round || res.ShardID != s {
+			return main, probe, fmt.Errorf("transport: round %d: stale result (round %d from shard %d)",
+				round, res.Round, res.ShardID)
+		}
+		if len(res.Idx) != len(res.Sum) || len(res.Idx) != len(res.MinRank) {
+			return main, probe, fmt.Errorf("transport: round %d: shard %d result shape %d/%d/%d",
+				round, s, len(res.Idx), len(res.Sum), len(res.MinRank))
+		}
+		// The coordinator trusts shards no more than shards trust the
+		// coordinator: indices must be ascending inside the shard's
+		// range, and min ranks must index a real upload position — a
+		// malformed result fails as a protocol error here rather than as
+		// an index panic inside the selection (whose rank histogram is
+		// sized by the longest upload).
+		for i, j := range res.Idx {
+			if j < g.bounds[s] || j >= g.bounds[s+1] || (i > 0 && j <= res.Idx[i-1]) {
+				return main, probe, fmt.Errorf("transport: round %d: shard %d result index %d out of order or range",
+					round, s, j)
+			}
+			if r := res.MinRank[i]; r < 0 || r >= maxLen {
+				return main, probe, fmt.Errorf("transport: round %d: shard %d result rank %d for index %d outside [0, %d)",
+					round, s, r, j, maxLen)
+			}
+		}
+		g.mergedIdx = append(g.mergedIdx, res.Idx...)
+		g.mergedSum = append(g.mergedSum, res.Sum...)
+		g.mergedRank = append(g.mergedRank, res.MinRank...)
+	}
+	merged := gs.RangeAgg{Idx: g.mergedIdx, Sum: g.mergedSum, MinRank: g.mergedRank}
+	main, probe = strat.SelectSharded(g.sel, merged, uploads, k, probeK)
+	return main, probe, nil
+}
+
+// Close closes every shard connection.
+func (g *ShardGroup) Close() error {
+	var first error
+	for _, conn := range g.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

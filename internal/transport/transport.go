@@ -17,6 +17,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Message types of the protocol.
@@ -128,6 +129,10 @@ func registerTypes() {
 		gob.Register(Init{})
 		gob.Register(Upload{})
 		gob.Register(Broadcast{})
+		gob.Register(ShardHello{})
+		gob.Register(ShardAssign{})
+		gob.Register(ShardUpload{})
+		gob.Register(ShardResult{})
 	})
 }
 
@@ -136,13 +141,18 @@ type envelope struct {
 	Msg any
 }
 
-// gobConn is a Conn over any net.Conn using gob encoding.
+// gobConn is a Conn over any net.Conn using gob encoding. Its close
+// semantics match memConn's: Close is idempotent, Send on a closed
+// connection reports ErrClosed, and Recv after either endpoint closes
+// reports io.EOF (the wire analogue of a drained in-memory pipe).
 type gobConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 
-	sendMu sync.Mutex
+	sendMu    sync.Mutex
+	closeOnce sync.Once
+	closed    atomic.Bool
 }
 
 // NewGobConn wraps a network connection with gob framing.
@@ -155,10 +165,22 @@ func NewGobConn(conn net.Conn) Conn {
 	}
 }
 
+// closedConnErr reports whether err is how a net.Conn surfaces writes or
+// reads on a locally or remotely closed connection.
+func closedConnErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe)
+}
+
 func (c *gobConn) Send(msg any) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.closed.Load() {
+		return ErrClosed
+	}
 	if err := c.enc.Encode(envelope{Msg: msg}); err != nil {
+		if c.closed.Load() || closedConnErr(err) {
+			return ErrClosed
+		}
 		return fmt.Errorf("transport: send: %w", err)
 	}
 	return nil
@@ -170,12 +192,79 @@ func (c *gobConn) Recv() (any, error) {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
 		}
+		if c.closed.Load() || closedConnErr(err) {
+			return nil, io.EOF
+		}
 		return nil, fmt.Errorf("transport: recv: %w", err)
 	}
 	return env.Msg, nil
 }
 
-func (c *gobConn) Close() error { return c.conn.Close() }
+func (c *gobConn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		err = c.conn.Close()
+	})
+	return err
+}
+
+// Dial connects to a coordinator's TCP listener and returns the
+// gob-framed Conn. The caller's first message identifies its role: a
+// client sends Hello (RunClient does this), a shard sends ShardHello
+// (DialShard does both steps).
+func Dial(addr string) (Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewGobConn(conn), nil
+}
+
+// DialShard connects to a coordinator and identifies the connection as an
+// aggregation shard — the counterpart AcceptPeer classifies on the
+// coordinator side.
+func DialShard(addr string) (Conn, error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(ShardHello{}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: shard hello: %w", err)
+	}
+	return conn, nil
+}
+
+// Listener accepts gob-framed Conns on a TCP address — the coordinator
+// side of a multi-process deployment.
+type Listener struct {
+	ln net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{ln: ln}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Accept blocks for the next incoming connection.
+func (l *Listener) Accept() (Conn, error) {
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return NewGobConn(conn), nil
+}
+
+// Close stops the listener (established Conns stay open).
+func (l *Listener) Close() error { return l.ln.Close() }
 
 // FlakyConn wraps a Conn and fails after a fixed number of sends —
 // failure-injection instrumentation for the protocol tests.

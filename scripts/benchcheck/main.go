@@ -1,0 +1,286 @@
+// Command benchcheck is the CI bench-regression gate: it re-runs the
+// repository's tracked benchmarks, parses their ns/op and allocs/op, and
+// compares them against the "checks" baselines recorded in BENCH_fl.json.
+// A benchmark regressing by more than the ns/op tolerance (25% by
+// default — machine noise on shared CI runners is real) or by ANY
+// allocs/op increase (allocation counts are deterministic, so any growth
+// is a code change, not noise) fails the gate.
+//
+// Usage, from the repository root:
+//
+//	go run ./scripts/benchcheck            # compare against the baselines
+//	go run ./scripts/benchcheck -update    # re-baseline (rewrites "checks")
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so baselines recorded on one core count compare across runners.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// tracked is the benchmark set the gate runs: the engine grid plus the
+// selection/aggregation micro-benchmarks BENCH_fl.json has always
+// tracked, and the sharded-aggregation tier added with the shard work.
+var tracked = []struct {
+	pkg       string
+	pattern   string
+	benchtime string
+}{
+	{"./internal/sparse/", "BenchmarkTopKInto", "50x"},
+	{"./internal/gs/", "BenchmarkAggregate$|BenchmarkShardedAggregate", "10x"},
+	{".", "BenchmarkRunGSParallel", "3x"},
+}
+
+// check is one benchmark's recorded baseline.
+type check struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// measurement is one parsed benchmark result line.
+type measurement struct {
+	name   string
+	ns     float64
+	allocs float64
+}
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "BENCH_fl.json", "baseline file holding the checks section")
+		update     = flag.Bool("update", false, "re-baseline: rewrite the checks section from a fresh run")
+		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression")
+		allocSlack = flag.Float64("alloc-slack", 2, "allowed absolute allocs/op growth on nonzero baselines (zero baselines stay strict)")
+	)
+	flag.Parse()
+	if err := run(*baseline, *update, *tolerance, *allocSlack); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(baselinePath string, update bool, tolerance, allocSlack float64) error {
+	results, err := measureAll()
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results parsed — did the bench patterns rot?")
+	}
+	if update {
+		return rebaseline(baselinePath, results)
+	}
+	return compare(baselinePath, results, tolerance, allocSlack)
+}
+
+// measureAll runs every tracked benchmark set and returns the parsed
+// measurements keyed by normalized name.
+func measureAll() (map[string]measurement, error) {
+	results := make(map[string]measurement)
+	for _, tr := range tracked {
+		args := []string{"test", "-run", "^$", "-bench", tr.pattern, "-benchtime", tr.benchtime, "-benchmem", "-count", "1", tr.pkg}
+		fmt.Printf("benchcheck: go %s\n", strings.Join(args, " "))
+		cmd := exec.Command("go", args...)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("bench run %s %s: %w", tr.pkg, tr.pattern, err)
+		}
+		for _, m := range parseBench(out.String()) {
+			results[tr.pkg+":"+m.name] = m
+		}
+	}
+	return results, nil
+}
+
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts (name, ns/op, allocs/op) from `go test -bench`
+// output. Metric pairs are scanned positionally (value then unit), so
+// extra ReportMetric columns like ns/round pass through harmlessly.
+func parseBench(out string) []measurement {
+	var ms []measurement
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		m := measurement{name: procSuffix.ReplaceAllString(fields[0], ""), allocs: -1}
+		ok := false
+		for i := 1; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.ns = v
+				ok = true
+			case "allocs/op":
+				m.allocs = v
+			}
+		}
+		if ok {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// compare fails on any tracked regression against the baselines.
+func compare(baselinePath string, results map[string]measurement, tolerance, allocSlack float64) error {
+	doc, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	rawChecks, ok := doc["checks"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("%s has no checks section — run `go run ./scripts/benchcheck -update` on the baseline host", baselinePath)
+	}
+	checks := make(map[string]check, len(rawChecks))
+	for name, raw := range rawChecks {
+		b, err := json.Marshal(raw)
+		if err != nil {
+			return err
+		}
+		var c check
+		if err := json.Unmarshal(b, &c); err != nil {
+			return fmt.Errorf("baseline entry %q: %w", name, err)
+		}
+		checks[name] = c
+	}
+
+	// ns/op baselines only mean something on the hardware class that
+	// recorded them: when the current host's shape differs from the
+	// recorded checks_host (different core count, OS, or arch — e.g. the
+	// 1-core baseline container vs a 4-core CI runner), wall-clock
+	// comparisons are reported as notes instead of failures until someone
+	// re-baselines with -update on the new runner class. allocs/op is
+	// host-independent and always gates hard.
+	sameHost := hostMatches(doc["checks_host"])
+	if !sameHost {
+		fmt.Println("benchcheck: note: host differs from the recorded baseline host — ns/op compared informationally only; re-baseline on this runner class with -update")
+	}
+
+	var failures, missing []string
+	for name, base := range checks {
+		got, ok := results[name]
+		if !ok {
+			// A baseline with no measurement means a bench was renamed or
+			// deleted without re-baselining — that is rot, and it fails.
+			failures = append(failures, fmt.Sprintf("%s: baseline exists but benchmark produced no result", name))
+			continue
+		}
+		if limit := base.NsPerOp * (1 + tolerance); got.ns > limit {
+			msg := fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by more than %.0f%%",
+				name, got.ns, base.NsPerOp, tolerance*100)
+			if sameHost {
+				failures = append(failures, msg)
+			} else {
+				fmt.Println("benchcheck: note (foreign host):", msg)
+			}
+		}
+		// Zero-alloc baselines are strict — those are the repo's signature
+		// invariants (also pinned exactly by the AllocsPerRun unit tests).
+		// Nonzero baselines get a tiny absolute slack: whole-engine bench
+		// counts jitter by a unit or two from runtime internals, while a
+		// real hot-loop regression scales with rounds × clients.
+		allowed := base.AllocsPerOp
+		if allowed > 0 {
+			allowed += allocSlack
+		}
+		if got.allocs >= 0 && got.allocs > allowed {
+			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op regressed from baseline %.1f",
+				name, got.allocs, base.AllocsPerOp))
+		}
+	}
+	for name := range results {
+		if _, ok := checks[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	for _, name := range missing {
+		fmt.Printf("benchcheck: note: %s has no baseline (add one with -update)\n", name)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(failures))
+	}
+	fmt.Printf("benchcheck: OK — %d benchmarks within tolerance (%d unbaselined)\n",
+		len(checks), len(missing))
+	return nil
+}
+
+// hostMatches reports whether the current host has the same shape as the
+// recorded checks_host stamp (missing stamp = mismatch).
+func hostMatches(raw any) bool {
+	host, ok := raw.(map[string]any)
+	if !ok {
+		return false
+	}
+	cores, _ := host["cores"].(float64)
+	goos, _ := host["goos"].(string)
+	goarch, _ := host["goarch"].(string)
+	return int(cores) == runtime.NumCPU() && goos == runtime.GOOS && goarch == runtime.GOARCH
+}
+
+// rebaseline rewrites the checks section (and its host stamp) in place,
+// preserving every other key of the baseline file.
+func rebaseline(baselinePath string, results map[string]measurement) error {
+	doc, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	checks := make(map[string]check, len(results))
+	for name, m := range results {
+		allocs := m.allocs
+		if allocs < 0 {
+			allocs = 0
+		}
+		checks[name] = check{NsPerOp: m.ns, AllocsPerOp: allocs}
+	}
+	doc["checks"] = checks
+	doc["checks_host"] = map[string]any{
+		"date":       time.Now().UTC().Format("2006-01-02"),
+		"go":         runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"cores":      runtime.NumCPU(),
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(baselinePath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchcheck: re-baselined %d benchmarks into %s\n", len(checks), baselinePath)
+	return nil
+}
+
+func loadBaseline(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}

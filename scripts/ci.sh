@@ -13,9 +13,16 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/...
+go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/...
 # Perf micro-benches + the engine grid, one iteration each: keeps the
 # benchmark code compiling AND executing without paying for real timings.
 go test -run '^$' -bench 'BenchmarkTopKInto' -benchtime=1x ./internal/sparse/
-go test -run '^$' -bench 'BenchmarkAggregate' -benchtime=1x ./internal/gs/
+go test -run '^$' -bench 'BenchmarkAggregate$|BenchmarkShardedAggregate' -benchtime=1x ./internal/gs/
 go test -run '^$' -bench 'BenchmarkRunGSParallel' -benchtime=1x .
+
+# Bench-regression gate (CI_BENCH=1): re-runs the tracked benchmarks at
+# real iteration counts and fails on >25% ns/op or any allocs/op
+# regression against the checks baselines in BENCH_fl.json.
+if [ "${CI_BENCH:-0}" = "1" ]; then
+  go run ./scripts/benchcheck
+fi
