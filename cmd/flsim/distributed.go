@@ -32,8 +32,11 @@ func buildWorkload(datasetName, scale string) (*fedsparse.Workload, error) {
 
 // runCoordinator listens for the expected number of clients and shards,
 // then drives the distributed FAB-top-k run and emits the per-round CSV.
+// With direct set the coordinator is a control plane only: shards must
+// have advertised their ingest addresses, and the directory is published
+// to the clients in Init.
 func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, seed int64,
-	listenAddr string, nClients, nShards int, acceptTimeout time.Duration) error {
+	listenAddr string, nClients, nShards int, direct bool, acceptTimeout time.Duration) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -53,32 +56,47 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 		return err
 	}
 	defer ln.Close()
-	fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d shards (k=%d, %d rounds)\n",
-		ln.Addr(), nClients, nShards, k, rounds)
-	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, acceptTimeout)
+	plane := "routed"
+	if direct {
+		plane = "direct"
+	}
+	fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d %s shards (k=%d, %d rounds)\n",
+		ln.Addr(), nClients, nShards, plane, k, rounds)
+	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, acceptTimeout)
 }
 
 // coordinate is the listener-driven core of the coordinator role,
 // separated so tests can bind the listener themselves.
 func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
-	k, rounds int, seed int64, nClients, nShards int, acceptTimeout time.Duration) error {
+	k, rounds int, seed int64, nClients, nShards int, direct bool, acceptTimeout time.Duration) error {
 
 	// Synchronized initial weights: the same construction as the
 	// reference engine with this seed.
 	ref := w.Model()
 	ref.InitWeights(rand.New(rand.NewSource(seed)))
 
-	clients, shardConns, err := fedsparse.AcceptPeers(ln, nClients, nShards, acceptTimeout)
+	clients, shardPeers, err := fedsparse.AcceptPeers(ln, nClients, nShards, acceptTimeout)
 	if err != nil {
 		return err
 	}
-
-	records, err := fedsparse.RunServerPeers(clients, fedsparse.ServerConfig{
+	shardConns, shardAddrs := fedsparse.SplitShardPeers(shardPeers)
+	cfg := fedsparse.ServerConfig{
 		K:             k,
 		Rounds:        rounds,
 		InitialParams: ref.Params(),
 		ShardConns:    shardConns,
-	})
+	}
+	if direct {
+		for s, addr := range shardAddrs {
+			if addr == "" {
+				return fmt.Errorf("flsim: shard %d advertised no ingest address (run shards with -direct -listen INGEST_ADDR)", s)
+			}
+		}
+		cfg.Direct = true
+		cfg.ShardAddrs = shardAddrs
+	}
+
+	records, err := fedsparse.RunServerPeers(clients, cfg)
 	if err != nil {
 		return err
 	}
@@ -90,17 +108,32 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 }
 
 // runShardRole connects to the coordinator as an aggregation shard and
-// serves range reductions until the run completes.
-func runShardRole(connect string) error {
+// serves range reductions until the run completes: routed (slices arrive
+// from the coordinator) by default, or — with direct — over its own
+// ingest listener that clients upload to.
+func runShardRole(connect string, direct bool, listenAddr string, acceptTimeout time.Duration) error {
 	if connect == "" {
 		return errors.New("flsim: -role shard requires -connect")
 	}
-	conn, err := fedsparse.DialShard(connect)
+	if !direct {
+		conn, err := fedsparse.DialShard(connect)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		return fedsparse.RunShard(conn)
+	}
+	ln, err := fedsparse.Listen(listenAddr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	conn, err := fedsparse.DialDirectShard(connect, ln.Addr().String())
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	return fedsparse.RunShard(conn)
+	return fedsparse.ServeDirectShard(conn, ln, acceptTimeout)
 }
 
 // runClientRole connects to the coordinator as participant `id` and

@@ -10,14 +10,14 @@ import (
 	"fedsparse"
 )
 
-// TestDistributedRolesEndToEnd runs the full multi-process topology
-// in-process over loopback TCP: one coordinator, two aggregation shards,
-// and every workload client, all through the same role entry points the
-// CLI dispatches to.
-func TestDistributedRolesEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("training run in -short mode")
-	}
+// runRolesEndToEnd executes the full multi-process topology in-process
+// over loopback TCP — one coordinator, two aggregation shards, and every
+// workload client, all through the same role entry points the CLI
+// dispatches to — and returns the coordinator's CSV. With direct set the
+// shards serve their own ingest listeners and the clients upload straight
+// to them.
+func runRolesEndToEnd(t *testing.T, direct bool) string {
+	t.Helper()
 	const (
 		dataset = "femnist"
 		scale   = "tiny"
@@ -42,7 +42,7 @@ func TestDistributedRolesEndToEnd(t *testing.T) {
 	var out bytes.Buffer
 	coordDone := make(chan error, 1)
 	go func() {
-		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, time.Minute)
+		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, time.Minute)
 	}()
 
 	var wg sync.WaitGroup
@@ -51,7 +51,9 @@ func TestDistributedRolesEndToEnd(t *testing.T) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			shardErrs[s] = runShardRole(addr)
+			// A direct shard needs its own ingest listener, exactly as
+			// the CLI wires it with -direct -listen.
+			shardErrs[s] = runShardRole(addr, direct, "127.0.0.1:0", time.Minute)
 		}(s)
 	}
 	clientErrs := make([]error, n)
@@ -86,11 +88,37 @@ func TestDistributedRolesEndToEnd(t *testing.T) {
 	if lines[0] != "round,loss,downlink_elems" {
 		t.Fatalf("bad CSV header %q", lines[0])
 	}
+	return out.String()
 }
 
-// TestRoleValidation covers the role flag plumbing that needs no network.
+// TestDistributedRolesEndToEnd covers the routed topology end to end.
+func TestDistributedRolesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	runRolesEndToEnd(t, false)
+}
+
+// TestDirectRolesEndToEnd covers the direct topology end to end over
+// real loopback TCP — clients dialing the shard directory, shards
+// serving their own ingest listeners — and requires the per-round CSV
+// (losses, downlink sizes) to be byte-identical to the routed topology
+// with the same seeds: inverting who dials whom must not move a single
+// bit of the trajectory.
+func TestDirectRolesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	direct := runRolesEndToEnd(t, true)
+	routed := runRolesEndToEnd(t, false)
+	if direct != routed {
+		t.Fatalf("direct CSV differs from routed CSV:\n--- direct ---\n%s--- routed ---\n%s", direct, routed)
+	}
+}
+
+// TestRoleValidation covers the role plumbing that needs no network.
 func TestRoleValidation(t *testing.T) {
-	if err := runShardRole(""); err == nil {
+	if err := runShardRole("", false, "", 0); err == nil {
 		t.Fatal("shard role without -connect accepted")
 	}
 	if err := runClientRole("femnist", "tiny", 0, 1, 0, 0, ""); err == nil {
@@ -101,5 +129,74 @@ func TestRoleValidation(t *testing.T) {
 	}
 	if err := runClientRole("femnist", "tiny", -3, 1, 0, 0, "127.0.0.1:1"); err == nil {
 		t.Fatal("negative client id accepted")
+	}
+}
+
+// TestValidateFlags is the table over incoherent -role/-direct/-shards/
+// -clients/-connect/-listen/-id combinations: each must die with a
+// one-line actionable error instead of a mid-round hang.
+func TestValidateFlags(t *testing.T) {
+	mk := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		role    string
+		set     map[string]bool
+		shards  int
+		direct  bool
+		connect string
+		wantErr string // "" = valid
+	}{
+		{"sim default", "sim", mk(), 0, false, "", ""},
+		{"sim sharded", "sim", mk("shards"), 4, false, "", ""},
+		{"sim direct sharded", "sim", mk("shards", "direct"), 2, true, "", ""},
+		{"sim direct without shards", "sim", mk("direct"), 0, true, "", "-shards"},
+		{"sim with connect", "sim", mk("connect"), 0, false, "x", "-connect"},
+		{"sim with id", "sim", mk("id"), 0, false, "", "-id"},
+		{"sim with clients", "sim", mk("clients"), 0, false, "", "-clients"},
+		{"sim with listen", "sim", mk("listen"), 0, false, "", "-listen"},
+		{"coordinator routed", "coordinator", mk("listen", "shards"), 2, false, "", ""},
+		{"coordinator direct", "coordinator", mk("listen", "shards", "direct"), 2, true, "", ""},
+		{"coordinator direct without shards", "coordinator", mk("listen", "direct"), 0, true, "", "-shards"},
+		{"coordinator with connect", "coordinator", mk("connect"), 0, false, "x", "-connect"},
+		{"coordinator with id", "coordinator", mk("id"), 0, false, "", "-id"},
+		{"coordinator with workers", "coordinator", mk("workers"), 0, false, "", "-workers"},
+		{"shard routed", "shard", mk("connect"), 0, false, "x", ""},
+		{"shard without connect", "shard", mk(), 0, false, "", "-connect"},
+		{"shard with shards", "shard", mk("connect", "shards"), 2, false, "x", "-shards"},
+		{"shard with clients", "shard", mk("connect", "clients"), 0, false, "x", "-clients"},
+		{"shard with id", "shard", mk("connect", "id"), 0, false, "x", "-id"},
+		{"shard direct", "shard", mk("connect", "direct", "listen"), 0, true, "x", ""},
+		{"shard direct without listen", "shard", mk("connect", "direct"), 0, true, "x", "-listen"},
+		{"shard routed with listen", "shard", mk("connect", "listen"), 0, false, "x", "-direct"},
+		{"client", "client", mk("connect", "id"), 0, false, "x", ""},
+		{"client without connect", "client", mk("id"), 0, false, "", "-connect"},
+		{"client with shards", "client", mk("connect", "shards"), 2, false, "x", "-shards"},
+		{"client with clients", "client", mk("connect", "clients"), 0, false, "x", "-clients"},
+		{"client with direct", "client", mk("connect", "direct"), 0, true, "x", "Init"},
+		{"client with listen", "client", mk("connect", "listen"), 0, false, "x", "-listen"},
+		{"unknown role", "proxy", mk(), 0, false, "", "unknown role"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.role, tc.set, tc.shards, tc.direct, tc.connect)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err.Error())
+			}
+		})
 	}
 }

@@ -16,6 +16,15 @@
 //	flsim -role coordinator -listen 127.0.0.1:7000 -shards 2 -k 100 -rounds 50
 //	flsim -role shard  -connect 127.0.0.1:7000      (× the -shards count)
 //	flsim -role client -connect 127.0.0.1:7000 -id 0 (× the client count)
+//
+// With -direct the data plane inverts: shards open their own ingest
+// listeners, clients upload range slices straight to them, and the
+// coordinator handles control messages only:
+//
+//	flsim -role coordinator -direct -listen 127.0.0.1:7000 -shards 2 -k 100
+//	flsim -role shard  -direct -connect 127.0.0.1:7000 -listen 127.0.0.1:7101
+//	flsim -role client -connect 127.0.0.1:7000 -id 0    (unchanged: the
+//	    client learns the shard directory from the coordinator's Init)
 package main
 
 import (
@@ -51,40 +60,108 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file (go tool pprof)")
 		role        = flag.String("role", "sim", "process role: sim (in-process simulation), coordinator, shard, client")
-		listenAddr  = flag.String("listen", "127.0.0.1:0", "coordinator: TCP address to listen on")
+		direct      = flag.Bool("direct", false, "client-direct data plane: sim models it in-process; coordinator publishes the shard directory and stays a control plane; shard serves client uploads on its own -listen ingest address")
+		listenAddr  = flag.String("listen", "127.0.0.1:0", "coordinator: TCP address to listen on; direct shard: its client-facing ingest address")
 		connectAddr = flag.String("connect", "", "shard/client: the coordinator's address")
 		clients     = flag.Int("clients", 0, "coordinator: client processes to wait for (0 = the workload's client count)")
 		clientID    = flag.Int("id", 0, "client: this participant's client ID")
-		acceptWait  = flag.Duration("accept-timeout", 2*time.Minute, "coordinator: how long to wait for all peers to arrive (0 = forever)")
+		acceptWait  = flag.Duration("accept-timeout", 2*time.Minute, "coordinator/direct shard: how long to wait for all peers to arrive (0 = forever)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		*workers = runtime.NumCPU()
 	}
-	var err error
-	switch *role {
-	case "sim":
-		err = withProfiles(*cpuProfile, *memProfile, func() error {
-			return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards)
-		})
-	case "coordinator":
-		// The distributed protocol is fixed-k FAB-top-k; reject flags that
-		// would silently mean something else in sim mode.
-		if *strategy != "fab" || *adaptive != "none" {
-			err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
-			break
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	err := validateFlags(*role, set, *shards, *direct, *connectAddr)
+	if err == nil {
+		switch *role {
+		case "sim":
+			err = withProfiles(*cpuProfile, *memProfile, func() error {
+				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct)
+			})
+		case "coordinator":
+			// The distributed protocol is fixed-k FAB-top-k; reject flags
+			// that would silently mean something else in sim mode.
+			if *strategy != "fab" || *adaptive != "none" {
+				err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
+				break
+			}
+			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *acceptWait)
+		case "shard":
+			err = runShardRole(*connectAddr, *direct, *listenAddr, *acceptWait)
+		case "client":
+			err = runClientRole(*datasetName, *scale, *clientID, *seed, *lr, *batch, *connectAddr)
 		}
-		err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *acceptWait)
-	case "shard":
-		err = runShardRole(*connectAddr)
-	case "client":
-		err = runClientRole(*datasetName, *scale, *clientID, *seed, *lr, *batch, *connectAddr)
-	default:
-		err = fmt.Errorf("unknown role %q", *role)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// validateFlags rejects incoherent -role/-direct/-shards/-clients/
+// -connect/-listen/-id combinations up front with a one-line actionable
+// error — a wrong pairing must fail before any process starts waiting on
+// a peer that will never behave as expected (a mid-round hang is the
+// alternative). set records which flags were given explicitly.
+func validateFlags(role string, set map[string]bool, shards int, direct bool, connect string) error {
+	switch role {
+	case "sim":
+		switch {
+		case set["connect"]:
+			return errors.New("flsim: -connect applies to -role shard|client; sim runs in-process")
+		case set["id"]:
+			return errors.New("flsim: -id applies to -role client")
+		case set["clients"]:
+			return errors.New("flsim: -clients applies to -role coordinator")
+		case set["listen"]:
+			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
+		case direct && shards < 1:
+			return errors.New("flsim: -direct requires -shards >= 1 (the direct data plane is a topology of the sharded tier)")
+		}
+	case "coordinator":
+		switch {
+		case set["connect"]:
+			return errors.New("flsim: -connect applies to -role shard|client; the coordinator listens on -listen")
+		case set["id"]:
+			return errors.New("flsim: -id applies to -role client")
+		case set["workers"]:
+			return errors.New("flsim: -workers applies to -role sim; distributed parallelism comes from shard processes")
+		case direct && shards < 1:
+			return errors.New("flsim: a -direct coordinator requires -shards >= 1 (it waits for that many direct shard processes)")
+		}
+	case "shard":
+		switch {
+		case connect == "":
+			return errors.New("flsim: -role shard requires -connect COORDINATOR_ADDR")
+		case set["shards"]:
+			return errors.New("flsim: -shards is the coordinator's flag; shard processes learn the geometry from their assignment")
+		case set["clients"]:
+			return errors.New("flsim: -clients applies to -role coordinator")
+		case set["id"]:
+			return errors.New("flsim: -id applies to -role client")
+		case direct && !set["listen"]:
+			return errors.New("flsim: a direct -role shard requires -listen INGEST_ADDR (clients upload straight to it)")
+		case !direct && set["listen"]:
+			return errors.New("flsim: -listen on a routed shard does nothing; add -direct to serve client uploads")
+		}
+	case "client":
+		switch {
+		case connect == "":
+			return errors.New("flsim: -role client requires -connect COORDINATOR_ADDR")
+		case set["shards"]:
+			return errors.New("flsim: -shards is the coordinator's flag")
+		case set["clients"]:
+			return errors.New("flsim: -clients applies to -role coordinator")
+		case set["direct"]:
+			return errors.New("flsim: clients learn the topology from the coordinator's Init; -direct applies to sim, coordinator, and shard roles")
+		case set["listen"]:
+			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
+		}
+	default:
+		return fmt.Errorf("flsim: unknown role %q (sim, coordinator, shard, client)", role)
+	}
+	return nil
 }
 
 // withProfiles wraps fn with optional pprof capture: a CPU profile
@@ -127,7 +204,7 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
-	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int) error {
+	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -157,6 +234,7 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		EvalEvery:    evalEvery,
 		Workers:      workers,
 		Shards:       shards,
+		Direct:       direct,
 	}
 
 	switch strategy {

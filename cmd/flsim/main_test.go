@@ -18,21 +18,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{
 			name: "bad dataset",
 			call: func() error {
-				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0)
+				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false)
 			},
 			want: "unknown dataset",
 		},
 		{
 			name: "bad strategy",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0)
+				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false)
 			},
 			want: "unknown strategy",
 		},
 		{
 			name: "bad controller",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0)
+				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false)
 			},
 			want: "unknown adaptive controller",
 		},
@@ -55,20 +55,26 @@ func TestRunEmitsCSV(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	// A tiny run through every strategy keeps the CLI paths covered; the
-	// worker pool is exercised through the -workers value and the sharded
-	// aggregation tier through -shards (FedAvg has none, so 0 there).
+	// worker pool is exercised through the -workers value, the sharded
+	// aggregation tier through -shards (FedAvg has none, so 0 there), and
+	// the client-direct topology model through -direct.
 	for _, strat := range []string{"fab", "fub", "uni", "periodic", "sendall", "fedavg"} {
 		shards := 2
 		if strat == "fedavg" {
 			shards = 0
 		}
-		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards); err != nil {
+		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false); err != nil {
 			t.Fatalf("%s: %v", strat, err)
+		}
+		if shards > 0 {
+			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true); err != nil {
+				t.Fatalf("%s direct: %v", strat, err)
+			}
 		}
 	}
 	// Adaptive controllers over the CLI.
 	for _, ctrl := range []string{"alg2", "alg3", "value", "exp3", "bandit"} {
-		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0); err != nil {
+		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false); err != nil {
 			t.Fatalf("%s: %v", ctrl, err)
 		}
 	}

@@ -1,12 +1,14 @@
 // Command distributed runs the FAB-top-k protocol over real TCP
-// connections on localhost with a sharded aggregation tier: a coordinator
-// goroutine, two aggregation-shard goroutines, and one process-like
-// goroutine per client exchange the actual Algorithm 1 messages (sparse
-// uploads A_i, routed shard reductions, aggregated broadcast B) through
-// gob-encoded streams. All roles connect to one listener — the
-// coordinator classifies each peer by its first message — and the
-// resulting trajectory is bit-identical to an unsharded or in-process
-// run with the same seeds.
+// connections on localhost with the client-direct sharded data plane: a
+// coordinator goroutine serves the control plane (handshakes, per-round
+// metadata, selection, broadcast), two aggregation shards each listen on
+// their own ingest address, and one process-like goroutine per client
+// learns the shard directory from the coordinator's Init, splits every
+// top-k upload by coordinate range, and sends each slice straight to the
+// owning shard — the coordinator never receives a gradient upload. All
+// messages are real gob-encoded TCP streams, and the resulting
+// trajectory is bit-identical to a routed, unsharded, or in-process run
+// with the same seeds.
 package main
 
 import (
@@ -46,28 +48,35 @@ func run() error {
 	}
 	defer ln.Close()
 	addr := ln.Addr().String()
-	fmt.Printf("coordinator listening on %s; %d clients, %d aggregation shards, k=%d, %d rounds\n",
+	fmt.Printf("coordinator (control plane) on %s; %d clients, %d direct ingest shards, k=%d, %d rounds\n",
 		addr, n, nShards, k, rounds)
 
-	// Shard processes: dial in, identify as shards, serve range
-	// reductions until the run completes.
+	// Shard processes: open an ingest listener, advertise it to the
+	// coordinator, and serve client slice uploads until the run ends.
 	var wg sync.WaitGroup
 	shardErrs := make([]error, nShards)
 	for s := 0; s < nShards; s++ {
+		ingest, err := fedsparse.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shard %d ingest on %s\n", s, ingest.Addr())
 		wg.Add(1)
-		go func(s int) {
+		go func(s int, ingest *fedsparse.Listener) {
 			defer wg.Done()
-			conn, err := fedsparse.DialShard(addr)
+			defer ingest.Close()
+			conn, err := fedsparse.DialDirectShard(addr, ingest.Addr().String())
 			if err != nil {
 				shardErrs[s] = err
 				return
 			}
 			defer conn.Close()
-			shardErrs[s] = fedsparse.RunShard(conn)
-		}(s)
+			shardErrs[s] = fedsparse.ServeDirectShard(conn, ingest, time.Minute)
+		}(s, ingest)
 	}
 
-	// Client processes.
+	// Client processes: one coordinator dial each; the shard dials
+	// happen inside RunClient once the Init directory arrives.
 	clientErrs := make([]error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -92,17 +101,21 @@ func run() error {
 
 	// Coordinator: classify incoming peers by their first message until
 	// every client and shard has arrived (bounded, so a crashed peer
-	// surfaces as an error instead of a hang).
-	clients, shardConns, err := fedsparse.AcceptPeers(ln, n, nShards, time.Minute)
+	// surfaces as an error instead of a hang), then publish the shard
+	// directory and run the control plane.
+	clients, shardPeers, err := fedsparse.AcceptPeers(ln, n, nShards, time.Minute)
 	if err != nil {
 		return err
 	}
+	shardConns, shardAddrs := fedsparse.SplitShardPeers(shardPeers)
 
 	records, err := fedsparse.RunServerPeers(clients, fedsparse.ServerConfig{
 		K:             k,
 		Rounds:        rounds,
 		InitialParams: ref.Params(),
 		ShardConns:    shardConns,
+		Direct:        true,
+		ShardAddrs:    shardAddrs,
 	})
 	if err != nil {
 		return err
@@ -125,7 +138,7 @@ func run() error {
 			fmt.Printf("%5d  %13.3f  %3d\n", r.Round, r.Loss, r.DownlinkElems)
 		}
 	}
-	fmt.Printf("\nloss over the wire: %.3f -> %.3f across %d TCP clients and %d shards\n",
+	fmt.Printf("\nloss over the wire: %.3f -> %.3f across %d TCP clients uploading straight to %d shards\n",
 		records[0].Loss, records[len(records)-1].Loss, n, nShards)
 	return nil
 }

@@ -90,12 +90,33 @@
 //	clients ──Hello/Upload──▶ coordinator ──ShardUpload──▶ shards
 //	clients ◀──Init/Broadcast─ coordinator ◀──ShardResult── shards
 //
-// One listener serves both roles: AcceptPeer classifies each incoming
-// connection by its first message (Hello = client, ShardHello = shard;
-// see DialShard), clients go to RunServerPeers and shard connections to
-// ServerConfig.ShardConns. The flsim command exposes all three roles
-// (-role coordinator|shard|client with -listen/-connect), so a real
-// multi-process deployment is one command per process.
+// One listener serves every role: AcceptPeer classifies each incoming
+// connection by its first message (Hello = client, ShardHello = shard,
+// DataHello = a client on a direct shard's ingest plane; see DialShard
+// and DialDirectShard), clients go to RunServerPeers and shard
+// connections to ServerConfig.ShardConns. The flsim command exposes all
+// three roles (-role coordinator|shard|client with -listen/-connect),
+// so a real multi-process deployment is one command per process.
+//
+// # Client-direct ingest
+//
+// Config.Direct (with Shards > 0) switches the sharded tier from the
+// routed topology to the client-direct one, and ServerConfig.Direct
+// deploys it over the wire: each shard serves its own ingest listener
+// (ServeDirectShard), the coordinator publishes the shard directory to
+// clients in Init, and every client splits its top-k upload by
+// coordinate range and sends each slice — with explicit local ranks, so
+// min-rank selection metadata stays exact — straight to the owning
+// shard. The coordinator is demoted to a control plane: handshakes,
+// per-round loss/length scalars, the merged shard reductions, and
+// shard-served fill candidates; it never receives a gradient upload
+// (O(N) control messages per round instead of O(N·k) payload). Shards
+// run a per-round client barrier — one slice per client, empty included
+// — so a complete range is a counted fact and a dead client fails the
+// round instead of wedging it. Results remain bit-identical to the
+// routed and unsharded paths at every shard and worker count
+// (gs.DirectScratch is the in-process model; the differential suites
+// pin direct == routed == unsharded over mem and TCP).
 //
 // # Scratch types and allocation-free steady state
 //
@@ -186,6 +207,18 @@ type (
 	ShardSelector = gs.ShardSelector
 	// ShardedScratch runs the sharded aggregation tier in-process.
 	ShardedScratch = gs.ShardedScratch
+	// DirectSelector is the uploads-free coordinator-side selection of
+	// the client-direct tier, implemented by every built-in strategy.
+	DirectSelector = gs.DirectSelector
+	// DirectMeta is the control-plane metadata DirectSelector consumes
+	// in place of the raw uploads.
+	DirectMeta = gs.DirectMeta
+	// FillCand is one shard-served rank-κ fill candidate of FAB's
+	// direct-mode selection.
+	FillCand = gs.FillCand
+	// DirectScratch runs the client-direct aggregation tier in-process
+	// (the model behind Config.Direct).
+	DirectScratch = gs.DirectScratch
 )
 
 // NewAggScratch builds an aggregation scratch whose reductions use up to
@@ -194,10 +227,14 @@ var NewAggScratch = gs.NewAggScratch
 
 // NewShardedScratch builds an in-process sharded aggregation scratch;
 // RangeReduceInto is the per-shard range reduction it (and the transport
-// tier's shard processes) are built on.
+// tier's shard processes) are built on; NewDirectScratch is its
+// client-direct counterpart; ValidateRangeSlice is the shared slice
+// validation both shard topologies trust before reducing.
 var (
-	NewShardedScratch = gs.NewShardedScratch
-	RangeReduceInto   = gs.RangeReduceInto
+	NewShardedScratch  = gs.NewShardedScratch
+	NewDirectScratch   = gs.NewDirectScratch
+	RangeReduceInto    = gs.RangeReduceInto
+	ValidateRangeSlice = gs.ValidateRangeSlice
 )
 
 // Adaptive-k online learning (internal/core).
@@ -360,26 +397,34 @@ type (
 	ClientConfig = transport.ClientConfig
 	// RoundRecord is the distributed server's per-round log.
 	RoundRecord = transport.RoundRecord
-	// Peer is an incoming coordinator connection classified by role.
+	// Peer is an incoming connection classified by role.
 	Peer = transport.Peer
 	// Listener accepts gob-framed Conns on a TCP address.
 	Listener = transport.Listener
-	// ShardGroup is the coordinator's handle on a shard tier.
-	ShardGroup = transport.ShardGroup
+	// ShardGroup is the coordinator's handle on a routed shard tier;
+	// DirectGroup its control-plane handle on a client-direct one.
+	ShardGroup  = transport.ShardGroup
+	DirectGroup = transport.DirectGroup
 )
 
 // Transport constructors and drivers.
 var (
-	NewMemPair     = transport.NewMemPair
-	NewGobConn     = transport.NewGobConn
-	RunServer      = transport.RunServer
-	RunServerPeers = transport.RunServerPeers
-	RunClient      = transport.RunClient
-	RunShard       = transport.RunShard
-	NewShardGroup  = transport.NewShardGroup
-	Dial           = transport.Dial
-	DialShard      = transport.DialShard
-	Listen         = transport.Listen
-	AcceptPeer     = transport.AcceptPeer
-	AcceptPeers    = transport.AcceptPeers
+	NewMemPair       = transport.NewMemPair
+	NewGobConn       = transport.NewGobConn
+	RunServer        = transport.RunServer
+	RunServerPeers   = transport.RunServerPeers
+	RunClient        = transport.RunClient
+	RunShard         = transport.RunShard
+	NewShardGroup    = transport.NewShardGroup
+	Dial             = transport.Dial
+	DialShard        = transport.DialShard
+	DialDirectShard  = transport.DialDirectShard
+	RunDirectShard   = transport.RunDirectShard
+	ServeDirectShard = transport.ServeDirectShard
+	NewDirectGroup   = transport.NewDirectGroup
+	Listen           = transport.Listen
+	AcceptPeer       = transport.AcceptPeer
+	AcceptPeers      = transport.AcceptPeers
+	AcceptDataPeers  = transport.AcceptDataPeers
+	SplitShardPeers  = transport.SplitShardPeers
 )

@@ -1,0 +1,83 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+
+	"fedsparse/internal/gs"
+)
+
+// TestDirectBitIdenticalToRoutedAndUnsharded is the engine-level
+// differential guarantee of the client-direct data plane: for every GS
+// grid config, Run with Direct: true across Shards ∈ {1, 2, 4} ×
+// Workers ∈ {0, 4} produces a byte-identical Result to the routed
+// sharded path at the same geometry AND to the unsharded sequential
+// engine. Direct == routed == unsharded, pinned over every strategy,
+// partial participation, quantization, and the adaptive probe path.
+func TestDirectBitIdenticalToRoutedAndUnsharded(t *testing.T) {
+	for _, tc := range diffGrid() {
+		if strings.Contains(tc.name, "fedavg") {
+			continue // FedAvg has no sparse aggregation to shard
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			refCfg := diffConfig()
+			tc.mutate(&refCfg)
+			refCfg.Workers = 0
+			refCfg.Shards = 0
+			ref, err := Run(refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				for _, workers := range []int{0, 4} {
+					routedCfg := diffConfig()
+					tc.mutate(&routedCfg) // fresh controller: controllers are stateful
+					routedCfg.Shards = shards
+					routedCfg.Workers = workers
+					routed, err := Run(routedCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					directCfg := diffConfig()
+					tc.mutate(&directCfg)
+					directCfg.Shards = shards
+					directCfg.Workers = workers
+					directCfg.Direct = true
+					direct, err := Run(directCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireBitIdentical(t, tc.name+"/direct-vs-routed", routed, direct)
+					requireBitIdentical(t, tc.name+"/direct-vs-unsharded", ref, direct)
+				}
+			}
+		})
+	}
+}
+
+func TestDirectValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Direct = true
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Shards") {
+		t.Fatalf("Direct without Shards not rejected: %v", err)
+	}
+
+	cfg = smallConfig()
+	cfg.Strategy = nil
+	cfg.FedAvg = true
+	cfg.FedAvgKEquiv = 50
+	cfg.Direct = true
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Direct") {
+		t.Fatalf("Direct with FedAvg not rejected: %v", err)
+	}
+
+	// legacyMandate forwards by explicit methods only, so the inner
+	// strategy's DirectSelector does not promote through it.
+	cfg = smallConfig()
+	cfg.Strategy = legacyMandate{gs.FUBTopK{}}
+	cfg.Shards = 2
+	cfg.Direct = true
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "DirectSelector") {
+		t.Fatalf("Direct with non-DirectSelector strategy not rejected: %v", err)
+	}
+}

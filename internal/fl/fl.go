@@ -128,6 +128,20 @@ type Config struct {
 	// parallelism without touching the trajectory. GS mode only; the
 	// Strategy must implement gs.ShardSelector (all built-ins do).
 	Shards int
+
+	// Direct switches the sharded tier (Shards > 0 required) from the
+	// routed topology — every upload flows through the coordinator, which
+	// re-routes range slices to shards — to the client-direct one: each
+	// upload is split by coordinate range at the client, every slice
+	// (tagged with explicit local ranks) goes straight to the owning
+	// shard, and the coordinator selects over the merged shard reductions
+	// plus control-plane metadata only, never the raw uploads
+	// (gs.DirectScratch in-process; the transport package deploys the
+	// same data plane over real connections). Results are bit-identical
+	// to the routed and unsharded paths at every shard and worker count.
+	// GS mode only; the Strategy must implement gs.DirectSelector (all
+	// built-ins do).
+	Direct bool
 }
 
 // RoundStats captures one round of training.
@@ -256,9 +270,17 @@ func validate(cfg *Config) error {
 		return errors.New("fl: Shards must be non-negative (0 = unsharded)")
 	case cfg.Shards > 0 && cfg.FedAvg:
 		return errors.New("fl: Shards applies to GS mode only (FedAvg has no sparse aggregation)")
+	case cfg.Direct && cfg.FedAvg:
+		return errors.New("fl: Direct applies to GS mode only (FedAvg has no sparse aggregation)")
+	case cfg.Direct && cfg.Shards == 0:
+		return errors.New("fl: Direct requires Shards > 0 (it is a topology of the sharded tier)")
 	}
 	if cfg.Shards > 0 {
-		if _, ok := cfg.Strategy.(gs.ShardSelector); !ok {
+		if cfg.Direct {
+			if _, ok := cfg.Strategy.(gs.DirectSelector); !ok {
+				return fmt.Errorf("fl: Direct requires a strategy implementing gs.DirectSelector; %s does not", cfg.Strategy.Name())
+			}
+		} else if _, ok := cfg.Strategy.(gs.ShardSelector); !ok {
 			return fmt.Errorf("fl: Shards > 0 requires a strategy implementing gs.ShardSelector; %s does not", cfg.Strategy.Name())
 		}
 	}
@@ -366,7 +388,12 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	var aggScratch *gs.AggScratch
 	var shardedAgg *gs.ShardedScratch
 	var shardSel gs.ShardSelector
-	if cfg.Shards > 0 {
+	var directAgg *gs.DirectScratch
+	var directSel gs.DirectSelector
+	if cfg.Direct {
+		directSel = cfg.Strategy.(gs.DirectSelector)
+		directAgg = gs.NewDirectScratch(cfg.Shards, cfg.Workers, d)
+	} else if cfg.Shards > 0 {
 		shardSel = cfg.Strategy.(gs.ShardSelector)
 		shardedAgg = gs.NewShardedScratch(cfg.Shards, cfg.Workers, d)
 	} else if scratchAgg != nil {
@@ -458,7 +485,13 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		// identical B, which is what keeps weights synchronized. The k and
 		// probe-k′ aggregates come out of a single pass over the uploads.
 		var agg, probeAgg gs.Aggregate
-		if shardedAgg != nil {
+		if directAgg != nil {
+			var err error
+			agg, probeAgg, err = directAgg.Aggregate(directSel, uploads, kInt, probeInt)
+			if err != nil {
+				return nil, fmt.Errorf("fl: round %d direct aggregation: %w", m, err)
+			}
+		} else if shardedAgg != nil {
 			agg, probeAgg = shardedAgg.Aggregate(shardSel, uploads, kInt, probeInt)
 		} else if scratchAgg != nil {
 			agg, probeAgg = scratchAgg.AggregateInto(aggScratch, uploads, kInt, probeInt)

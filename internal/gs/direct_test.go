@@ -1,0 +1,165 @@
+package gs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedsparse/internal/sparse"
+)
+
+// TestDirectScratchMatchesSharded is the direct tier's differential
+// guarantee at the aggregation level: for every strategy, shard count,
+// worker count, and (k, probeK), DirectScratch — client-side range
+// splitting, explicit-rank shard reductions, uploads-free selection with
+// shard-served metadata — produces Aggregates bit-identical to
+// ShardedScratch and to the single-scratch AggregateInto.
+func TestDirectScratchMatchesSharded(t *testing.T) {
+	const n, d, k, rounds = 9, 600, 40, 5
+	strategies := []Strategy{
+		&FABTopK{}, &FABTopK{LinearScan: true}, FUBTopK{}, UniTopK{}, PeriodicK{}, SendAll{},
+	}
+	for _, nShards := range []int{1, 2, 4} {
+		for _, workers := range []int{0, 4} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", nShards, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(77 + int64(nShards)*10 + int64(workers)))
+				for _, strat := range strategies {
+					direct := NewDirectScratch(nShards, workers, d)
+					sharded := NewShardedScratch(nShards, workers, d)
+					single := NewAggScratch(workers)
+					for m := 0; m < rounds; m++ {
+						ups := testRankedUploads(rng, n, d, k)
+						probeK := 0
+						if m%2 == 1 {
+							probeK = k / 2
+						}
+						gotMain, gotProbe, err := direct.Aggregate(strat.(DirectSelector), ups, k, probeK)
+						if err != nil {
+							t.Fatalf("%s: %v", strat.Name(), err)
+						}
+						wantMain, wantProbe := sharded.Aggregate(strat.(ShardSelector), ups, k, probeK)
+						requireAggEqual(t, strat.Name()+"/vs-sharded", wantMain, gotMain)
+						singleMain, singleProbe := strat.(ScratchAggregator).AggregateInto(single, ups, k, probeK)
+						requireAggEqual(t, strat.Name()+"/vs-single", singleMain, gotMain)
+						if probeK > 0 {
+							requireAggEqual(t, strat.Name()+"/probe-vs-sharded", wantProbe, gotProbe)
+							requireAggEqual(t, strat.Name()+"/probe-vs-single", singleProbe, gotProbe)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// testRankedUploads builds n rank-ordered top-k uploads over dimension d,
+// with occasional shorter stragglers (the producer contract of the
+// uplink).
+func testRankedUploads(rng *rand.Rand, n, d, k int) []ClientUpload {
+	ups := make([]ClientUpload, n)
+	for i := range ups {
+		dense := make([]float64, d)
+		for j := range dense {
+			dense[j] = rng.NormFloat64()
+		}
+		ki := k
+		if rng.Intn(3) == 0 {
+			ki = 1 + rng.Intn(k)
+		}
+		ups[i] = ClientUpload{Pairs: sparse.TopK(dense, ki), Weight: 1 + rng.Float64()*9}
+	}
+	return ups
+}
+
+func requireAggEqual(t *testing.T, label string, want, got Aggregate) {
+	t.Helper()
+	if len(want.Indices) != len(got.Indices) {
+		t.Fatalf("%s: |J| %d vs %d", label, len(want.Indices), len(got.Indices))
+	}
+	for i := range want.Indices {
+		if want.Indices[i] != got.Indices[i] || want.Values[i] != got.Values[i] {
+			t.Fatalf("%s: entry %d: (%d, %v) vs (%d, %v)", label, i,
+				want.Indices[i], want.Values[i], got.Indices[i], got.Values[i])
+		}
+	}
+	if len(want.PerClientUsed) != len(got.PerClientUsed) {
+		t.Fatalf("%s: PerClientUsed %d vs %d", label, len(want.PerClientUsed), len(got.PerClientUsed))
+	}
+	for ci := range want.PerClientUsed {
+		if want.PerClientUsed[ci] != got.PerClientUsed[ci] {
+			t.Fatalf("%s: client %d used %d vs %d", label, ci, want.PerClientUsed[ci], got.PerClientUsed[ci])
+		}
+	}
+}
+
+// TestValidateRangeSlice pins the shared slice validation both shard
+// topologies trust before reducing.
+func TestValidateRangeSlice(t *testing.T) {
+	seen := make([]int, 10)
+	gen := 0
+	check := func(idx []int, val []float64, rank []int) error {
+		gen++
+		return ValidateRangeSlice(idx, val, rank, 2, 7, seen, gen)
+	}
+	if err := check([]int{2, 6, 3}, []float64{1, 2, 3}, []int{0, 4, 9}); err != nil {
+		t.Fatalf("valid slice rejected: %v", err)
+	}
+	if err := check(nil, nil, nil); err != nil {
+		t.Fatalf("empty slice rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		idx  []int
+		val  []float64
+		rank []int
+		want string
+	}{
+		{"below range", []int{1}, []float64{1}, []int{0}, "outside range"},
+		{"above range", []int{7}, []float64{1}, []int{0}, "outside range"},
+		{"duplicate", []int{3, 3}, []float64{1, 2}, []int{0, 1}, "duplicate"},
+		{"ragged", []int{3, 4}, []float64{1}, []int{0, 1}, "inconsistent"},
+		{"rank order", []int{3, 4}, []float64{1, 2}, []int{5, 2}, "ranks not ascending"},
+		{"negative rank", []int{3}, []float64{1}, []int{-1}, "ranks not ascending"},
+		{"equal ranks", []int{3, 4}, []float64{1, 2}, []int{2, 2}, "ranks not ascending"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := check(tc.idx, tc.val, tc.rank)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	// The epoch slab carries no state across generations: a coordinate
+	// used in one slice is fine in the next.
+	if err := check([]int{3}, []float64{1}, []int{0}); err != nil {
+		t.Fatalf("cross-generation reuse rejected: %v", err)
+	}
+}
+
+// TestAppendFillCands pins the shard-side rank-κ candidate extraction.
+func TestAppendFillCands(t *testing.T) {
+	slices := []ClientUpload{
+		{Pairs: sparse.Vec{Idx: []int{5, 9}, Val: []float64{-3, 1}}},   // ranks 1, 4
+		{Pairs: sparse.Vec{Idx: []int{2}, Val: []float64{7}}},          // rank 0
+		{Pairs: sparse.Vec{Idx: []int{8, 4}, Val: []float64{-2, 0.5}}}, // ranks 1, 2
+	}
+	ranks := [][]int{{1, 4}, {0}, {1, 2}}
+	cands := AppendFillCands(nil, slices, ranks, 1)
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2: %+v", len(cands), cands)
+	}
+	if cands[0] != (FillCand{Idx: 5, AbsVal: 3, Client: 0}) || cands[1] != (FillCand{Idx: 8, AbsVal: 2, Client: 2}) {
+		t.Fatalf("candidates %+v", cands)
+	}
+	if got := AppendFillCands(nil, slices, ranks, 7); len(got) != 0 {
+		t.Fatalf("rank beyond every slice returned %+v", got)
+	}
+	// Sorting uses the reference comparator: |value| desc, idx, client.
+	c := []FillCand{{Idx: 9, AbsVal: 1, Client: 0}, {Idx: 2, AbsVal: 7, Client: 1}, {Idx: 1, AbsVal: 7, Client: 2}}
+	SortFillCands(c)
+	if c[0].Idx != 1 || c[1].Idx != 2 || c[2].Idx != 9 {
+		t.Fatalf("sorted order %+v", c)
+	}
+}

@@ -128,18 +128,7 @@ func (s *AggScratch) fabSelectRanged(red RangeAgg, uploads []ClientUpload, k int
 	for _, u := range uploads {
 		maxLen = max(maxLen, u.Pairs.Len())
 	}
-	s.rankHist = resetInts(s.rankHist, maxLen+1)
-	for _, r := range red.MinRank {
-		s.rankHist[r]++
-	}
-	// Largest κ in [0, maxLen] with union size ≤ k (the reference's binary
-	// and linear searches find the same κ; the histogram prefix walk is a
-	// third route to the identical value).
-	kappa, size := 0, 0
-	for kappa < maxLen && size+s.rankHist[kappa] <= k {
-		size += s.rankHist[kappa]
-		kappa++
-	}
+	kappa := s.kappaRanged(red, maxLen, k)
 	for i, j := range red.Idx {
 		if red.MinRank[i] < kappa {
 			if mark[j] != gen {

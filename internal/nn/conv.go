@@ -37,14 +37,18 @@ func NewConv2D(inC, inH, inW, filters, k int) *Conv2D {
 		inC: inC, inH: inH, inW: inW,
 		filters: filters, k: k,
 		outH: outH, outW: outW,
-		y:  make([]float64, filters*outH*outW),
-		gx: make([]float64, inC*inH*inW),
 	}
 }
 
-func (c *Conv2D) InSize() int    { return c.inC * c.inH * c.inW }
-func (c *Conv2D) OutSize() int   { return c.filters * c.outH * c.outW }
-func (c *Conv2D) NumParams() int { return c.filters*c.inC*c.k*c.k + c.filters }
+func (c *Conv2D) InSize() int      { return c.inC * c.inH * c.inW }
+func (c *Conv2D) OutSize() int     { return c.filters * c.outH * c.outW }
+func (c *Conv2D) NumParams() int   { return c.filters*c.inC*c.k*c.k + c.filters }
+func (c *Conv2D) CacheFloats() int { return c.OutSize() + c.InSize() }
+
+func (c *Conv2D) BindCache(buf []float64) {
+	c.y = buf[:c.OutSize()]
+	c.gx = buf[c.OutSize():]
+}
 
 func (c *Conv2D) Bind(params, grads []float64) {
 	nw := c.filters * c.inC * c.k * c.k
@@ -156,14 +160,19 @@ func NewMaxPool2D(c, inH, inW int) *MaxPool2D {
 		c: c, inH: inH, inW: inW,
 		outH: outH, outW: outW,
 		argmax: make([]int, c*outH*outW),
-		y:      make([]float64, c*outH*outW),
-		gx:     make([]float64, c*inH*inW),
 	}
 }
 
-func (p *MaxPool2D) InSize() int         { return p.c * p.inH * p.inW }
-func (p *MaxPool2D) OutSize() int        { return p.c * p.outH * p.outW }
-func (p *MaxPool2D) NumParams() int      { return 0 }
+func (p *MaxPool2D) InSize() int      { return p.c * p.inH * p.inW }
+func (p *MaxPool2D) OutSize() int     { return p.c * p.outH * p.outW }
+func (p *MaxPool2D) NumParams() int   { return 0 }
+func (p *MaxPool2D) CacheFloats() int { return p.OutSize() + p.InSize() }
+
+func (p *MaxPool2D) BindCache(buf []float64) {
+	p.y = buf[:p.OutSize()]
+	p.gx = buf[p.OutSize():]
+}
+
 func (p *MaxPool2D) Bind(_, _ []float64) {}
 func (p *MaxPool2D) Init(_ *rand.Rand)   {}
 

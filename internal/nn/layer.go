@@ -31,12 +31,25 @@ import (
 // and remain valid only until the next call. Backward accumulates (does not
 // overwrite) parameter gradients into the gradient view supplied to Bind,
 // which is what lets the Network average gradients over a minibatch.
+//
+// Float caches (activations and input gradients) are not allocated by the
+// constructors: the Network slab-allocates every layer's caches — together
+// with the flat parameter and gradient vectors — out of one contiguous
+// per-network arena and hands each layer its view via BindCache. One
+// network per simulated client means one arena per client, and the
+// forward/backward hot path stays allocation-free by construction (pinned
+// by the allocs/op regression tests).
 type Layer interface {
 	// InSize and OutSize are the flattened activation lengths.
 	InSize() int
 	OutSize() int
 	// NumParams is the number of trainable scalars in this layer.
 	NumParams() int
+	// CacheFloats is the layer's forward/backward float-cache footprint;
+	// BindCache hands it a zeroed view of that length into the network
+	// arena (called once at wiring, before any Forward).
+	CacheFloats() int
+	BindCache(buf []float64)
 	// Bind hands the layer its views into the network-wide flat parameter
 	// and gradient vectors; both have length NumParams.
 	Bind(params, grads []float64)
@@ -63,17 +76,18 @@ type Dense struct {
 
 // NewDense constructs a fully connected layer with the given fan-in/out.
 func NewDense(in, out int) *Dense {
-	return &Dense{
-		in:  in,
-		out: out,
-		y:   make([]float64, out),
-		gx:  make([]float64, in),
-	}
+	return &Dense{in: in, out: out}
 }
 
-func (d *Dense) InSize() int    { return d.in }
-func (d *Dense) OutSize() int   { return d.out }
-func (d *Dense) NumParams() int { return d.out*d.in + d.out }
+func (d *Dense) InSize() int      { return d.in }
+func (d *Dense) OutSize() int     { return d.out }
+func (d *Dense) NumParams() int   { return d.out*d.in + d.out }
+func (d *Dense) CacheFloats() int { return d.out + d.in }
+
+func (d *Dense) BindCache(buf []float64) {
+	d.y = buf[:d.out]
+	d.gx = buf[d.out:]
+}
 
 func (d *Dense) Bind(params, grads []float64) {
 	nw := d.out * d.in
@@ -120,14 +134,19 @@ func NewReLU(size int) *ReLU {
 	return &ReLU{
 		size: size,
 		mask: make([]bool, size),
-		y:    make([]float64, size),
-		gx:   make([]float64, size),
 	}
 }
 
-func (r *ReLU) InSize() int         { return r.size }
-func (r *ReLU) OutSize() int        { return r.size }
-func (r *ReLU) NumParams() int      { return 0 }
+func (r *ReLU) InSize() int      { return r.size }
+func (r *ReLU) OutSize() int     { return r.size }
+func (r *ReLU) NumParams() int   { return 0 }
+func (r *ReLU) CacheFloats() int { return 2 * r.size }
+
+func (r *ReLU) BindCache(buf []float64) {
+	r.y = buf[:r.size]
+	r.gx = buf[r.size:]
+}
+
 func (r *ReLU) Bind(_, _ []float64) {}
 func (r *ReLU) Init(_ *rand.Rand)   {}
 
@@ -164,12 +183,19 @@ type Tanh struct {
 
 // NewTanh constructs a Tanh over activations of the given length.
 func NewTanh(size int) *Tanh {
-	return &Tanh{size: size, y: make([]float64, size), gx: make([]float64, size)}
+	return &Tanh{size: size}
 }
 
-func (t *Tanh) InSize() int         { return t.size }
-func (t *Tanh) OutSize() int        { return t.size }
-func (t *Tanh) NumParams() int      { return 0 }
+func (t *Tanh) InSize() int      { return t.size }
+func (t *Tanh) OutSize() int     { return t.size }
+func (t *Tanh) NumParams() int   { return 0 }
+func (t *Tanh) CacheFloats() int { return 2 * t.size }
+
+func (t *Tanh) BindCache(buf []float64) {
+	t.y = buf[:t.size]
+	t.gx = buf[t.size:]
+}
+
 func (t *Tanh) Bind(_, _ []float64) {}
 func (t *Tanh) Init(_ *rand.Rand)   {}
 

@@ -12,39 +12,56 @@ import (
 // flat vector of dimension D, with the matching flat gradient vector. The
 // federated-learning engine treats both as opaque []float64, which is
 // exactly the representation gradient sparsification needs.
+//
+// All float storage — parameters, gradients, the softmax scratch, and
+// every layer's forward/backward caches — is carved out of one contiguous
+// arena allocated at construction. A Network is per-client state in the
+// engine, so the arena is the per-client arena: one allocation, one cache
+// footprint, and a steady state in which Forward/Backprop/Loss allocate
+// nothing per sample (the allocs/op regression tests pin this).
 type Network struct {
 	layers []Layer
+	arena  []float64
 	params []float64
 	grads  []float64
 	probs  []float64 // scratch for softmax
 }
 
 // New wires the given layers into a network, validating that each layer's
-// output size matches the next layer's input size, and allocates the flat
-// parameter/gradient storage. Weights are zero until InitWeights is called.
+// output size matches the next layer's input size, and carves the flat
+// parameter/gradient storage plus every layer's caches out of a single
+// arena. Weights are zero until InitWeights is called.
 func New(layers ...Layer) (*Network, error) {
 	if len(layers) == 0 {
 		return nil, fmt.Errorf("nn: network needs at least one layer")
 	}
-	var d int
+	var d, cache int
 	for i, l := range layers {
 		if i > 0 && layers[i-1].OutSize() != l.InSize() {
 			return nil, fmt.Errorf("nn: layer %d output size %d does not match layer %d input size %d",
 				i-1, layers[i-1].OutSize(), i, l.InSize())
 		}
 		d += l.NumParams()
+		cache += l.CacheFloats()
 	}
+	numClasses := layers[len(layers)-1].OutSize()
+	arena := make([]float64, d+d+numClasses+cache)
 	n := &Network{
 		layers: layers,
-		params: make([]float64, d),
-		grads:  make([]float64, d),
-		probs:  make([]float64, layers[len(layers)-1].OutSize()),
+		arena:  arena,
+		params: arena[:d:d],
+		grads:  arena[d : 2*d : 2*d],
+		probs:  arena[2*d : 2*d+numClasses : 2*d+numClasses],
 	}
 	off := 0
+	cacheOff := 2*d + numClasses
 	for _, l := range layers {
 		np := l.NumParams()
 		l.Bind(n.params[off:off+np], n.grads[off:off+np])
 		off += np
+		nc := l.CacheFloats()
+		l.BindCache(arena[cacheOff : cacheOff+nc : cacheOff+nc])
+		cacheOff += nc
 	}
 	return n, nil
 }

@@ -1,0 +1,592 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fedsparse/internal/gs"
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/tensor"
+)
+
+// This file is the client-direct data plane: the topology where clients
+// split their top-k upload by coordinate range and send each slice
+// straight to the owning shard, demoting the coordinator to a control
+// plane. Per round:
+//
+//	clients ──SliceUpload──────────────▶ shards          (the data plane)
+//	clients ──RoundMeta───▶ coordinator ◀──ShardResult── shards
+//	clients ◀──Broadcast── coordinator ──FillQuery?/RoundFinish──▶ shards
+//
+// The coordinator's per-round ingest shrinks from O(N·k) routed payload
+// to O(N) scalar control messages plus the O(|J|)-sized merged shard
+// reductions it needs for selection and broadcast anyway — it never
+// receives a gradient upload (the zero-payload test pins this). Each
+// shard runs a per-round client barrier: exactly one slice per client
+// per round (empty slices included), so a complete range is a counted
+// fact, and a dead client surfaces as a connection error on the barrier
+// instead of a wedge. Selection stays exact: shards compute the range
+// reductions from the slices' explicit local ranks, and the two pieces
+// of per-upload metadata a reduction does not carry are served by the
+// shards on demand (FAB's rank-κ fill candidates via FillQuery — each
+// client's rank-κ pair lives in exactly one shard). The trajectory is
+// bit-identical to the routed and single-process paths, over in-memory
+// pairs and TCP alike.
+
+// Direct data-plane message types.
+type (
+	// DataHello opens a client's ingest connection to one shard. The
+	// geometry fields echo the directory the client is acting on, so a
+	// stale directory (wrong shard count, dimension, or shard identity)
+	// fails the handshake loudly instead of corrupting a barrier.
+	DataHello struct {
+		ClientID  int
+		ShardID   int
+		NumShards int
+		Dim       int
+	}
+
+	// SliceUpload is one client's range slice for one round: the subset
+	// of its top-k pairs owned by the receiving shard, with each pair's
+	// explicit rank in the client's full upload (range slicing destroys
+	// positions, so the selection metadata rides along; ranks ascend).
+	// Clients send one per shard per round, empty when no pair landed in
+	// the range — the shard's barrier counts them.
+	SliceUpload struct {
+		ClientID int
+		Round    int
+		Idx      []int
+		Val      []float64
+		Rank     []int
+	}
+
+	// RoundMeta is the client's per-round control message to the
+	// coordinator: its minibatch loss (the global-loss input) and its
+	// upload length (the κ-search bound) — scalars, never payload.
+	RoundMeta struct {
+		ClientID  int
+		Round     int
+		BatchLoss float64
+		UploadLen int
+	}
+
+	// FillQuery asks every shard for its rank-Kappa fill candidates —
+	// the per-upload metadata FAB's selection needs when the rank-κ
+	// union leaves the downlink short.
+	FillQuery struct {
+		Round int
+		Kappa int
+	}
+
+	// FillCandidates is one shard's reply: for each of its clients whose
+	// round slice contains the pair ranked Kappa, the candidate tuple
+	// (parallel slices, clients ascending).
+	FillCandidates struct {
+		Round   int
+		ShardID int
+		Client  []int
+		Idx     []int
+		AbsVal  []float64
+	}
+
+	// RoundFinish releases a shard from the round's query-serving loop
+	// into the next round's barrier.
+	RoundFinish struct {
+		Round int
+	}
+)
+
+// RunDirectShard executes one aggregation shard of the direct data
+// plane over its coordinator control connection: receive the (direct)
+// ShardAssign, obtain the client ingest connections through accept —
+// called with the client count once the assignment names it — and then,
+// per round, run the client barrier (one validated SliceUpload per
+// client), reduce the range with the explicit-rank reduction, reply
+// with the ShardResult, and serve FillQuery requests until the
+// coordinator's RoundFinish. Client connections are closed on return.
+// Any malformed handshake, slice, or control message — a stale
+// directory, an out-of-range or duplicated coordinate, non-ascending
+// ranks, a slice claiming another client's identity, a stale round —
+// errors the run as a protocol failure, and a client death between
+// slices surfaces as a connection error on the barrier.
+func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error {
+	msg, err := coord.Recv()
+	if err != nil {
+		return fmt.Errorf("transport: direct shard assign recv: %w", err)
+	}
+	assign, ok := msg.(ShardAssign)
+	if !ok {
+		return fmt.Errorf("transport: direct shard expected ShardAssign, got %T", msg)
+	}
+	if assign.NumShards < 1 || assign.ShardID < 0 || assign.ShardID >= assign.NumShards {
+		return fmt.Errorf("transport: shard id %d out of range [0, %d)", assign.ShardID, assign.NumShards)
+	}
+	if assign.Dim < 1 || assign.Rounds < 0 || len(assign.Weights) == 0 {
+		return fmt.Errorf("transport: bad shard assignment (dim=%d rounds=%d clients=%d)",
+			assign.Dim, assign.Rounds, len(assign.Weights))
+	}
+	if !assign.Direct {
+		return fmt.Errorf("transport: routed assignment sent to a direct shard (coordinator not in direct mode?)")
+	}
+	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
+	n := len(assign.Weights)
+
+	peers, err := accept(n)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d accepting clients: %w", assign.ShardID, err)
+	}
+	defer func() {
+		for _, p := range peers {
+			_ = p.Conn.Close()
+		}
+	}()
+	conns := make([]Conn, n)
+	for _, p := range peers {
+		d := p.Data
+		if d == nil {
+			return fmt.Errorf("transport: shard %d: non-data peer on the ingest plane", assign.ShardID)
+		}
+		if d.NumShards != assign.NumShards || d.Dim != assign.Dim || d.ShardID != assign.ShardID {
+			return fmt.Errorf("transport: shard %d: client %d presented a stale shard directory (%d shards over dim %d aimed at shard %d; this deployment is %d over %d)",
+				assign.ShardID, d.ClientID, d.NumShards, d.Dim, d.ShardID, assign.NumShards, assign.Dim)
+		}
+		if d.ClientID < 0 || d.ClientID >= n {
+			return fmt.Errorf("transport: shard %d: client id %d out of range [0, %d)", assign.ShardID, d.ClientID, n)
+		}
+		if conns[d.ClientID] != nil {
+			return fmt.Errorf("transport: shard %d: duplicate client id %d on the ingest plane", assign.ShardID, d.ClientID)
+		}
+		conns[d.ClientID] = p.Conn
+	}
+	for ci, conn := range conns {
+		if conn == nil {
+			return fmt.Errorf("transport: shard %d: no ingest connection from client %d", assign.ShardID, ci)
+		}
+	}
+
+	scratch := gs.NewAggScratch(0)
+	scratch.Reserve(assign.Dim)
+	uploads := make([]gs.ClientUpload, n)
+	ranks := make([][]int, n)
+	for ci := range uploads {
+		uploads[ci].Weight = assign.Weights[ci]
+	}
+	// Duplicate-coordinate slab, one token per (round, client) check.
+	seen := make([]int, assign.Dim)
+	seenToken := 0
+	var fill []gs.FillCand
+	var fillClient, fillIdx []int
+	var fillAbs []float64
+
+	for m := 1; m <= assign.Rounds; m++ {
+		// The client barrier: one slice from every client completes the
+		// range. Reading the connections in client-ID order is safe —
+		// every client sends exactly one slice per round — and keeps the
+		// stored slices in the reduction's ascending-client order.
+		for ci, conn := range conns {
+			msg, err := conn.Recv()
+			if err != nil {
+				return fmt.Errorf("transport: shard %d round %d recv from client %d: %w", assign.ShardID, m, ci, err)
+			}
+			up, ok := msg.(SliceUpload)
+			if !ok {
+				return fmt.Errorf("transport: shard %d round %d: client %d sent %T, want SliceUpload", assign.ShardID, m, ci, msg)
+			}
+			if up.Round != m {
+				return fmt.Errorf("transport: shard %d round %d: stale slice from client %d (round %d) — duplicate or skipped upload",
+					assign.ShardID, m, ci, up.Round)
+			}
+			if up.ClientID != ci {
+				return fmt.Errorf("transport: shard %d round %d: slice on client %d's connection claims client %d",
+					assign.ShardID, m, ci, up.ClientID)
+			}
+			seenToken++
+			if err := gs.ValidateRangeSlice(up.Idx, up.Val, up.Rank, lo, hi, seen, seenToken); err != nil {
+				return fmt.Errorf("transport: shard %d round %d: client %d slice: %w", assign.ShardID, m, ci, err)
+			}
+			uploads[ci].Pairs = sparse.Vec{Idx: up.Idx, Val: up.Val}
+			ranks[ci] = up.Rank
+		}
+		red := gs.RangeReduceInto(scratch, uploads, ranks, lo, hi)
+		res := ShardResult{Round: m, ShardID: assign.ShardID, Idx: red.Idx, Sum: red.Sum, MinRank: red.MinRank}
+		if err := coord.Send(res); err != nil {
+			return fmt.Errorf("transport: shard %d round %d send: %w", assign.ShardID, m, err)
+		}
+		// Serve the coordinator's selection-metadata queries until it
+		// closes the round.
+		for {
+			msg, err := coord.Recv()
+			if err != nil {
+				return fmt.Errorf("transport: shard %d round %d control recv: %w", assign.ShardID, m, err)
+			}
+			if q, ok := msg.(FillQuery); ok {
+				if q.Round != m {
+					return fmt.Errorf("transport: shard %d round %d: stale fill query (round %d)", assign.ShardID, m, q.Round)
+				}
+				fill = gs.AppendFillCands(fill[:0], uploads, ranks, q.Kappa)
+				fillClient, fillIdx, fillAbs = fillClient[:0], fillIdx[:0], fillAbs[:0]
+				for _, c := range fill {
+					fillClient = append(fillClient, c.Client)
+					fillIdx = append(fillIdx, c.Idx)
+					fillAbs = append(fillAbs, c.AbsVal)
+				}
+				reply := FillCandidates{Round: m, ShardID: assign.ShardID, Client: fillClient, Idx: fillIdx, AbsVal: fillAbs}
+				if err := coord.Send(reply); err != nil {
+					return fmt.Errorf("transport: shard %d round %d fill send: %w", assign.ShardID, m, err)
+				}
+				continue
+			}
+			fin, ok := msg.(RoundFinish)
+			if !ok {
+				return fmt.Errorf("transport: shard %d round %d: expected FillQuery or RoundFinish, got %T", assign.ShardID, m, msg)
+			}
+			if fin.Round != m {
+				return fmt.Errorf("transport: shard %d round %d: stale round finish (round %d)", assign.ShardID, m, fin.Round)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// ServeDirectShard is the TCP deployment of RunDirectShard: the shard
+// owns ln as its client-facing ingest listener (the address it
+// advertised in its ShardHello) and accepts the data-plane handshakes
+// from there, bounded by acceptTimeout (> 0; 0 waits forever).
+func ServeDirectShard(coord Conn, ln *Listener, acceptTimeout time.Duration) error {
+	return RunDirectShard(coord, func(n int) ([]Peer, error) {
+		return AcceptDataPeers(ln, n, acceptTimeout)
+	})
+}
+
+// DirectGroup is the coordinator's control-plane handle on the direct
+// shard tier: it assigns the partition at construction and then, per
+// round, gathers the shard reductions, runs the uploads-free selection
+// (serving FAB's fill through FillQuery round trips), and closes the
+// round. Single-goroutine state; returned Aggregates alias the
+// selection scratch and stay valid until the next Aggregate call.
+type DirectGroup struct {
+	conns    []Conn
+	dim      int
+	nClients int
+	bounds   []int // len(conns)+1 chunk boundaries over [0, dim)
+	sel      *gs.AggScratch
+
+	mergedIdx  []int
+	mergedSum  []float64
+	mergedRank []int
+
+	cands    []gs.FillCand
+	candSeen []int // per-client dedupe slab for gathered candidates
+	candGen  int
+}
+
+// NewDirectGroup sends every shard its direct-mode ShardAssign and
+// returns the group. dim is the model dimension, rounds the run length,
+// weights the aggregation weight C_i of each client in client-ID order.
+func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64) (*DirectGroup, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("transport: direct group needs at least one shard")
+	}
+	if dim < 1 || len(weights) == 0 {
+		return nil, fmt.Errorf("transport: bad direct group geometry (dim=%d clients=%d)", dim, len(weights))
+	}
+	g := &DirectGroup{
+		conns:    conns,
+		dim:      dim,
+		nClients: len(weights),
+		bounds:   make([]int, len(conns)+1),
+		sel:      gs.NewAggScratch(0),
+		candSeen: make([]int, len(weights)),
+	}
+	g.sel.Reserve(dim)
+	for s := range conns {
+		lo, hi := tensor.ChunkBounds(dim, len(conns), s)
+		g.bounds[s], g.bounds[s+1] = lo, hi
+	}
+	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true}
+	for s, conn := range conns {
+		assign.ShardID = s
+		if err := conn.Send(assign); err != nil {
+			return nil, fmt.Errorf("transport: assign direct shard %d: %w", s, err)
+		}
+	}
+	return g, nil
+}
+
+// Aggregate closes one round of the direct tier: gather and validate
+// every shard's range reduction, select on the merged results with the
+// shard-served metadata (maxLen is the round's longest client upload,
+// reported on the control plane), send RoundFinish, and return the
+// aggregate — bit-identical to the routed ShardGroup and the
+// single-process engine. The coordinator never sees an upload; shard
+// results are validated against the partition geometry and maxLen
+// exactly as the routed gather validates them.
+func (g *DirectGroup) Aggregate(strat gs.DirectSelector, round, k, maxLen int) (gs.Aggregate, error) {
+	g.mergedIdx = g.mergedIdx[:0]
+	g.mergedSum = g.mergedSum[:0]
+	g.mergedRank = g.mergedRank[:0]
+	for s, conn := range g.conns {
+		msg, err := conn.Recv()
+		if err != nil {
+			return gs.Aggregate{}, fmt.Errorf("transport: round %d recv from shard %d: %w", round, s, err)
+		}
+		res, ok := msg.(ShardResult)
+		if !ok {
+			return gs.Aggregate{}, fmt.Errorf("transport: round %d: shard %d sent %T, want ShardResult", round, s, msg)
+		}
+		if res.Round != round || res.ShardID != s {
+			return gs.Aggregate{}, fmt.Errorf("transport: round %d: stale result (round %d from shard %d)",
+				round, res.Round, res.ShardID)
+		}
+		if len(res.Idx) != len(res.Sum) || len(res.Idx) != len(res.MinRank) {
+			return gs.Aggregate{}, fmt.Errorf("transport: round %d: shard %d result shape %d/%d/%d",
+				round, s, len(res.Idx), len(res.Sum), len(res.MinRank))
+		}
+		for i, j := range res.Idx {
+			if j < g.bounds[s] || j >= g.bounds[s+1] || (i > 0 && j <= res.Idx[i-1]) {
+				return gs.Aggregate{}, fmt.Errorf("transport: round %d: shard %d result index %d out of order or range",
+					round, s, j)
+			}
+			if r := res.MinRank[i]; r < 0 || r >= maxLen {
+				return gs.Aggregate{}, fmt.Errorf("transport: round %d: shard %d result rank %d for index %d outside [0, %d)",
+					round, s, r, j, maxLen)
+			}
+		}
+		g.mergedIdx = append(g.mergedIdx, res.Idx...)
+		g.mergedSum = append(g.mergedSum, res.Sum...)
+		g.mergedRank = append(g.mergedRank, res.MinRank...)
+	}
+	merged := gs.RangeAgg{Idx: g.mergedIdx, Sum: g.mergedSum, MinRank: g.mergedRank}
+	meta := gs.DirectMeta{
+		NumClients: g.nClients,
+		MaxLen:     maxLen,
+		Fill: func(kappa int) ([]gs.FillCand, error) {
+			return g.fill(round, kappa)
+		},
+	}
+	main, _, err := strat.SelectDirect(g.sel, merged, meta, k, 0)
+	if err != nil {
+		return gs.Aggregate{}, err
+	}
+	fin := RoundFinish{Round: round}
+	for s, conn := range g.conns {
+		if err := conn.Send(fin); err != nil {
+			return gs.Aggregate{}, fmt.Errorf("transport: round %d finish to shard %d: %w", round, s, err)
+		}
+	}
+	return main, nil
+}
+
+// fill runs one FillQuery round trip across every shard and merges the
+// validated candidates: each client may contribute at most one (its
+// rank-κ pair lives in exactly one shard), candidate coordinates must
+// lie in the answering shard's range, and the magnitudes must be real
+// and non-negative — a malformed reply fails as a protocol error, not a
+// corrupted selection.
+func (g *DirectGroup) fill(round, kappa int) ([]gs.FillCand, error) {
+	q := FillQuery{Round: round, Kappa: kappa}
+	for s, conn := range g.conns {
+		if err := conn.Send(q); err != nil {
+			return nil, fmt.Errorf("transport: round %d fill query to shard %d: %w", round, s, err)
+		}
+	}
+	g.cands = g.cands[:0]
+	g.candGen++
+	for s, conn := range g.conns {
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: round %d fill recv from shard %d: %w", round, s, err)
+		}
+		fc, ok := msg.(FillCandidates)
+		if !ok {
+			return nil, fmt.Errorf("transport: round %d: shard %d sent %T, want FillCandidates", round, s, msg)
+		}
+		if fc.Round != round || fc.ShardID != s {
+			return nil, fmt.Errorf("transport: round %d: stale fill candidates (round %d from shard %d)",
+				round, fc.Round, fc.ShardID)
+		}
+		if len(fc.Client) != len(fc.Idx) || len(fc.Client) != len(fc.AbsVal) {
+			return nil, fmt.Errorf("transport: round %d: shard %d fill shape %d/%d/%d",
+				round, s, len(fc.Client), len(fc.Idx), len(fc.AbsVal))
+		}
+		for i, ci := range fc.Client {
+			if ci < 0 || ci >= g.nClients {
+				return nil, fmt.Errorf("transport: round %d: shard %d fill client %d out of range [0, %d)",
+					round, s, ci, g.nClients)
+			}
+			if g.candSeen[ci] == g.candGen {
+				return nil, fmt.Errorf("transport: round %d: client %d has fill candidates from two shards", round, ci)
+			}
+			g.candSeen[ci] = g.candGen
+			if j := fc.Idx[i]; j < g.bounds[s] || j >= g.bounds[s+1] {
+				return nil, fmt.Errorf("transport: round %d: shard %d fill index %d outside its range", round, s, j)
+			}
+			if v := fc.AbsVal[i]; math.IsNaN(v) || v < 0 {
+				return nil, fmt.Errorf("transport: round %d: shard %d fill magnitude %v is not a non-negative real", round, s, v)
+			}
+			g.cands = append(g.cands, gs.FillCand{Idx: fc.Idx[i], AbsVal: fc.AbsVal[i], Client: ci})
+		}
+	}
+	return g.cands, nil
+}
+
+// Close closes every shard control connection.
+func (g *DirectGroup) Close() error {
+	var first error
+	for _, conn := range g.conns {
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// runServerDirect is the control-plane round loop of RunServerPeers for
+// ServerConfig.Direct: publish the shard directory in Init, then per
+// round collect every client's RoundMeta (loss + upload length — the
+// only things a client sends the coordinator), aggregate through the
+// DirectGroup, and broadcast. ordered holds the client conns in ID
+// order with their weights.
+func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg ServerConfig) ([]RoundRecord, error) {
+	dim := len(cfg.InitialParams)
+	if len(cfg.ShardConns) == 0 {
+		return nil, fmt.Errorf("transport: direct mode needs ShardConns (the coordinator no longer aggregates)")
+	}
+	if len(cfg.ShardAddrs) != len(cfg.ShardConns) {
+		return nil, fmt.Errorf("transport: direct mode needs one ShardAddrs entry per shard (%d addrs for %d shards)",
+			len(cfg.ShardAddrs), len(cfg.ShardConns))
+	}
+	for s, addr := range cfg.ShardAddrs {
+		if addr == "" {
+			return nil, fmt.Errorf("transport: direct mode: shard %d advertised no ingest address", s)
+		}
+	}
+	group, err := NewDirectGroup(cfg.ShardConns, dim, cfg.Rounds, weights)
+	if err != nil {
+		return nil, err
+	}
+	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds, Shards: cfg.ShardAddrs}
+	for _, conn := range ordered {
+		if err := conn.Send(init); err != nil {
+			return nil, fmt.Errorf("transport: send init: %w", err)
+		}
+	}
+
+	strategy := &gs.FABTopK{}
+	records := make([]RoundRecord, 0, cfg.Rounds)
+	for m := 1; m <= cfg.Rounds; m++ {
+		var weightedLoss float64
+		maxLen := 0
+		for id, conn := range ordered {
+			msg, err := conn.Recv()
+			if err != nil {
+				return records, fmt.Errorf("transport: round %d recv from client %d: %w", m, id, err)
+			}
+			meta, ok := msg.(RoundMeta)
+			if !ok {
+				return records, fmt.Errorf("transport: round %d: client %d sent %T, want RoundMeta (gradient payloads go to the shards)", m, id, msg)
+			}
+			if meta.Round != m || meta.ClientID != id {
+				return records, fmt.Errorf("transport: round %d: stale metadata (round %d from client %d)",
+					m, meta.Round, meta.ClientID)
+			}
+			if meta.UploadLen < 0 || meta.UploadLen > dim {
+				return records, fmt.Errorf("transport: round %d: client %d reported upload length %d outside [0, %d]",
+					m, id, meta.UploadLen, dim)
+			}
+			weightedLoss += weights[id] / totalWeight * meta.BatchLoss
+			maxLen = max(maxLen, meta.UploadLen)
+		}
+		agg, err := group.Aggregate(strategy, m, cfg.K, maxLen)
+		if err != nil {
+			return records, err
+		}
+		bc := Broadcast{
+			Round: m,
+			Idx:   append([]int(nil), agg.Indices...),
+			Val:   append([]float64(nil), agg.Values...),
+		}
+		for id, conn := range ordered {
+			if err := conn.Send(bc); err != nil {
+				return records, fmt.Errorf("transport: round %d send to client %d: %w", m, id, err)
+			}
+		}
+		records = append(records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)})
+	}
+	return records, nil
+}
+
+// runClientDirect is RunClient for the direct data plane: dial every
+// shard from the Init directory, then run the shared round body
+// (runClientRounds — the training computation and rng consumption are
+// the routed client's, exactly once in the codebase) with a fan-out
+// uplink: split the top-k pairs by coordinate range, send each slice
+// (with explicit local ranks) straight to its owner, and report the
+// control metadata to the coordinator.
+func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
+	dim := len(init.Params)
+	nShards := len(init.Shards)
+	dial := cfg.DialShard
+	if dial == nil {
+		dial = Dial
+	}
+	shardConns := make([]Conn, nShards)
+	defer func() {
+		for _, c := range shardConns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	bounds := make([]int, nShards+1)
+	for s := 0; s < nShards; s++ {
+		lo, hi := tensor.ChunkBounds(dim, nShards, s)
+		bounds[s], bounds[s+1] = lo, hi
+		conn, err := dial(init.Shards[s])
+		if err != nil {
+			return fmt.Errorf("transport: client %d dial shard %d (%s): %w", cfg.ID, s, init.Shards[s], err)
+		}
+		shardConns[s] = conn
+		hello := DataHello{ClientID: cfg.ID, ShardID: s, NumShards: nShards, Dim: dim}
+		if err := conn.Send(hello); err != nil {
+			return fmt.Errorf("transport: client %d data hello to shard %d: %w", cfg.ID, s, err)
+		}
+	}
+	shardOf := func(j int) int { return sort.SearchInts(bounds, j+1) - 1 }
+
+	// Per-shard slice buffers, reused across rounds under the lockstep
+	// argument documented on runClientRounds (a shard's reduction and
+	// fill queries both complete before the coordinator releases the
+	// round's broadcast).
+	sIdx := make([][]int, nShards)
+	sVal := make([][]float64, nShards)
+	sRank := make([][]int, nShards)
+
+	return runClientRounds(coord, cfg, init, func(m int, pairs sparse.Vec, batchLoss float64) error {
+		for s := 0; s < nShards; s++ {
+			sIdx[s] = sIdx[s][:0]
+			sVal[s] = sVal[s][:0]
+			sRank[s] = sRank[s][:0]
+		}
+		for pi, j := range pairs.Idx {
+			s := shardOf(j)
+			sIdx[s] = append(sIdx[s], j)
+			sVal[s] = append(sVal[s], pairs.Val[pi])
+			sRank[s] = append(sRank[s], pi)
+		}
+		for s, conn := range shardConns {
+			up := SliceUpload{ClientID: cfg.ID, Round: m, Idx: sIdx[s], Val: sVal[s], Rank: sRank[s]}
+			if err := conn.Send(up); err != nil {
+				return fmt.Errorf("transport: client %d round %d slice to shard %d: %w", cfg.ID, m, s, err)
+			}
+		}
+		meta := RoundMeta{ClientID: cfg.ID, Round: m, BatchLoss: batchLoss, UploadLen: pairs.Len()}
+		if err := coord.Send(meta); err != nil {
+			return fmt.Errorf("transport: client %d round %d metadata: %w", cfg.ID, m, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,882 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"fedsparse/internal/core"
+	"fedsparse/internal/fl"
+	"fedsparse/internal/gs"
+	"fedsparse/internal/tensor"
+)
+
+// startDirectShards launches nShards RunDirectShard goroutines whose
+// coordinator conns come from pair() and whose per-client ingest conns
+// come from dataPair(); it returns the coordinator-side conns, the
+// client-side ingest conns indexed [shard][client], and a join function
+// that closes everything and reports every shard's exit error.
+func startDirectShards(t *testing.T, nShards, nClients, dim int,
+	pair func() (server, shard Conn)) ([]Conn, [][]Conn, func() []error) {
+	t.Helper()
+	coordConns := make([]Conn, nShards)
+	shardCoordConns := make([]Conn, nShards)
+	clientConns := make([][]Conn, nShards)
+	shardPeers := make([][]Peer, nShards)
+	for s := 0; s < nShards; s++ {
+		coordConns[s], shardCoordConns[s] = pair()
+		clientConns[s] = make([]Conn, nClients)
+		shardPeers[s] = make([]Peer, nClients)
+		for ci := 0; ci < nClients; ci++ {
+			shardSide, clientSide := pair()
+			clientConns[s][ci] = clientSide
+			shardPeers[s][ci] = Peer{
+				Conn: shardSide,
+				Data: &DataHello{ClientID: ci, ShardID: s, NumShards: nShards, Dim: dim},
+			}
+		}
+	}
+	errs := make([]error, nShards)
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = RunDirectShard(shardCoordConns[s], func(n int) ([]Peer, error) {
+				if n != nClients {
+					return nil, fmt.Errorf("accept called for %d clients, harness built %d", n, nClients)
+				}
+				return shardPeers[s], nil
+			})
+		}(s)
+	}
+	return coordConns, clientConns, func() []error {
+		for _, c := range coordConns {
+			_ = c.Close()
+		}
+		for _, conns := range clientConns {
+			for _, c := range conns {
+				_ = c.Close()
+			}
+		}
+		wg.Wait()
+		return errs
+	}
+}
+
+// sendSlices splits every upload by the shard partition and sends each
+// client's range slice (with explicit local ranks) on its ingest conns —
+// the client-side fan-out of the direct data plane.
+func sendSlices(t *testing.T, clientConns [][]Conn, uploads []gs.ClientUpload, dim, round int) {
+	t.Helper()
+	nShards := len(clientConns)
+	for ci, u := range uploads {
+		idxs := make([][]int, nShards)
+		vals := make([][]float64, nShards)
+		rnks := make([][]int, nShards)
+		for pi, j := range u.Pairs.Idx {
+			s := 0
+			for j >= 0 {
+				lo, hi := tensor.ChunkBounds(dim, nShards, s)
+				if j >= lo && j < hi {
+					break
+				}
+				s++
+			}
+			idxs[s] = append(idxs[s], j)
+			vals[s] = append(vals[s], u.Pairs.Val[pi])
+			rnks[s] = append(rnks[s], pi)
+		}
+		for s := 0; s < nShards; s++ {
+			up := SliceUpload{ClientID: ci, Round: round, Idx: idxs[s], Val: vals[s], Rank: rnks[s]}
+			if err := clientConns[s][ci].Send(up); err != nil {
+				t.Fatalf("client %d slice to shard %d: %v", ci, s, err)
+			}
+		}
+	}
+}
+
+// TestDirectAggregationDifferential is the wire-level acceptance grid of
+// the direct tier: DirectGroup over real RunDirectShard peers — slices
+// arriving straight from the "clients", selection from merged reductions
+// plus FillQuery round trips — is bit-identical to the single-process
+// AggregateInto for shard counts {1, 2, 4} × all strategies × comparator
+// worker counts {0, 4}, over in-memory and loopback-TCP conns.
+func TestDirectAggregationDifferential(t *testing.T) {
+	const n, d, k, rounds = 9, 600, 40, 4
+	for _, connKind := range []string{"mem", "tcp"} {
+		t.Run(connKind, func(t *testing.T) {
+			var pair func() (Conn, Conn)
+			if connKind == "tcp" {
+				var stop func()
+				pair, stop = rawTCPPairFactory(t)
+				defer stop()
+			} else {
+				pair = func() (Conn, Conn) { return NewMemPair() }
+			}
+			for _, nShards := range []int{1, 2, 4} {
+				for _, workers := range []int{0, 4} {
+					t.Run(fmt.Sprintf("shards=%d/workers=%d", nShards, workers), func(t *testing.T) {
+						rng := rand.New(rand.NewSource(61 + int64(nShards)*10 + int64(workers)))
+						weights := make([]float64, n)
+						roundUploads := make([][]gs.ClientUpload, rounds)
+						for m := range roundUploads {
+							roundUploads[m] = randomRankedUploads(rng, n, d, k)
+							if m == 0 {
+								for ci, u := range roundUploads[m] {
+									weights[ci] = u.Weight
+								}
+							} else {
+								for ci := range roundUploads[m] {
+									roundUploads[m][ci].Weight = weights[ci]
+								}
+							}
+						}
+						for _, strat := range shardStrategies() {
+							coordConns, clientConns, join := startDirectShards(t, nShards, n, d, pair)
+							group, err := NewDirectGroup(coordConns, d, rounds, weights)
+							if err != nil {
+								t.Fatal(err)
+							}
+							single := gs.NewAggScratch(workers)
+							for m := 1; m <= rounds; m++ {
+								ups := roundUploads[m-1]
+								maxLen := 0
+								for _, u := range ups {
+									maxLen = max(maxLen, u.Pairs.Len())
+								}
+								sendSlices(t, clientConns, ups, d, m)
+								got, err := group.Aggregate(strat.(gs.DirectSelector), m, k, maxLen)
+								if err != nil {
+									t.Fatalf("%s round %d: %v", strat.Name(), m, err)
+								}
+								want, _ := strat.(gs.ScratchAggregator).AggregateInto(single, ups, k, 0)
+								if len(want.Indices) != len(got.Indices) {
+									t.Fatalf("%s round %d: |J| %d vs %d", strat.Name(), m, len(want.Indices), len(got.Indices))
+								}
+								for i := range want.Indices {
+									if want.Indices[i] != got.Indices[i] || want.Values[i] != got.Values[i] {
+										t.Fatalf("%s round %d: entry %d: (%d, %v) vs (%d, %v)", strat.Name(), m, i,
+											want.Indices[i], want.Values[i], got.Indices[i], got.Values[i])
+									}
+								}
+							}
+							for s, err := range join() {
+								if err != nil {
+									t.Fatalf("%s: shard %d: %v", strat.Name(), s, err)
+								}
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// rawTCPPairFactory builds plain gob/TCP conn pairs (no handshake —
+// the direct harness installs the hellos itself).
+func rawTCPPairFactory(t *testing.T) (func() (Conn, Conn), func()) {
+	t.Helper()
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := func() (Conn, Conn) {
+		type accepted struct {
+			conn Conn
+			err  error
+		}
+		ch := make(chan accepted, 1)
+		go func() {
+			conn, err := ln.Accept()
+			ch <- accepted{conn, err}
+		}()
+		dialed, err := Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := <-ch
+		if acc.err != nil {
+			t.Fatal(acc.err)
+		}
+		return acc.conn, dialed
+	}
+	return pair, func() { _ = ln.Close() }
+}
+
+// directHarness wires a full direct-mode deployment over in-memory
+// conns: RunServer coordinator (Direct), RunDirectShard shards whose
+// ingest conns are delivered through each client's DialShard hook, and
+// RunClient clients. wrapData optionally wraps a client's data-plane
+// conns (failure injection); clientImpostor optionally replaces one
+// client's RunClient with a custom function.
+type directHarness struct {
+	nShards  int
+	serverCs []Conn // coordinator's client conns (hello unconsumed)
+	records  []RoundRecord
+	srvErr   error
+	cliErrs  []error
+	shardErr []error
+}
+
+func runDirectHarness(t *testing.T, rounds, k, nShards int,
+	wrapData func(clientID, shardID int, c Conn) Conn,
+	impostor func(id int, coord Conn, dial func(addr string) (Conn, error)) error) *directHarness {
+	t.Helper()
+	fed, model, initParams := buildWorkload()
+	n := fed.NumClients()
+
+	// Shard ingest delivery: the client hook mints a mem pair and hands
+	// the shard side to the owning shard's accept queue.
+	shardAccept := make([]chan Conn, nShards)
+	for s := range shardAccept {
+		shardAccept[s] = make(chan Conn, n)
+	}
+	addrOf := func(s int) string { return fmt.Sprintf("mem-shard-%d", s) }
+	dialHook := func(clientID int) func(addr string) (Conn, error) {
+		return func(addr string) (Conn, error) {
+			for s := 0; s < nShards; s++ {
+				if addr == addrOf(s) {
+					shardSide, clientSide := NewMemPair()
+					var out Conn = clientSide
+					if wrapData != nil {
+						out = wrapData(clientID, s, clientSide)
+					}
+					shardAccept[s] <- shardSide
+					return out, nil
+				}
+			}
+			return nil, fmt.Errorf("unknown shard address %q", addr)
+		}
+	}
+
+	h := &directHarness{nShards: nShards, cliErrs: make([]error, n), shardErr: make([]error, nShards)}
+	shardCoordConns := make([]Conn, nShards)
+	coordShardConns := make([]Conn, nShards)
+	addrs := make([]string, nShards)
+	for s := 0; s < nShards; s++ {
+		coordShardConns[s], shardCoordConns[s] = NewMemPair()
+		addrs[s] = addrOf(s)
+	}
+	h.serverCs = make([]Conn, n)
+	clientCs := make([]Conn, n)
+	for i := range h.serverCs {
+		h.serverCs[i], clientCs[i] = NewMemPair()
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			h.shardErr[s] = RunDirectShard(shardCoordConns[s], func(nClients int) ([]Peer, error) {
+				peers := make([]Peer, 0, nClients)
+				for len(peers) < nClients {
+					conn := <-shardAccept[s]
+					peer, err := AcceptPeer(conn)
+					if err != nil {
+						return nil, err
+					}
+					peers = append(peers, peer)
+				}
+				return peers, nil
+			})
+		}(s)
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if impostor != nil && id == 0 {
+				h.cliErrs[id] = impostor(id, clientCs[id], dialHook(id))
+			} else {
+				h.cliErrs[id] = RunClient(clientCs[id], ClientConfig{
+					ID:           id,
+					Data:         &fed.Clients[id],
+					Model:        model,
+					LearningRate: 0.1,
+					BatchSize:    8,
+					Seed:         5 + 1000003*int64(id+1),
+					DialShard:    dialHook(id),
+				})
+			}
+			_ = clientCs[id].Close()
+			_ = h.serverCs[id].Close()
+		}(i)
+	}
+	h.records, h.srvErr = RunServer(h.serverCs, ServerConfig{
+		K: k, Rounds: rounds, InitialParams: initParams,
+		ShardConns: coordShardConns, Direct: true, ShardAddrs: addrs,
+	})
+	// Tear everything down so every goroutine joins whether the run
+	// succeeded or aborted mid-round.
+	for _, c := range h.serverCs {
+		_ = c.Close()
+	}
+	for _, c := range coordShardConns {
+		_ = c.Close()
+	}
+	wg.Wait()
+	return h
+}
+
+// TestDirectDistributedMatchesReferenceEngine runs the full direct
+// protocol — clients uploading range slices straight to two shards, the
+// coordinator reduced to control metadata — and requires the training
+// trajectory to be bit-identical to the in-process simulation engine
+// AND to the routed sharded deployment with the same seeds.
+func TestDirectDistributedMatchesReferenceEngine(t *testing.T) {
+	const k, rounds, nShards = 40, 15, 2
+	h := runDirectHarness(t, rounds, k, nShards, nil, nil)
+	if h.srvErr != nil {
+		t.Fatalf("server: %v", h.srvErr)
+	}
+	for id, err := range h.cliErrs {
+		if err != nil {
+			t.Fatalf("client %d: %v", id, err)
+		}
+	}
+	for s, err := range h.shardErr {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+
+	fed, model, _ := buildWorkload()
+	ref, err := fl.Run(fl.Config{
+		Data:         fed,
+		Model:        model,
+		LearningRate: 0.1,
+		BatchSize:    8,
+		Rounds:       rounds,
+		Seed:         5,
+		Strategy:     &gs.FABTopK{},
+		Controller:   core.NewFixedK(k),
+		Beta:         10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.records) != len(ref.Stats) {
+		t.Fatalf("direct run %d rounds, reference %d", len(h.records), len(ref.Stats))
+	}
+	for i := range h.records {
+		if h.records[i].Loss != ref.Stats[i].Loss {
+			t.Fatalf("round %d: direct loss %v != reference %v", i+1, h.records[i].Loss, ref.Stats[i].Loss)
+		}
+		if h.records[i].DownlinkElems != ref.Stats[i].DownlinkElems {
+			t.Fatalf("round %d: downlink %d != %d", i+1, h.records[i].DownlinkElems, ref.Stats[i].DownlinkElems)
+		}
+	}
+
+	// And against the routed sharded deployment: same wire protocol
+	// family, inverted data plane, identical trajectory.
+	fed2, model2, initParams2 := buildWorkload()
+	serverConns, join := startShards(t, nShards, func() (Conn, Conn) { return NewMemPair() })
+	n := fed2.NumClients()
+	routedServer := make([]Conn, n)
+	routedClient := make([]Conn, n)
+	for i := range routedServer {
+		routedServer[i], routedClient[i] = NewMemPair()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_ = RunClient(routedClient[id], ClientConfig{
+				ID: id, Data: &fed2.Clients[id], Model: model2,
+				LearningRate: 0.1, BatchSize: 8, Seed: 5 + 1000003*int64(id+1),
+			})
+		}(i)
+	}
+	routedRecords, err := RunServer(routedServer, ServerConfig{
+		K: k, Rounds: rounds, InitialParams: initParams2, ShardConns: serverConns,
+	})
+	if err != nil {
+		t.Fatalf("routed server: %v", err)
+	}
+	wg.Wait()
+	join()
+	for i := range h.records {
+		if h.records[i].Loss != routedRecords[i].Loss {
+			t.Fatalf("round %d: direct loss %v != routed loss %v", i+1, h.records[i].Loss, routedRecords[i].Loss)
+		}
+	}
+}
+
+// payloadMeter counts, per message type, what a connection delivered to
+// its owner, and sums the gradient-payload bytes of upload messages
+// (Upload and SliceUpload carry A_i index/value data; everything else
+// on the coordinator is control or selection metadata).
+type payloadMeter struct {
+	mu           sync.Mutex
+	msgs         map[string]int
+	payloadBytes int
+}
+
+func (m *payloadMeter) observe(msg any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.msgs == nil {
+		m.msgs = make(map[string]int)
+	}
+	switch v := msg.(type) {
+	case Upload:
+		m.msgs["Upload"]++
+		m.payloadBytes += 8*len(v.Idx) + 8*len(v.Val)
+	case SliceUpload:
+		m.msgs["SliceUpload"]++
+		m.payloadBytes += 8*len(v.Idx) + 8*len(v.Val)
+	case ShardUpload:
+		m.msgs["ShardUpload"]++
+		m.payloadBytes += 8*len(v.Idx) + 8*len(v.Val)
+	case RoundMeta:
+		m.msgs["RoundMeta"]++
+	case ShardResult:
+		m.msgs["ShardResult"]++
+	case Hello:
+		m.msgs["Hello"]++
+	default:
+		m.msgs[fmt.Sprintf("%T", msg)]++
+	}
+}
+
+type meteredConn struct {
+	Conn
+	m *payloadMeter
+}
+
+func (c meteredConn) Recv() (any, error) {
+	msg, err := c.Conn.Recv()
+	if err == nil {
+		c.m.observe(msg)
+	}
+	return msg, err
+}
+
+// TestDirectCoordinatorReceivesNoGradientPayload is the acceptance
+// criterion of the control-plane demotion: in direct mode the
+// coordinator receives zero gradient-payload bytes — no Upload, no
+// SliceUpload, no routed ShardUpload — only Hello handshakes, per-round
+// RoundMeta scalars, and the shard tier's reduction results. A routed
+// run over the same workload is measured as the contrast.
+func TestDirectCoordinatorReceivesNoGradientPayload(t *testing.T) {
+	fed, model, initParams := buildWorkload()
+	const k, rounds, nShards = 40, 6, 2
+	n := fed.NumClients()
+
+	runMetered := func(direct bool) *payloadMeter {
+		meter := &payloadMeter{}
+		if direct {
+			// Same harness as the trajectory test, but every conn the
+			// coordinator reads from is metered.
+			shardAccept := make([]chan Conn, nShards)
+			for s := range shardAccept {
+				shardAccept[s] = make(chan Conn, n)
+			}
+			addrs := []string{"mem-shard-0", "mem-shard-1"}
+			coordShard := make([]Conn, nShards)
+			shardCoord := make([]Conn, nShards)
+			for s := 0; s < nShards; s++ {
+				a, b := NewMemPair()
+				coordShard[s], shardCoord[s] = meteredConn{a, meter}, b
+			}
+			serverCs := make([]Conn, n)
+			clientCs := make([]Conn, n)
+			for i := range serverCs {
+				a, b := NewMemPair()
+				serverCs[i], clientCs[i] = meteredConn{a, meter}, b
+			}
+			var wg sync.WaitGroup
+			for s := 0; s < nShards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					_ = RunDirectShard(shardCoord[s], func(nClients int) ([]Peer, error) {
+						peers := make([]Peer, 0, nClients)
+						for len(peers) < nClients {
+							peer, err := AcceptPeer(<-shardAccept[s])
+							if err != nil {
+								return nil, err
+							}
+							peers = append(peers, peer)
+						}
+						return peers, nil
+					})
+				}(s)
+			}
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					_ = RunClient(clientCs[id], ClientConfig{
+						ID: id, Data: &fed.Clients[id], Model: model,
+						LearningRate: 0.1, BatchSize: 8, Seed: 5 + 1000003*int64(id+1),
+						DialShard: func(addr string) (Conn, error) {
+							for s, a := range addrs {
+								if a == addr {
+									shardSide, clientSide := NewMemPair()
+									shardAccept[s] <- shardSide
+									return clientSide, nil
+								}
+							}
+							return nil, fmt.Errorf("unknown shard %q", addr)
+						},
+					})
+				}(i)
+			}
+			if _, err := RunServer(serverCs, ServerConfig{
+				K: k, Rounds: rounds, InitialParams: initParams,
+				ShardConns: coordShard, Direct: true, ShardAddrs: addrs,
+			}); err != nil {
+				t.Fatalf("direct server: %v", err)
+			}
+			wg.Wait()
+			return meter
+		}
+		serverCs := make([]Conn, n)
+		clientCs := make([]Conn, n)
+		for i := range serverCs {
+			a, b := NewMemPair()
+			serverCs[i], clientCs[i] = meteredConn{a, meter}, b
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				_ = RunClient(clientCs[id], ClientConfig{
+					ID: id, Data: &fed.Clients[id], Model: model,
+					LearningRate: 0.1, BatchSize: 8, Seed: 5 + 1000003*int64(id+1),
+				})
+			}(i)
+		}
+		if _, err := RunServer(serverCs, ServerConfig{K: k, Rounds: rounds, InitialParams: initParams}); err != nil {
+			t.Fatalf("routed server: %v", err)
+		}
+		wg.Wait()
+		return meter
+	}
+
+	direct := runMetered(true)
+	if direct.payloadBytes != 0 {
+		t.Fatalf("direct coordinator received %d gradient-payload bytes (messages: %v)",
+			direct.payloadBytes, direct.msgs)
+	}
+	for _, forbidden := range []string{"Upload", "SliceUpload", "ShardUpload"} {
+		if c := direct.msgs[forbidden]; c != 0 {
+			t.Fatalf("direct coordinator received %d %s messages: %v", c, forbidden, direct.msgs)
+		}
+	}
+	if got, want := direct.msgs["RoundMeta"], n*rounds; got != want {
+		t.Fatalf("direct coordinator saw %d RoundMeta messages, want %d", got, want)
+	}
+	if got, want := direct.msgs["ShardResult"], nShards*rounds; got != want {
+		t.Fatalf("direct coordinator saw %d ShardResult messages, want %d", got, want)
+	}
+
+	routed := runMetered(false)
+	if routed.payloadBytes == 0 || routed.msgs["Upload"] != n*rounds {
+		t.Fatalf("contrast broken: routed coordinator saw %d payload bytes, %v", routed.payloadBytes, routed.msgs)
+	}
+}
+
+// TestDirectShardDeathFailsRound injects a shard death after a partial
+// slice fan-out: every client's data conns to shard 1 die mid-run, so a
+// client can have delivered its round slice to shard 0 and then fail on
+// shard 1. The run must error out everywhere — coordinator, clients —
+// and every goroutine must join; nothing may wedge on the barrier.
+func TestDirectShardDeathFailsRound(t *testing.T) {
+	h := runDirectHarness(t, 30, 20, 2, func(clientID, shardID int, c Conn) Conn {
+		if shardID == 1 {
+			// Hello + two round slices succeed, then the link is dead.
+			return &FlakyConn{Inner: c, FailAfter: 3}
+		}
+		return c
+	}, nil)
+	if h.srvErr == nil {
+		t.Fatal("server completed despite shard-1 links dying")
+	}
+	anyInjected := false
+	for _, err := range h.cliErrs {
+		anyInjected = anyInjected || errors.Is(err, ErrInjected)
+	}
+	if !anyInjected {
+		t.Fatalf("no client surfaced the injected data-plane failure: %v", h.cliErrs)
+	}
+}
+
+// TestDirectClientDeathBetweenSlices kills a client between its per-shard
+// slice sends: it uploads its round-1 slice to shard 0, skips shard 1,
+// and dies. Shard 1's barrier must error on the dead connection (not
+// wedge), and the coordinator must fail the round.
+func TestDirectClientDeathBetweenSlices(t *testing.T) {
+	h := runDirectHarness(t, 5, 20, 2, nil,
+		func(id int, coord Conn, dial func(addr string) (Conn, error)) error {
+			if err := coord.Send(Hello{ClientID: id, Weight: 30}); err != nil {
+				return err
+			}
+			msg, err := coord.Recv()
+			if err != nil {
+				return err
+			}
+			init := msg.(Init)
+			conns := make([]Conn, len(init.Shards))
+			for s, addr := range init.Shards {
+				conn, err := dial(addr)
+				if err != nil {
+					return err
+				}
+				conns[s] = conn
+				if err := conn.Send(DataHello{ClientID: id, ShardID: s, NumShards: len(init.Shards), Dim: len(init.Params)}); err != nil {
+					return err
+				}
+			}
+			// One slice to shard 0, then die with shard 1 unserved.
+			if err := conns[0].Send(SliceUpload{ClientID: id, Round: 1, Idx: []int{0}, Val: []float64{1}, Rank: []int{0}}); err != nil {
+				return err
+			}
+			for _, c := range conns {
+				_ = c.Close()
+			}
+			return errors.New("client died between slices")
+		})
+	if h.srvErr == nil {
+		t.Fatal("server completed despite a client dying between slices")
+	}
+	if h.shardErr[1] == nil || !strings.Contains(h.shardErr[1].Error(), "recv from client") {
+		t.Fatalf("shard 1 did not surface the broken barrier: %v", h.shardErr[1])
+	}
+}
+
+// directShardHarness drives RunDirectShard directly: send the assign,
+// deliver fabricated data peers, then feed scripted client messages and
+// return the shard's exit error.
+func directShardHarness(t *testing.T, assign ShardAssign, peers func(n int) []Peer,
+	script func(clientSides []Conn, coord Conn)) error {
+	t.Helper()
+	coordServer, coordShard := NewMemPair()
+	n := len(assign.Weights)
+	var clientSides []Conn
+	builtPeers := []Peer(nil)
+	if peers != nil {
+		builtPeers = peers(n)
+	} else {
+		for ci := 0; ci < n; ci++ {
+			shardSide, clientSide := NewMemPair()
+			clientSides = append(clientSides, clientSide)
+			builtPeers = append(builtPeers, Peer{
+				Conn: shardSide,
+				Data: &DataHello{ClientID: ci, ShardID: assign.ShardID, NumShards: assign.NumShards, Dim: assign.Dim},
+			})
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunDirectShard(coordShard, func(int) ([]Peer, error) { return builtPeers, nil })
+	}()
+	if err := coordServer.Send(assign); err != nil {
+		t.Fatal(err)
+	}
+	if script != nil {
+		script(clientSides, coordServer)
+	}
+	err := <-done
+	_ = coordServer.Close()
+	for _, c := range clientSides {
+		_ = c.Close()
+	}
+	return err
+}
+
+// TestRunDirectShardRejectsMalformed covers the ingest validation:
+// duplicate and overlapping slices, out-of-range coordinates, broken
+// rank order, identity forgery, and stale rounds must each error the
+// round as a protocol failure.
+func TestRunDirectShardRejectsMalformed(t *testing.T) {
+	// Shard 0 of 2 over dim 10 owns [0, 5).
+	assign := ShardAssign{ShardID: 0, NumShards: 2, Dim: 10, Rounds: 2, Weights: []float64{1, 2}, Direct: true}
+	cases := []struct {
+		name string
+		up   SliceUpload
+		want string
+	}{
+		{"overlapping coordinates in one slice", SliceUpload{ClientID: 0, Round: 1, Idx: []int{3, 3}, Val: []float64{1, 2}, Rank: []int{0, 1}}, "duplicate"},
+		{"coordinate outside the owned range", SliceUpload{ClientID: 0, Round: 1, Idx: []int{7}, Val: []float64{1}, Rank: []int{0}}, "outside range"},
+		{"negative coordinate", SliceUpload{ClientID: 0, Round: 1, Idx: []int{-2}, Val: []float64{1}, Rank: []int{0}}, "outside range"},
+		{"ranks not ascending", SliceUpload{ClientID: 0, Round: 1, Idx: []int{3, 4}, Val: []float64{1, 2}, Rank: []int{2, 1}}, "ranks not ascending"},
+		{"ragged shape", SliceUpload{ClientID: 0, Round: 1, Idx: []int{3, 4}, Val: []float64{1}, Rank: []int{0, 1}}, "inconsistent"},
+		{"identity forgery", SliceUpload{ClientID: 1, Round: 1, Idx: []int{3}, Val: []float64{1}, Rank: []int{0}}, "claims client"},
+		{"stale round", SliceUpload{ClientID: 0, Round: 4, Idx: []int{3}, Val: []float64{1}, Rank: []int{0}}, "stale slice"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := directShardHarness(t, assign, nil, func(clients []Conn, _ Conn) {
+				_ = clients[0].Send(tc.up)
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("duplicate slice upload", func(t *testing.T) {
+		// A client double-sends its round-1 slice; the duplicate is the
+		// next thing on its conn at the round-2 barrier and must fail as
+		// a stale (duplicate) slice, not silently double-count.
+		err := directShardHarness(t, assign, nil, func(clients []Conn, coord Conn) {
+			up := SliceUpload{ClientID: 0, Round: 1, Idx: []int{3}, Val: []float64{1}, Rank: []int{0}}
+			_ = clients[0].Send(up)
+			_ = clients[0].Send(up) // the duplicate
+			_ = clients[1].Send(SliceUpload{ClientID: 1, Round: 1})
+			if msg, err := coord.Recv(); err != nil {
+				t.Errorf("no round-1 result: %v (%T)", err, msg)
+			}
+			_ = coord.Send(RoundFinish{Round: 1})
+			_ = clients[1].Send(SliceUpload{ClientID: 1, Round: 2})
+		})
+		if err == nil || !strings.Contains(err.Error(), "duplicate or skipped") {
+			t.Fatalf("error %v, want duplicate-slice complaint", err)
+		}
+	})
+
+	t.Run("non-slice message", func(t *testing.T) {
+		err := directShardHarness(t, assign, nil, func(clients []Conn, _ Conn) {
+			_ = clients[0].Send(Hello{ClientID: 0})
+		})
+		if err == nil || !strings.Contains(err.Error(), "SliceUpload") {
+			t.Fatalf("error %v, want SliceUpload complaint", err)
+		}
+	})
+}
+
+// TestRunDirectShardRejectsStaleDirectory pins the data-plane handshake:
+// a client acting on a stale shard directory — wrong shard count, wrong
+// dimension, or a connection aimed at the wrong shard — must be turned
+// away before it can corrupt a barrier, as must duplicate or unknown
+// client identities.
+func TestRunDirectShardRejectsStaleDirectory(t *testing.T) {
+	assign := ShardAssign{ShardID: 0, NumShards: 2, Dim: 10, Rounds: 1, Weights: []float64{1, 2}, Direct: true}
+	mk := func(hellos ...DataHello) func(n int) []Peer {
+		return func(int) []Peer {
+			peers := make([]Peer, len(hellos))
+			for i := range hellos {
+				shardSide, _ := NewMemPair()
+				h := hellos[i]
+				peers[i] = Peer{Conn: shardSide, Data: &h}
+			}
+			return peers
+		}
+	}
+	good := DataHello{ClientID: 1, ShardID: 0, NumShards: 2, Dim: 10}
+	cases := []struct {
+		name  string
+		peers func(n int) []Peer
+		want  string
+	}{
+		{"wrong shard count", mk(DataHello{ClientID: 0, ShardID: 0, NumShards: 4, Dim: 10}, good), "stale shard directory"},
+		{"wrong dimension", mk(DataHello{ClientID: 0, ShardID: 0, NumShards: 2, Dim: 64}, good), "stale shard directory"},
+		{"aimed at the wrong shard", mk(DataHello{ClientID: 0, ShardID: 1, NumShards: 2, Dim: 10}, good), "stale shard directory"},
+		{"duplicate client", mk(good, good), "duplicate client"},
+		{"client id out of range", mk(DataHello{ClientID: 7, ShardID: 0, NumShards: 2, Dim: 10}, good), "out of range"},
+		{"missing client", mk(good), "no ingest connection"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := directShardHarness(t, assign, tc.peers, nil)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDirectTopologyMismatch pins the loud handshake failure when the
+// coordinator and shard disagree about the data plane.
+func TestDirectTopologyMismatch(t *testing.T) {
+	// Direct assign to a routed shard.
+	server, shard := NewMemPair()
+	done := make(chan error, 1)
+	go func() { done <- RunShard(shard) }()
+	assign := ShardAssign{ShardID: 0, NumShards: 1, Dim: 4, Rounds: 1, Weights: []float64{1}, Direct: true}
+	if err := server.Send(assign); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "direct assignment") {
+		t.Fatalf("routed shard accepted a direct assignment: %v", err)
+	}
+	_ = server.Close()
+
+	// Routed assign to a direct shard.
+	assign.Direct = false
+	err := directShardHarness(t, assign, func(int) []Peer { return nil }, nil)
+	if err == nil || !strings.Contains(err.Error(), "routed assignment") {
+		t.Fatalf("direct shard accepted a routed assignment: %v", err)
+	}
+}
+
+// TestDirectGroupRejectsBadReplies covers the coordinator-side trust
+// boundary: malformed shard results and fill candidates fail as
+// protocol errors, never as selection corruption.
+func TestDirectGroupRejectsBadReplies(t *testing.T) {
+	run := func(shardBehavior func(conn Conn)) error {
+		server, fake := NewMemPair()
+		go func() {
+			if _, err := fake.Recv(); err != nil { // ShardAssign
+				return
+			}
+			shardBehavior(fake)
+		}()
+		g, err := NewDirectGroup([]Conn{server}, 10, 1, []float64{1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = g.Aggregate(&gs.FABTopK{}, 1, 2, 3)
+		_ = g.Close()
+		return err
+	}
+
+	if err := run(func(c Conn) {
+		_ = c.Send(ShardResult{Round: 1, ShardID: 0, Idx: []int{2}, Sum: []float64{1}, MinRank: []int{5}})
+	}); err == nil || !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("over-maxLen rank accepted: %v", err)
+	}
+
+	if err := run(func(c Conn) {
+		_ = c.Send(ShardResult{Round: 1, ShardID: 0, Idx: []int{4, 2}, Sum: []float64{1, 1}, MinRank: []int{0, 0}})
+	}); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("unsorted result accepted: %v", err)
+	}
+
+	badFill := func(fc FillCandidates) error {
+		return run(func(c Conn) {
+			// One real coordinate at rank 0 keeps κ = 0 and forces a fill.
+			_ = c.Send(ShardResult{Round: 1, ShardID: 0, Idx: []int{2}, Sum: []float64{1}, MinRank: []int{1}})
+			if _, err := c.Recv(); err != nil { // FillQuery
+				return
+			}
+			_ = c.Send(fc)
+		})
+	}
+	if err := badFill(FillCandidates{Round: 1, ShardID: 0, Client: []int{5}, Idx: []int{2}, AbsVal: []float64{1}}); err == nil ||
+		!strings.Contains(err.Error(), "client") {
+		t.Fatalf("out-of-range fill client accepted: %v", err)
+	}
+	if err := badFill(FillCandidates{Round: 1, ShardID: 0, Client: []int{0}, Idx: []int{99}, AbsVal: []float64{1}}); err == nil ||
+		!strings.Contains(err.Error(), "outside its range") {
+		t.Fatalf("out-of-range fill index accepted: %v", err)
+	}
+	if err := badFill(FillCandidates{Round: 1, ShardID: 0, Client: []int{0}, Idx: []int{2}, AbsVal: []float64{-1}}); err == nil ||
+		!strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("negative fill magnitude accepted: %v", err)
+	}
+	if err := badFill(FillCandidates{Round: 1, ShardID: 0, Client: []int{0, 0}, Idx: []int{2, 3}, AbsVal: []float64{1, 1}}); err == nil ||
+		!strings.Contains(err.Error(), "two shards") {
+		t.Fatalf("duplicate fill client accepted: %v", err)
+	}
+}

@@ -22,20 +22,40 @@ type ServerConfig struct {
 	// client (generate them with the same seed as the reference engine
 	// for trajectory-identical runs).
 	InitialParams []float64
-	// ShardConns are connections to aggregation shards (RunShard peers).
+	// ShardConns are control-plane connections to aggregation shards
+	// (RunShard peers when routed, RunDirectShard peers when Direct).
 	// Empty keeps the aggregation on the coordinator; otherwise the
 	// coordinate space is partitioned across the shards and every round's
-	// reduction runs through the shard tier (see shard.go) — with results
-	// bit-identical to the local path at any shard count.
+	// reduction runs through the shard tier (see shard.go and direct.go)
+	// — with results bit-identical to the local path at any shard count.
 	ShardConns []Conn
+	// Direct demotes the coordinator to a control plane: clients learn
+	// the shard directory from Init, split each upload by coordinate
+	// range, and send every slice straight to the owning shard; the
+	// coordinator only handles the handshake, per-round control metadata
+	// (RoundMeta), the selection over merged shard reductions, and the
+	// broadcast — it never receives a gradient upload. Requires
+	// ShardConns and a matching ShardAddrs.
+	Direct bool
+	// ShardAddrs is the client-facing ingest address of each shard, in
+	// ShardConns order — the directory sent to clients in Init (shards
+	// advertise theirs in ShardHello.Addr; see SplitShardPeers). With a
+	// custom ClientConfig.DialShard the entries are opaque tokens passed
+	// through to the hook.
+	ShardAddrs []string
 }
 
-// Peer is one incoming coordinator connection classified by its first
-// message: a client (Hello consumed and recorded) or an aggregation
-// shard (Hello == nil). AcceptPeer lets one listener serve both roles.
+// Peer is one incoming connection classified by its first message:
+// exactly one of Hello (a client on the coordinator's control plane),
+// Shard (an aggregation shard on the coordinator's control plane, with
+// its advertised direct-ingest address), or Data (a client on a direct
+// shard's ingest plane) is non-nil. AcceptPeer lets one listener serve
+// every role.
 type Peer struct {
 	Conn  Conn
 	Hello *Hello
+	Shard *ShardHello
+	Data  *DataHello
 }
 
 // AcceptPeer reads a connection's first message and classifies the peer.
@@ -48,15 +68,34 @@ func AcceptPeer(conn Conn) (Peer, error) {
 	case Hello:
 		return Peer{Conn: conn, Hello: &h}, nil
 	case ShardHello:
-		return Peer{Conn: conn}, nil
+		return Peer{Conn: conn, Shard: &h}, nil
+	case DataHello:
+		return Peer{Conn: conn, Data: &h}, nil
 	default:
-		return Peer{}, fmt.Errorf("transport: expected Hello or ShardHello, got %T", msg)
+		return Peer{}, fmt.Errorf("transport: expected Hello, ShardHello, or DataHello, got %T", msg)
 	}
+}
+
+// SplitShardPeers splits classified shard peers into their control-plane
+// connections and their advertised direct-ingest addresses (parallel
+// slices in peer order) — the inputs ServerConfig.ShardConns/ShardAddrs
+// take.
+func SplitShardPeers(shards []Peer) ([]Conn, []string) {
+	conns := make([]Conn, len(shards))
+	addrs := make([]string, len(shards))
+	for i, p := range shards {
+		conns[i] = p.Conn
+		if p.Shard != nil {
+			addrs[i] = p.Shard.Addr
+		}
+	}
+	return conns, addrs
 }
 
 // AcceptPeers accepts connections from ln and classifies each by its
 // first message until nClients clients and nShards shards have arrived,
-// returning them ready for RunServerPeers and ServerConfig.ShardConns.
+// returning them ready for RunServerPeers and (via SplitShardPeers)
+// ServerConfig.ShardConns/ShardAddrs.
 // Each handshake is read on its own goroutine, so a connection that
 // never sends one (a port scanner, a health check, a peer that died
 // mid-dial) cannot stall the deployment; unclassifiable connections and
@@ -65,11 +104,27 @@ func AcceptPeer(conn Conn) (Peer, error) {
 // waits forever) elapses before the quota fills — an expected peer that
 // crashed before its handshake then surfaces as a loud error reporting
 // how far the collection got, instead of a silent hang.
-func AcceptPeers(ln *Listener, nClients, nShards int, timeout time.Duration) ([]Peer, []Conn, error) {
+func AcceptPeers(ln *Listener, nClients, nShards int, timeout time.Duration) ([]Peer, []Peer, error) {
+	clients, shards, _, err := collectPeers(ln, nClients, nShards, 0, timeout)
+	return clients, shards, err
+}
+
+// AcceptDataPeers collects n data-plane client connections on a direct
+// shard's ingest listener (each opens with a DataHello) with the same
+// stray-tolerant, bounded-wait behavior as AcceptPeers.
+func AcceptDataPeers(ln *Listener, n int, timeout time.Duration) ([]Peer, error) {
+	_, _, data, err := collectPeers(ln, 0, 0, n, timeout)
+	return data, err
+}
+
+// collectPeers is the classified-accept loop behind AcceptPeers and
+// AcceptDataPeers: fill per-role quotas, close strays and surplus.
+func collectPeers(ln *Listener, nClients, nShards, nData int, timeout time.Duration) ([]Peer, []Peer, []Peer, error) {
 	clients := make([]Peer, 0, nClients)
-	shards := make([]Conn, 0, nShards)
-	if nClients <= 0 && nShards <= 0 {
-		return clients, shards, nil
+	shards := make([]Peer, 0, nShards)
+	data := make([]Peer, 0, nData)
+	if nClients <= 0 && nShards <= 0 && nData <= 0 {
+		return clients, shards, data, nil
 	}
 
 	type outcome struct {
@@ -135,11 +190,11 @@ func AcceptPeers(ln *Listener, nClients, nShards int, timeout time.Duration) ([]
 		defer timer.Stop()
 		timeoutCh = timer.C
 	}
-	for len(clients) < nClients || len(shards) < nShards {
+	for len(clients) < nClients || len(shards) < nShards || len(data) < nData {
 		select {
 		case <-timeoutCh:
-			return nil, nil, fmt.Errorf("transport: timed out after %v waiting for peers (%d/%d clients, %d/%d shards arrived)",
-				timeout, len(clients), nClients, len(shards), nShards)
+			return nil, nil, nil, fmt.Errorf("transport: timed out after %v waiting for peers (%d/%d clients, %d/%d shards, %d/%d data peers arrived)",
+				timeout, len(clients), nClients, len(shards), nShards, len(data), nData)
 		case out := <-results:
 			mu.Lock()
 			delete(pending, out.conn)
@@ -149,16 +204,18 @@ func AcceptPeers(ln *Listener, nClients, nShards int, timeout time.Duration) ([]
 				out.conn.Close() // junk handshake or dead conn: ignore
 			case out.peer.Hello != nil && len(clients) < nClients:
 				clients = append(clients, out.peer)
-			case out.peer.Hello == nil && len(shards) < nShards:
-				shards = append(shards, out.peer.Conn)
+			case out.peer.Shard != nil && len(shards) < nShards:
+				shards = append(shards, out.peer)
+			case out.peer.Data != nil && len(data) < nData:
+				data = append(data, out.peer)
 			default:
 				out.conn.Close() // surplus peer for a filled role
 			}
 		case err := <-acceptErr:
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return clients, shards, nil
+	return clients, shards, data, nil
 }
 
 // RoundRecord is the server's per-round log.
@@ -214,6 +271,9 @@ func RunServerPeers(clients []Peer, cfg ServerConfig) ([]RoundRecord, error) {
 		ordered[hello.ClientID] = peer.Conn
 		weights[hello.ClientID] = hello.Weight
 		totalWeight += hello.Weight
+	}
+	if cfg.Direct {
+		return runServerDirect(ordered, weights, totalWeight, cfg)
 	}
 	// Assign the shard tier (if any) before releasing the clients into
 	// the round loop: shards need the client weight vector.
@@ -328,6 +388,12 @@ type ClientConfig struct {
 	// Seed must follow the reference engine's scheme
 	// (base + 1000003·(ID+1)) for trajectory-identical runs.
 	Seed int64
+	// DialShard opens the data-plane connection to one shard when the
+	// coordinator's Init carries a shard directory (direct mode). nil
+	// uses Dial on the directory address; tests inject in-memory pairs
+	// here. RunClient owns the returned connection and sends the
+	// DataHello itself.
+	DialShard func(addr string) (Conn, error)
 }
 
 // RunClient executes the client side of the protocol until the configured
@@ -344,15 +410,50 @@ func RunClient(conn Conn, cfg ClientConfig) error {
 	if !ok {
 		return fmt.Errorf("transport: client %d expected Init, got %T", cfg.ID, msg)
 	}
+	if len(init.Shards) > 0 {
+		// The coordinator published a shard directory: switch to the
+		// direct data plane (dial the shards, upload range slices
+		// straight to the owners; the coordinator conn carries control
+		// metadata and the broadcast only).
+		return runClientDirect(conn, cfg, init)
+	}
+	return runClientRounds(conn, cfg, init, func(m int, pairs sparse.Vec, batchLoss float64) error {
+		up := Upload{
+			ClientID:  cfg.ID,
+			Round:     m,
+			Idx:       pairs.Idx,
+			Val:       pairs.Val,
+			BatchLoss: batchLoss,
+		}
+		if err := conn.Send(up); err != nil {
+			return fmt.Errorf("transport: client %d round %d send: %w", cfg.ID, m, err)
+		}
+		return nil
+	})
+}
+
+// runClientRounds is the training body shared by both data planes: per
+// round it draws the minibatch, accumulates the local gradient, extracts
+// the top-k upload, hands the pairs to the topology-specific uplink
+// hook, and applies the coordinator's broadcast with the error-feedback
+// residual reset. The rng consumption order lives here exactly once —
+// which is what keeps the routed and direct trajectories bit-identical
+// to each other and to the reference engine for the same seeds.
+//
+// The hook receives reusable buffers (the same zero-alloc hot loop as
+// the simulator engine). Reusing pairs across rounds is safe even over
+// by-reference in-memory conns: the protocol is lockstep — every
+// round-m consumer (the coordinator, or every shard's reduction and
+// fill queries) is done reading before the round-m broadcast is sent,
+// and the client only overwrites the buffers after receiving that
+// broadcast.
+func runClientRounds(coord Conn, cfg ClientConfig, init Init,
+	uplink func(round int, pairs sparse.Vec, batchLoss float64) error) error {
+
 	net := cfg.Model()
 	net.SetParams(init.Params)
 	acc := make([]float64, net.D())
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	// Reusable selection and minibatch buffers (the same zero-alloc hot
-	// loop as the simulator engine). Reusing pairs across rounds is safe
-	// even over by-reference in-memory conns: the protocol is lockstep —
-	// the server reads every round-m upload before broadcasting, and the
-	// client only overwrites the buffer after receiving that broadcast.
 	var (
 		topk  sparse.TopKScratch
 		pairs sparse.Vec
@@ -369,17 +470,10 @@ func RunClient(conn Conn, cfg ClientConfig) error {
 		_ = rng.Intn(len(xs))
 
 		pairs = sparse.TopKInto(pairs, &topk, acc, init.K)
-		up := Upload{
-			ClientID:  cfg.ID,
-			Round:     m,
-			Idx:       pairs.Idx,
-			Val:       pairs.Val,
-			BatchLoss: batchLoss,
+		if err := uplink(m, pairs, batchLoss); err != nil {
+			return err
 		}
-		if err := conn.Send(up); err != nil {
-			return fmt.Errorf("transport: client %d round %d send: %w", cfg.ID, m, err)
-		}
-		msg, err := conn.Recv()
+		msg, err := coord.Recv()
 		if err != nil {
 			return fmt.Errorf("transport: client %d round %d recv: %w", cfg.ID, m, err)
 		}

@@ -22,20 +22,29 @@ import (
 // Shard-tier message types.
 type (
 	// ShardHello identifies a connection as an aggregation shard on a
-	// shared coordinator listener (clients send Hello instead).
-	ShardHello struct{}
+	// shared coordinator listener (clients send Hello instead). Addr is
+	// the shard's own client-facing ingest listener for the direct data
+	// plane (direct.go); empty for a routed-only shard.
+	ShardHello struct {
+		Addr string
+	}
 
 	// ShardAssign is the coordinator's handshake reply to a shard: its
 	// identity, the partition geometry, the run length, and every
 	// client's aggregation weight C_i (the shard needs the full weight
 	// vector — the total weight C divides every sum, including clients
-	// with no pairs in the shard's range).
+	// with no pairs in the shard's range). Direct announces the
+	// client-direct data plane: slices arrive straight from the clients
+	// (RunDirectShard) instead of routed through the coordinator
+	// (RunShard); each runner rejects the other's assignment, so a
+	// topology mismatch fails loudly at the handshake.
 	ShardAssign struct {
 		ShardID   int
 		NumShards int
 		Dim       int
 		Rounds    int
 		Weights   []float64
+		Direct    bool
 	}
 
 	// ShardUpload is one round's routed pairs for one shard, all clients
@@ -93,6 +102,9 @@ func RunShard(conn Conn) error {
 		return fmt.Errorf("transport: bad shard assignment (dim=%d rounds=%d clients=%d)",
 			assign.Dim, assign.Rounds, len(assign.Weights))
 	}
+	if assign.Direct {
+		return fmt.Errorf("transport: direct assignment sent to a routed shard (run the shard with a direct ingest listener)")
+	}
 	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
 	n := len(assign.Weights)
 
@@ -131,21 +143,11 @@ func RunShard(conn Conn) error {
 					assign.ShardID, m, ci, a, b)
 			}
 			seenToken++
-			for pi := a; pi < b; pi++ {
-				j := up.Idx[pi]
-				if j < lo || j >= hi {
-					return fmt.Errorf("transport: shard %d round %d: client %d routed index %d outside range [%d, %d)",
-						assign.ShardID, m, ci, j, lo, hi)
-				}
-				if seen[j] == seenToken {
-					return fmt.Errorf("transport: shard %d round %d: client %d routed duplicate index %d",
-						assign.ShardID, m, ci, j)
-				}
-				seen[j] = seenToken
-				if up.Rank[pi] < 0 || (pi > a && up.Rank[pi] <= up.Rank[pi-1]) {
-					return fmt.Errorf("transport: shard %d round %d: client %d ranks not ascending at entry %d",
-						assign.ShardID, m, ci, pi-a)
-				}
+			// The shared slice validation of both shard topologies:
+			// range, duplicates, rank order (gs.ValidateRangeSlice).
+			if err := gs.ValidateRangeSlice(up.Idx[a:b], up.Val[a:b], up.Rank[a:b], lo, hi, seen, seenToken); err != nil {
+				return fmt.Errorf("transport: shard %d round %d: client %d routed slice: %w",
+					assign.ShardID, m, ci, err)
 			}
 			uploads[ci].Pairs = sparse.Vec{Idx: up.Idx[a:b], Val: up.Val[a:b]}
 			ranks[ci] = up.Rank[a:b]

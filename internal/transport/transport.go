@@ -29,11 +29,17 @@ type (
 		Weight   float64
 	}
 	// Init is the server's reply: the synchronized initial weights and
-	// the run parameters every client must use.
+	// the run parameters every client must use. A non-empty Shards
+	// directory switches the client onto the direct data plane: entry s
+	// is the ingest address of aggregation shard s, the client dials
+	// every shard itself and uploads range slices straight to the owners
+	// (see direct.go). Empty keeps the routed plane (uploads to the
+	// coordinator).
 	Init struct {
 		Params []float64
 		K      int
 		Rounds int
+		Shards []string
 	}
 	// Upload is A_i: one client's top-k accumulated-gradient pairs for a
 	// round, plus its minibatch loss (the server's global-loss input).
@@ -133,6 +139,12 @@ func registerTypes() {
 		gob.Register(ShardAssign{})
 		gob.Register(ShardUpload{})
 		gob.Register(ShardResult{})
+		gob.Register(DataHello{})
+		gob.Register(SliceUpload{})
+		gob.Register(RoundMeta{})
+		gob.Register(FillQuery{})
+		gob.Register(FillCandidates{})
+		gob.Register(RoundFinish{})
 	})
 }
 
@@ -221,15 +233,24 @@ func Dial(addr string) (Conn, error) {
 	return NewGobConn(conn), nil
 }
 
-// DialShard connects to a coordinator and identifies the connection as an
-// aggregation shard — the counterpart AcceptPeer classifies on the
+// DialShard connects to a coordinator and identifies the connection as a
+// routed aggregation shard — the counterpart AcceptPeer classifies on the
 // coordinator side.
 func DialShard(addr string) (Conn, error) {
-	conn, err := Dial(addr)
+	return DialDirectShard(addr, "")
+}
+
+// DialDirectShard is DialShard for a shard that also serves the direct
+// data plane: ingestAddr is the shard's own client-facing listener
+// address, advertised to the coordinator (and from there, via the Init
+// directory, to every client). An empty ingestAddr identifies a
+// routed-only shard.
+func DialDirectShard(coordAddr, ingestAddr string) (Conn, error) {
+	conn, err := Dial(coordAddr)
 	if err != nil {
 		return nil, err
 	}
-	if err := conn.Send(ShardHello{}); err != nil {
+	if err := conn.Send(ShardHello{Addr: ingestAddr}); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("transport: shard hello: %w", err)
 	}

@@ -10,6 +10,11 @@
 //
 //	go run ./scripts/benchcheck            # compare against the baselines
 //	go run ./scripts/benchcheck -update    # re-baseline (rewrites "checks")
+//	go run ./scripts/benchcheck -out F     # gate AND write a re-baselined
+//	                                       # copy to F from the same single
+//	                                       # measurement pass (written even
+//	                                       # when the gate fails — that is
+//	                                       # when a re-baseline is wanted)
 //
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
 // suffix, so baselines recorded on one core count compare across runners.
@@ -59,17 +64,18 @@ func main() {
 	var (
 		baseline   = flag.String("baseline", "BENCH_fl.json", "baseline file holding the checks section")
 		update     = flag.Bool("update", false, "re-baseline: rewrite the checks section from a fresh run")
+		out        = flag.String("out", "", "also write a re-baselined copy of the baseline file here from the gate run's own measurements (no second benchmark pass; written even when the gate fails)")
 		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression")
 		allocSlack = flag.Float64("alloc-slack", 2, "allowed absolute allocs/op growth on nonzero baselines (zero baselines stay strict)")
 	)
 	flag.Parse()
-	if err := run(*baseline, *update, *tolerance, *allocSlack); err != nil {
+	if err := run(*baseline, *update, *out, *tolerance, *allocSlack); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath string, update bool, tolerance, allocSlack float64) error {
+func run(baselinePath string, update bool, outPath string, tolerance, allocSlack float64) error {
 	results, err := measureAll()
 	if err != nil {
 		return err
@@ -78,7 +84,12 @@ func run(baselinePath string, update bool, tolerance, allocSlack float64) error 
 		return fmt.Errorf("no benchmark results parsed — did the bench patterns rot?")
 	}
 	if update {
-		return rebaseline(baselinePath, results)
+		return rebaseline(baselinePath, baselinePath, results)
+	}
+	if outPath != "" {
+		if err := rebaseline(baselinePath, outPath, results); err != nil {
+			return err
+		}
 	}
 	return compare(baselinePath, results, tolerance, allocSlack)
 }
@@ -237,10 +248,13 @@ func hostMatches(raw any) bool {
 	return int(cores) == runtime.NumCPU() && goos == runtime.GOOS && goarch == runtime.GOARCH
 }
 
-// rebaseline rewrites the checks section (and its host stamp) in place,
-// preserving every other key of the baseline file.
-func rebaseline(baselinePath string, results map[string]measurement) error {
-	doc, err := loadBaseline(baselinePath)
+// rebaseline rewrites the checks section (and its host stamp) of the
+// baseline loaded from srcPath and writes the result to dstPath,
+// preserving every other key of the baseline file. srcPath == dstPath is
+// the in-place -update; a distinct dstPath is the gate run's artifact
+// copy.
+func rebaseline(srcPath, dstPath string, results map[string]measurement) error {
+	doc, err := loadBaseline(srcPath)
 	if err != nil {
 		return err
 	}
@@ -266,10 +280,10 @@ func rebaseline(baselinePath string, results map[string]measurement) error {
 		return err
 	}
 	out = append(out, '\n')
-	if err := os.WriteFile(baselinePath, out, 0o644); err != nil {
+	if err := os.WriteFile(dstPath, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("benchcheck: re-baselined %d benchmarks into %s\n", len(checks), baselinePath)
+	fmt.Printf("benchcheck: re-baselined %d benchmarks into %s\n", len(checks), dstPath)
 	return nil
 }
 

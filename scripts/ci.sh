@@ -13,7 +13,9 @@ test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/...
+# cmd/flsim is in the race list for its loopback-TCP end-to-end runs of
+# both multi-process topologies (routed and client-direct).
+go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/... ./cmd/flsim/...
 # Perf micro-benches + the engine grid, one iteration each: keeps the
 # benchmark code compiling AND executing without paying for real timings.
 go test -run '^$' -bench 'BenchmarkTopKInto' -benchtime=1x ./internal/sparse/
