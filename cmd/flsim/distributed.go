@@ -110,7 +110,8 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 // runShardRole connects to the coordinator as an aggregation shard and
 // serves range reductions until the run completes: routed (slices arrive
 // from the coordinator) by default, or — with direct — over its own
-// ingest listener that clients upload to.
+// ingest listener that clients upload their range slices to and pull
+// their broadcast slices back from.
 func runShardRole(connect string, direct bool, listenAddr string, acceptTimeout time.Duration) error {
 	if connect == "" {
 		return errors.New("flsim: -role shard requires -connect")

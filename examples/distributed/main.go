@@ -1,11 +1,14 @@
 // Command distributed runs the FAB-top-k protocol over real TCP
 // connections on localhost with the client-direct sharded data plane: a
 // coordinator goroutine serves the control plane (handshakes, per-round
-// metadata, selection, broadcast), two aggregation shards each listen on
-// their own ingest address, and one process-like goroutine per client
-// learns the shard directory from the coordinator's Init, splits every
-// top-k upload by coordinate range, and sends each slice straight to the
-// owning shard — the coordinator never receives a gradient upload. All
+// metadata, selection, shard seals, client releases), two aggregation
+// shards each listen on their own ingest address, and one process-like
+// goroutine per client learns the shard directory from the
+// coordinator's Init, splits every top-k upload by coordinate range,
+// sends each slice straight to the owning shard, and pulls the round's
+// broadcast back from the shards the same way (each shard serves its
+// sealed span of B from its own merged sums) — the coordinator never
+// receives a gradient upload and never transmits B payload. All
 // messages are real gob-encoded TCP streams, and the resulting
 // trajectory is bit-identical to a routed, unsharded, or in-process run
 // with the same seeds.
@@ -138,7 +141,7 @@ func run() error {
 			fmt.Printf("%5d  %13.3f  %3d\n", r.Round, r.Loss, r.DownlinkElems)
 		}
 	}
-	fmt.Printf("\nloss over the wire: %.3f -> %.3f across %d TCP clients uploading straight to %d shards\n",
+	fmt.Printf("\nloss over the wire: %.3f -> %.3f across %d TCP clients exchanging gradients straight with %d shards (uplink slices + shard-served downlink)\n",
 		records[0].Loss, records[len(records)-1].Loss, n, nShards)
 	return nil
 }

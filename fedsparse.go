@@ -98,25 +98,37 @@
 // three roles (-role coordinator|shard|client with -listen/-connect),
 // so a real multi-process deployment is one command per process.
 //
-// # Client-direct ingest
+// # Client-direct data plane (ingest + downlink)
 //
 // Config.Direct (with Shards > 0) switches the sharded tier from the
 // routed topology to the client-direct one, and ServerConfig.Direct
-// deploys it over the wire: each shard serves its own ingest listener
-// (ServeDirectShard), the coordinator publishes the shard directory to
-// clients in Init, and every client splits its top-k upload by
-// coordinate range and sends each slice — with explicit local ranks, so
-// min-rank selection metadata stays exact — straight to the owning
-// shard. The coordinator is demoted to a control plane: handshakes,
-// per-round loss/length scalars, the merged shard reductions, and
-// shard-served fill candidates; it never receives a gradient upload
-// (O(N) control messages per round instead of O(N·k) payload). Shards
-// run a per-round client barrier — one slice per client, empty included
-// — so a complete range is a counted fact and a dead client fails the
-// round instead of wedging it. Results remain bit-identical to the
-// routed and unsharded paths at every shard and worker count
-// (gs.DirectScratch is the in-process model; the differential suites
-// pin direct == routed == unsharded over mem and TCP).
+// deploys it over the wire — gradient payload then flows between
+// clients and shards in both directions. Uplink: each shard serves its
+// own ingest listener (ServeDirectShard), the coordinator publishes the
+// shard directory to clients in Init, and every client splits its top-k
+// upload by coordinate range and sends each slice — with explicit local
+// ranks, so min-rank selection metadata stays exact — straight to the
+// owning shard (SliceUpload). Downlink: after selection the coordinator
+// seals each shard with only its span of the selected member set
+// (RoundSeal — indices, not values; the shard reconstructs the values
+// from its own merged sums), releases the clients with per-round
+// scalars (RoundRelease), and every client pulls its broadcast slices
+// from the shards over the same data links (SliceFetch/SliceBroadcast),
+// reassembling B locally by concatenation. The coordinator is demoted
+// to a control plane: handshakes, per-round loss/length scalars, the
+// merged shard reductions, and shard-served fill candidates in;
+// per-round release scalars and O(|J|) seal indices out — it never
+// receives a gradient upload and never transmits B payload (O(N)
+// control messages per round instead of O(N·k) ingest and O(N·|J|)
+// egress). Shards run a per-round client barrier on both planes — one
+// slice and one fetch per client per round — so a complete range and a
+// complete serve are counted facts, and a dead client fails the round
+// instead of wedging it; clients fetch only after the release, which
+// follows the last seal, so no client can observe a partially sealed
+// round. Results remain bit-identical to the routed and unsharded paths
+// at every shard and worker count (gs.DirectScratch is the in-process
+// model, downlink fan-out included; the differential suites pin direct
+// == routed == unsharded over mem and TCP).
 //
 // # Scratch types and allocation-free steady state
 //
@@ -229,12 +241,19 @@ var NewAggScratch = gs.NewAggScratch
 // RangeReduceInto is the per-shard range reduction it (and the transport
 // tier's shard processes) are built on; NewDirectScratch is its
 // client-direct counterpart; ValidateRangeSlice is the shared slice
-// validation both shard topologies trust before reducing.
+// validation both shard topologies trust before reducing. MemberSpans
+// and BuildDownlinkSlice are the downlink counterparts: the
+// coordinator-side split of a selection into per-shard seal spans, and
+// the shard-side reconstruction of a sealed span's broadcast slice from
+// the shard's own reduction — shared by the wire shard and the
+// in-process model alike.
 var (
 	NewShardedScratch  = gs.NewShardedScratch
 	NewDirectScratch   = gs.NewDirectScratch
 	RangeReduceInto    = gs.RangeReduceInto
 	ValidateRangeSlice = gs.ValidateRangeSlice
+	MemberSpans        = gs.MemberSpans
+	BuildDownlinkSlice = gs.BuildDownlinkSlice
 )
 
 // Adaptive-k online learning (internal/core).

@@ -134,13 +134,16 @@ type Config struct {
 	// re-routes range slices to shards — to the client-direct one: each
 	// upload is split by coordinate range at the client, every slice
 	// (tagged with explicit local ranks) goes straight to the owning
-	// shard, and the coordinator selects over the merged shard reductions
-	// plus control-plane metadata only, never the raw uploads
+	// shard, the coordinator selects over the merged shard reductions
+	// plus control-plane metadata only — never the raw uploads — and the
+	// downlink inverts the same way: each shard is sealed with only its
+	// span of the selected members, serves the values from its own
+	// reduction, and the clients reassemble B from the per-shard slices
 	// (gs.DirectScratch in-process; the transport package deploys the
-	// same data plane over real connections). Results are bit-identical
-	// to the routed and unsharded paths at every shard and worker count.
-	// GS mode only; the Strategy must implement gs.DirectSelector (all
-	// built-ins do).
+	// same two-way data plane over real connections). Results are
+	// bit-identical to the routed and unsharded paths at every shard and
+	// worker count. GS mode only; the Strategy must implement
+	// gs.DirectSelector (all built-ins do).
 	Direct bool
 }
 

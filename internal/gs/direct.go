@@ -101,6 +101,55 @@ func ValidateRangeSlice(idx []int, val []float64, rank []int, lo, hi int, seen [
 	return nil
 }
 
+// MemberSpans splits an ascending member list by the partition bounds:
+// spans[s] is the subslice of members owned by shard s (aliasing
+// members; bounds are the len(shards)+1 chunk boundaries). This is the
+// coordinator side of the shard-served downlink fan-out: after
+// selection, each shard is sealed with only its span of the member set
+// — it reconstructs the values from its own merged sums — and
+// concatenating the spans in shard order reproduces the full selection,
+// so the clients' reassembled B is the coordinator's bit for bit.
+func MemberSpans(members []int, bounds []int, spans [][]int) [][]int {
+	spans = spans[:0]
+	start := 0
+	for s := 0; s+1 < len(bounds); s++ {
+		end := start
+		for end < len(members) && members[end] < bounds[s+1] {
+			end++
+		}
+		spans = append(spans, members[start:end])
+		start = end
+	}
+	return spans
+}
+
+// BuildDownlinkSlice validates one shard's sealed member set against its
+// round reduction and appends the broadcast slice the shard serves to
+// its clients: members must be strictly ascending and inside [lo, hi),
+// and every member must be a reduced coordinate (every selected
+// coordinate was uploaded by some client, so a miss means a corrupted
+// seal, not a legitimate selection); the values are the shard's own
+// exact sums. Shared by the wire shard (transport.RunDirectShard) and
+// the in-process model (DirectScratch), so the downlink the clients
+// reassemble cannot drift between topologies.
+func BuildDownlinkSlice(dstIdx []int, dstVal []float64, members []int, red RangeAgg, lo, hi int) ([]int, []float64, error) {
+	p := 0
+	for i, j := range members {
+		if j < lo || j >= hi || (i > 0 && j <= members[i-1]) {
+			return dstIdx, dstVal, fmt.Errorf("gs: sealed member %d out of order or outside range [%d, %d)", j, lo, hi)
+		}
+		for p < len(red.Idx) && red.Idx[p] < j {
+			p++
+		}
+		if p == len(red.Idx) || red.Idx[p] != j {
+			return dstIdx, dstVal, fmt.Errorf("gs: sealed member %d was never uploaded to this shard", j)
+		}
+		dstIdx = append(dstIdx, j)
+		dstVal = append(dstVal, red.Sum[p])
+	}
+	return dstIdx, dstVal, nil
+}
+
 // DirectMeta is the control-plane metadata the direct coordinator has in
 // place of the raw uploads.
 type DirectMeta struct {
@@ -309,11 +358,16 @@ var (
 // explicit local ranks (what clients send), reduce each shard's slice
 // set with the explicit-rank range reduction (what shards run), select
 // over the merged results with shard-served metadata oracles (what the
-// coordinator does), and tally the fairness counts from the shards'
-// slice sets. Results are bit-identical to ShardedScratch — and
-// therefore to the single-process engine — at every shard and worker
-// count. Single-goroutine state; returned Aggregates stay valid until
-// the next Aggregate call.
+// coordinator does), tally the fairness counts from the shards' slice
+// sets, and run the main selection through the shard-served downlink:
+// split the members into per-shard spans (MemberSpans — what the
+// coordinator seals each shard with), reconstruct each span's values
+// from that shard's own reduction (BuildDownlinkSlice — what a shard
+// serves its clients), and reassemble B by concatenation (what a client
+// does). Results are bit-identical to ShardedScratch — and therefore to
+// the single-process engine — at every shard and worker count.
+// Single-goroutine state; returned Aggregates stay valid until the next
+// Aggregate call.
 type DirectScratch struct {
 	dim     int
 	workers int
@@ -336,6 +390,12 @@ type DirectScratch struct {
 	mergedSum  []float64
 	mergedRank []int
 	cands      []FillCand
+
+	// Downlink fan-out model: per-shard member spans and the reassembled
+	// broadcast (aliased by the returned main Aggregate).
+	spans  [][]int
+	outIdx []int
+	outVal []float64
 }
 
 // NewDirectScratch builds a client-direct aggregation scratch for
@@ -469,6 +529,23 @@ func (ds *DirectScratch) Aggregate(strat DirectSelector, uploads []ClientUpload,
 		return Aggregate{}, Aggregate{}, err
 	}
 	ds.countUsedFromSlices(probeK > 0)
+	// The shard-served downlink: seal each shard with its span of the
+	// member set, reconstruct the span's values from the shard's own
+	// reduction, and reassemble B by concatenation in shard order. The
+	// sums are the merged reduction's, so the reassembled broadcast is
+	// the selection's output bit for bit — but it flows through exactly
+	// the path the wire deployment serves it on.
+	ds.spans = MemberSpans(main.Indices, ds.bounds, ds.spans)
+	ds.outIdx = ds.outIdx[:0]
+	ds.outVal = ds.outVal[:0]
+	for s := range ds.shards {
+		ds.outIdx, ds.outVal, err = BuildDownlinkSlice(ds.outIdx, ds.outVal, ds.spans[s], ds.reds[s], ds.bounds[s], ds.bounds[s+1])
+		if err != nil {
+			return Aggregate{}, Aggregate{}, err
+		}
+	}
+	main.Indices = ds.outIdx
+	main.Values = ds.outVal
 	return main, probe, nil
 }
 

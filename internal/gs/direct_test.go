@@ -163,3 +163,69 @@ func TestAppendFillCands(t *testing.T) {
 		t.Fatalf("sorted order %+v", c)
 	}
 }
+
+// TestMemberSpans pins the coordinator-side downlink split: spans alias
+// the member list, cover it exactly in shard order, and land every
+// member in the shard whose range owns it — including empty spans.
+func TestMemberSpans(t *testing.T) {
+	bounds := []int{0, 5, 10, 15}
+	members := []int{1, 4, 6, 7, 9}
+	spans := MemberSpans(members, bounds, nil)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	want := [][]int{{1, 4}, {6, 7, 9}, {}}
+	for s, sp := range spans {
+		if len(sp) != len(want[s]) {
+			t.Fatalf("span %d is %v, want %v", s, sp, want[s])
+		}
+		for i := range sp {
+			if sp[i] != want[s][i] {
+				t.Fatalf("span %d is %v, want %v", s, sp, want[s])
+			}
+		}
+	}
+	// The spans alias members: concatenation is the original storage.
+	if len(spans[0]) > 0 && &spans[0][0] != &members[0] {
+		t.Fatal("spans do not alias the member list")
+	}
+	if got := MemberSpans(nil, bounds, spans); len(got) != 3 || len(got[0])+len(got[1])+len(got[2]) != 0 {
+		t.Fatalf("empty member list produced %v", got)
+	}
+}
+
+// TestBuildDownlinkSlice pins the shard-side downlink reconstruction
+// and its trust boundary: values come from the shard's own reduction,
+// and a corrupted seal — out-of-range, unsorted, or never-uploaded
+// members — fails instead of serving a wrong slice.
+func TestBuildDownlinkSlice(t *testing.T) {
+	red := RangeAgg{Idx: []int{2, 3, 4}, Sum: []float64{0.5, -1.5, 2}, MinRank: []int{0, 1, 0}}
+	idx, val, err := BuildDownlinkSlice(nil, nil, []int{2, 4}, red, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 2 || idx[1] != 4 || val[0] != 0.5 || val[1] != 2 {
+		t.Fatalf("served slice (%v, %v)", idx, val)
+	}
+	if _, _, err := BuildDownlinkSlice(nil, nil, nil, red, 0, 5); err != nil {
+		t.Fatalf("empty seal rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		members []int
+		want    string
+	}{
+		{"outside the range", []int{7}, "out of order or outside"},
+		{"out of order", []int{4, 2}, "out of order"},
+		{"never uploaded", []int{1}, "never uploaded"},
+		{"duplicate member", []int{2, 2}, "out of order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := BuildDownlinkSlice(nil, nil, tc.members, red, 0, 5)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

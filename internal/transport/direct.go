@@ -11,29 +11,41 @@ import (
 	"fedsparse/internal/tensor"
 )
 
-// This file is the client-direct data plane: the topology where clients
-// split their top-k upload by coordinate range and send each slice
-// straight to the owning shard, demoting the coordinator to a control
-// plane. Per round:
+// This file is the client-direct data plane: the topology where the
+// gradient payload flows between clients and shards in BOTH directions,
+// demoting the coordinator to a control plane. Uplink: clients split
+// each top-k upload by coordinate range and send every slice straight
+// to the owning shard. Downlink: after selection the coordinator seals
+// each shard with only its span of the selected member set (the shard
+// reconstructs the values from its own merged sums), and clients pull
+// their broadcast slices from every shard over the same data links,
+// reassembling B locally. Per round:
 //
-//	clients ──SliceUpload──────────────▶ shards          (the data plane)
+//	clients ──SliceUpload──────────────▶ shards        (uplink data plane)
+//	clients ◀─SliceBroadcast─(SliceFetch)─ shards      (downlink data plane)
 //	clients ──RoundMeta───▶ coordinator ◀──ShardResult── shards
-//	clients ◀──Broadcast── coordinator ──FillQuery?/RoundFinish──▶ shards
+//	clients ◀─RoundRelease─ coordinator ──FillQuery?/RoundSeal──▶ shards
 //
 // The coordinator's per-round ingest shrinks from O(N·k) routed payload
 // to O(N) scalar control messages plus the O(|J|)-sized merged shard
-// reductions it needs for selection and broadcast anyway — it never
-// receives a gradient upload (the zero-payload test pins this). Each
+// reductions it needs for selection — it never receives a gradient
+// upload — and its per-round egress shrinks from the O(N·|J|) broadcast
+// to O(N) RoundRelease scalars plus the O(|J|) member indices of the
+// shard seals (the zero-B-payload test pins both directions). Each
 // shard runs a per-round client barrier: exactly one slice per client
 // per round (empty slices included), so a complete range is a counted
 // fact, and a dead client surfaces as a connection error on the barrier
-// instead of a wedge. Selection stays exact: shards compute the range
-// reductions from the slices' explicit local ranks, and the two pieces
-// of per-upload metadata a reduction does not carry are served by the
-// shards on demand (FAB's rank-κ fill candidates via FillQuery — each
-// client's rank-κ pair lives in exactly one shard). The trajectory is
-// bit-identical to the routed and single-process paths, over in-memory
-// pairs and TCP alike.
+// instead of a wedge. The downlink is ordered the same way: a shard
+// serves round-m slices only after the coordinator's round-m seal, and
+// clients fetch only after the coordinator's RoundRelease — which is
+// sent after every shard was sealed — so no client can observe a
+// partially sealed round. Selection stays exact: shards compute the
+// range reductions from the slices' explicit local ranks, and the two
+// pieces of per-upload metadata a reduction does not carry are served
+// by the shards on demand (FAB's rank-κ fill candidates via FillQuery —
+// each client's rank-κ pair lives in exactly one shard). The trajectory
+// is bit-identical to the routed and single-process paths, over
+// in-memory pairs and TCP alike.
 
 // Direct data-plane message types.
 type (
@@ -91,10 +103,47 @@ type (
 		AbsVal  []float64
 	}
 
-	// RoundFinish releases a shard from the round's query-serving loop
-	// into the next round's barrier.
-	RoundFinish struct {
+	// RoundSeal closes a round at a shard: the coordinator's selection is
+	// final, and Members is the slice of the selected member set that
+	// lies in the shard's coordinate range (ascending). The shard
+	// reconstructs the members' values from its own merged sums — the
+	// coordinator never re-transmits payload it only ever had as the
+	// shard's reduction — then serves the round's SliceFetch requests
+	// before entering the next round's barrier.
+	RoundSeal struct {
+		Round   int
+		Members []int
+	}
+
+	// SliceFetch is a client's downlink pull for one round, sent on its
+	// per-shard data link after the coordinator's RoundRelease: every
+	// shard owes exactly one SliceBroadcast per client per round.
+	SliceFetch struct {
+		ClientID int
+		Round    int
+	}
+
+	// SliceBroadcast is one shard's broadcast slice for one round: the
+	// selected members of its coordinate range, ascending, with the
+	// exact aggregated values from its own reduction. Concatenating the
+	// slices in shard order reassembles B — shard ranges are contiguous
+	// and ascending, so no merge arithmetic happens at the client.
+	SliceBroadcast struct {
+		Round   int
+		ShardID int
+		Idx     []int
+		Val     []float64
+	}
+
+	// RoundRelease is the coordinator's per-round control message to a
+	// client in direct mode — two scalars, never payload: the sealed
+	// round (the client's epoch guard: it must not fetch round-m slices
+	// before every shard sealed round m, and the release is sent only
+	// after the last seal) and the size of the selected member set (so a
+	// truncated reassembly fails loudly at the client).
+	RoundRelease struct {
 		Round int
+		Elems int
 	}
 )
 
@@ -104,13 +153,18 @@ type (
 // called with the client count once the assignment names it — and then,
 // per round, run the client barrier (one validated SliceUpload per
 // client), reduce the range with the explicit-rank reduction, reply
-// with the ShardResult, and serve FillQuery requests until the
-// coordinator's RoundFinish. Client connections are closed on return.
-// Any malformed handshake, slice, or control message — a stale
-// directory, an out-of-range or duplicated coordinate, non-ascending
-// ranks, a slice claiming another client's identity, a stale round —
-// errors the run as a protocol failure, and a client death between
-// slices surfaces as a connection error on the barrier.
+// with the ShardResult, serve FillQuery requests until the
+// coordinator's RoundSeal, and then serve the downlink: one validated
+// SliceFetch per client, each answered with the sealed members of the
+// range and the values reconstructed from the shard's own reduction.
+// Client connections are closed on return. Any malformed handshake,
+// slice, fetch, or control message — a stale directory, an
+// out-of-range or duplicated coordinate, non-ascending ranks, a slice
+// or fetch claiming another client's identity, a stale round, a sealed
+// member the shard never reduced — errors the run as a protocol
+// failure; a client death between slices surfaces as a connection
+// error on the barrier, and one mid-fetch as a connection error on the
+// downlink serve.
 func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error {
 	msg, err := coord.Recv()
 	if err != nil {
@@ -179,12 +233,24 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 	var fill []gs.FillCand
 	var fillClient, fillIdx []int
 	var fillAbs []float64
+	// The served downlink slice, rebuilt at each seal. Reuse across
+	// rounds (and sharing one slice among all clients' replies) is safe
+	// under the protocol's lockstep: every round-m reader — each client
+	// applies the broadcast before computing round m+1 — is done before
+	// the next seal can arrive, which requires every client's round-m+1
+	// upload first.
+	var sealIdx []int
+	var sealVal []float64
 
 	for m := 1; m <= assign.Rounds; m++ {
 		// The client barrier: one slice from every client completes the
 		// range. Reading the connections in client-ID order is safe —
 		// every client sends exactly one slice per round — and keeps the
-		// stored slices in the reduction's ascending-client order.
+		// stored slices in the reduction's ascending-client order. The
+		// per-connection message order across rounds is fixed too:
+		// SliceUpload(m), SliceFetch(m), SliceUpload(m+1), … — so a
+		// duplicated upload or fetch surfaces as a type or round
+		// mismatch at the next read, never as a silent double-count.
 		for ci, conn := range conns {
 			msg, err := conn.Recv()
 			if err != nil {
@@ -215,7 +281,7 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 			return fmt.Errorf("transport: shard %d round %d send: %w", assign.ShardID, m, err)
 		}
 		// Serve the coordinator's selection-metadata queries until it
-		// closes the round.
+		// seals the round with the selected members of this range.
 		for {
 			msg, err := coord.Recv()
 			if err != nil {
@@ -238,14 +304,45 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 				}
 				continue
 			}
-			fin, ok := msg.(RoundFinish)
+			seal, ok := msg.(RoundSeal)
 			if !ok {
-				return fmt.Errorf("transport: shard %d round %d: expected FillQuery or RoundFinish, got %T", assign.ShardID, m, msg)
+				return fmt.Errorf("transport: shard %d round %d: expected FillQuery or RoundSeal, got %T", assign.ShardID, m, msg)
 			}
-			if fin.Round != m {
-				return fmt.Errorf("transport: shard %d round %d: stale round finish (round %d)", assign.ShardID, m, fin.Round)
+			if seal.Round != m {
+				return fmt.Errorf("transport: shard %d round %d: stale round seal (round %d)", assign.ShardID, m, seal.Round)
+			}
+			// Build the round's broadcast slice from the shard's own
+			// reduction — the seal carries member indices only, so a
+			// corrupted member set fails here, before any client reads it.
+			sealIdx, sealVal, err = gs.BuildDownlinkSlice(sealIdx[:0], sealVal[:0], seal.Members, red, lo, hi)
+			if err != nil {
+				return fmt.Errorf("transport: shard %d round %d seal: %w", assign.ShardID, m, err)
 			}
 			break
+		}
+		// The downlink serve: one fetch per client, same counted barrier
+		// as the uplink — a dead client errors the round here instead of
+		// wedging peers that already fetched.
+		for ci, conn := range conns {
+			msg, err := conn.Recv()
+			if err != nil {
+				return fmt.Errorf("transport: shard %d round %d downlink serve recv from client %d: %w", assign.ShardID, m, ci, err)
+			}
+			f, ok := msg.(SliceFetch)
+			if !ok {
+				return fmt.Errorf("transport: shard %d round %d: client %d sent %T, want SliceFetch", assign.ShardID, m, ci, msg)
+			}
+			if f.Round != m {
+				return fmt.Errorf("transport: shard %d round %d: stale fetch from client %d (round %d)", assign.ShardID, m, ci, f.Round)
+			}
+			if f.ClientID != ci {
+				return fmt.Errorf("transport: shard %d round %d: fetch on client %d's connection claims client %d",
+					assign.ShardID, m, ci, f.ClientID)
+			}
+			sb := SliceBroadcast{Round: m, ShardID: assign.ShardID, Idx: sealIdx, Val: sealVal}
+			if err := conn.Send(sb); err != nil {
+				return fmt.Errorf("transport: shard %d round %d slice broadcast to client %d: %w", assign.ShardID, m, ci, err)
+			}
 		}
 	}
 	return nil
@@ -264,9 +361,12 @@ func ServeDirectShard(coord Conn, ln *Listener, acceptTimeout time.Duration) err
 // DirectGroup is the coordinator's control-plane handle on the direct
 // shard tier: it assigns the partition at construction and then, per
 // round, gathers the shard reductions, runs the uploads-free selection
-// (serving FAB's fill through FillQuery round trips), and closes the
-// round. Single-goroutine state; returned Aggregates alias the
-// selection scratch and stay valid until the next Aggregate call.
+// (serving FAB's fill through FillQuery round trips), and seals the
+// round — each shard receives only its span of the selected member set
+// and serves the values from its own sums, so the coordinator's egress
+// per round is O(|J|) member indices, not O(N·|J|) broadcast payload.
+// Single-goroutine state; returned Aggregates alias the selection
+// scratch and stay valid until the next Aggregate call.
 type DirectGroup struct {
 	conns    []Conn
 	dim      int
@@ -281,6 +381,8 @@ type DirectGroup struct {
 	cands    []gs.FillCand
 	candSeen []int // per-client dedupe slab for gathered candidates
 	candGen  int
+
+	spans [][]int // per-shard member spans of the round's seal
 }
 
 // NewDirectGroup sends every shard its direct-mode ShardAssign and
@@ -319,11 +421,15 @@ func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64) (*DirectGr
 // Aggregate closes one round of the direct tier: gather and validate
 // every shard's range reduction, select on the merged results with the
 // shard-served metadata (maxLen is the round's longest client upload,
-// reported on the control plane), send RoundFinish, and return the
-// aggregate — bit-identical to the routed ShardGroup and the
-// single-process engine. The coordinator never sees an upload; shard
-// results are validated against the partition geometry and maxLen
-// exactly as the routed gather validates them.
+// reported on the control plane), seal every shard with its span of the
+// member set (RoundSeal — the shard serves the clients' broadcast
+// slices from its own sums), and return the aggregate — bit-identical
+// to the routed ShardGroup and the single-process engine. The
+// coordinator never sees an upload; shard results are validated against
+// the partition geometry and maxLen exactly as the routed gather
+// validates them. The caller must not release clients into their
+// round-m fetches before Aggregate returns: every shard is sealed by
+// then, which is the ordering guarantee the downlink barrier rests on.
 func (g *DirectGroup) Aggregate(strat gs.DirectSelector, round, k, maxLen int) (gs.Aggregate, error) {
 	g.mergedIdx = g.mergedIdx[:0]
 	g.mergedSum = g.mergedSum[:0]
@@ -371,10 +477,18 @@ func (g *DirectGroup) Aggregate(strat gs.DirectSelector, round, k, maxLen int) (
 	if err != nil {
 		return gs.Aggregate{}, err
 	}
-	fin := RoundFinish{Round: round}
+	// Seal: split the selection by shard range and send each shard its
+	// span — member indices only, the values already live in the shards.
+	// The spans alias the selection scratch; that is safe even over
+	// by-reference in-memory conns because the scratch is next written
+	// by round m+1's selection, which the protocol orders after every
+	// client applied round m's broadcast (and so after every shard
+	// finished serving it).
+	g.spans = gs.MemberSpans(main.Indices, g.bounds, g.spans)
 	for s, conn := range g.conns {
-		if err := conn.Send(fin); err != nil {
-			return gs.Aggregate{}, fmt.Errorf("transport: round %d finish to shard %d: %w", round, s, err)
+		seal := RoundSeal{Round: round, Members: g.spans[s]}
+		if err := conn.Send(seal); err != nil {
+			return gs.Aggregate{}, fmt.Errorf("transport: round %d seal to shard %d: %w", round, s, err)
 		}
 	}
 	return main, nil
@@ -448,8 +562,10 @@ func (g *DirectGroup) Close() error {
 // ServerConfig.Direct: publish the shard directory in Init, then per
 // round collect every client's RoundMeta (loss + upload length — the
 // only things a client sends the coordinator), aggregate through the
-// DirectGroup, and broadcast. ordered holds the client conns in ID
-// order with their weights.
+// DirectGroup (which seals every shard with its span of the selection),
+// and release the clients into their downlink fetches with per-round
+// scalars — the coordinator sends no B payload in either direction.
+// ordered holds the client conns in ID order with their weights.
 func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg ServerConfig) ([]RoundRecord, error) {
 	dim := len(cfg.InitialParams)
 	if len(cfg.ShardConns) == 0 {
@@ -504,14 +620,15 @@ func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg
 		if err != nil {
 			return records, err
 		}
-		bc := Broadcast{
-			Round: m,
-			Idx:   append([]int(nil), agg.Indices...),
-			Val:   append([]float64(nil), agg.Values...),
-		}
+		// Every shard is sealed once Aggregate returns; the release is
+		// therefore the clients' guarantee that round m's slices are
+		// servable at every shard. Elems lets each client verify its
+		// reassembled B against the coordinator's |J| — a truncated
+		// shard slice fails at the client, loudly.
+		rel := RoundRelease{Round: m, Elems: len(agg.Indices)}
 		for id, conn := range ordered {
-			if err := conn.Send(bc); err != nil {
-				return records, fmt.Errorf("transport: round %d send to client %d: %w", m, id, err)
+			if err := conn.Send(rel); err != nil {
+				return records, fmt.Errorf("transport: round %d release to client %d: %w", m, id, err)
 			}
 		}
 		records = append(records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)})
@@ -523,9 +640,14 @@ func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg
 // shard from the Init directory, then run the shared round body
 // (runClientRounds — the training computation and rng consumption are
 // the routed client's, exactly once in the codebase) with a fan-out
-// uplink: split the top-k pairs by coordinate range, send each slice
-// (with explicit local ranks) straight to its owner, and report the
-// control metadata to the coordinator.
+// uplink and a fan-in downlink. Uplink: split the top-k pairs by
+// coordinate range, send each slice (with explicit local ranks)
+// straight to its owner, and report the control metadata to the
+// coordinator. Downlink: wait for the coordinator's RoundRelease (the
+// epoch guard — it arrives only after every shard sealed the round),
+// pull one SliceBroadcast from every shard, and reassemble B by
+// concatenation in shard order, verified against the release's element
+// count.
 func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
 	dim := len(init.Params)
 	nShards := len(init.Shards)
@@ -557,15 +679,17 @@ func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
 	}
 	shardOf := func(j int) int { return sort.SearchInts(bounds, j+1) - 1 }
 
-	// Per-shard slice buffers, reused across rounds under the lockstep
-	// argument documented on runClientRounds (a shard's reduction and
-	// fill queries both complete before the coordinator releases the
-	// round's broadcast).
+	// Per-shard slice buffers and the downlink reassembly buffers,
+	// reused across rounds under the lockstep argument documented on
+	// runClientRounds (every round-m reader of a reused buffer is done
+	// before the buffer's round-m+1 overwrite can happen).
 	sIdx := make([][]int, nShards)
 	sVal := make([][]float64, nShards)
 	sRank := make([][]int, nShards)
+	var bIdx []int
+	var bVal []float64
 
-	return runClientRounds(coord, cfg, init, func(m int, pairs sparse.Vec, batchLoss float64) error {
+	uplink := func(m int, pairs sparse.Vec, batchLoss float64) error {
 		for s := 0; s < nShards; s++ {
 			sIdx[s] = sIdx[s][:0]
 			sVal[s] = sVal[s][:0]
@@ -588,5 +712,80 @@ func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
 			return fmt.Errorf("transport: client %d round %d metadata: %w", cfg.ID, m, err)
 		}
 		return nil
-	})
+	}
+	downlink := func(m int) ([]int, []float64, error) {
+		// The epoch guard: fetch round m's slices only after the
+		// coordinator confirms every shard sealed round m.
+		msg, err := coord.Recv()
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: client %d round %d release recv: %w", cfg.ID, m, err)
+		}
+		rel, ok := msg.(RoundRelease)
+		if !ok {
+			return nil, nil, fmt.Errorf("transport: client %d round %d: expected RoundRelease, got %T", cfg.ID, m, msg)
+		}
+		if rel.Round != m {
+			return nil, nil, fmt.Errorf("transport: client %d round %d: stale release (round %d)", cfg.ID, m, rel.Round)
+		}
+		bIdx, bVal, err = fetchBroadcastSlices(cfg.ID, shardConns, bounds, m, rel.Elems, bIdx[:0], bVal[:0])
+		return bIdx, bVal, err
+	}
+	return runClientRounds(cfg, init, uplink, downlink)
+}
+
+// fetchBroadcastSlices is the client side of the shard-served downlink:
+// send every shard the round's SliceFetch, then gather one validated
+// SliceBroadcast from each in shard order, reassembling B into
+// dstIdx/dstVal by concatenation (shard ranges are contiguous and
+// ascending, so the result is the coordinator's sorted member list).
+// Each slice must carry the fetched round (a stale slice is a protocol
+// error, not a silently applied old broadcast), the serving shard's
+// identity, parallel index/value lists, and strictly ascending
+// coordinates inside the shard's range; the reassembled total must
+// match the coordinator's elems, so a truncated slice fails loudly
+// instead of silently dropping coordinates.
+func fetchBroadcastSlices(clientID int, shardConns []Conn, bounds []int, round, elems int,
+	dstIdx []int, dstVal []float64) ([]int, []float64, error) {
+
+	fetch := SliceFetch{ClientID: clientID, Round: round}
+	for s, conn := range shardConns {
+		if err := conn.Send(fetch); err != nil {
+			return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d fetch to shard %d: %w", clientID, round, s, err)
+		}
+	}
+	for s, conn := range shardConns {
+		msg, err := conn.Recv()
+		if err != nil {
+			return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d slice recv from shard %d: %w", clientID, round, s, err)
+		}
+		sb, ok := msg.(SliceBroadcast)
+		if !ok {
+			return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d: shard %d sent %T, want SliceBroadcast", clientID, round, s, msg)
+		}
+		if sb.Round != round {
+			return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d: stale broadcast slice from shard %d (round %d)",
+				clientID, round, s, sb.Round)
+		}
+		if sb.ShardID != s {
+			return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d: broadcast slice on shard %d's link claims shard %d",
+				clientID, round, s, sb.ShardID)
+		}
+		if len(sb.Idx) != len(sb.Val) {
+			return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d: shard %d broadcast slice shape %d/%d",
+				clientID, round, s, len(sb.Idx), len(sb.Val))
+		}
+		for i, j := range sb.Idx {
+			if j < bounds[s] || j >= bounds[s+1] || (i > 0 && j <= sb.Idx[i-1]) {
+				return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d: shard %d broadcast index %d out of order or range",
+					clientID, round, s, j)
+			}
+		}
+		dstIdx = append(dstIdx, sb.Idx...)
+		dstVal = append(dstVal, sb.Val...)
+	}
+	if len(dstIdx) != elems {
+		return dstIdx, dstVal, fmt.Errorf("transport: client %d round %d: reassembled %d broadcast elements, coordinator sealed %d — truncated or padded shard slice",
+			clientID, round, len(dstIdx), elems)
+	}
+	return dstIdx, dstVal, nil
 }

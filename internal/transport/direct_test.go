@@ -163,6 +163,19 @@ func TestDirectAggregationDifferential(t *testing.T) {
 											want.Indices[i], want.Values[i], got.Indices[i], got.Values[i])
 									}
 								}
+								// The downlink: every client pulls its broadcast
+								// slices (the shards serve until all fetches are
+								// answered), and each reassembled B must be the
+								// selection bit for bit.
+								for ci := 0; ci < n; ci++ {
+									rIdx, rVal := fetchAndReassemble(t, clientConns, d, ci, m, len(want.Indices))
+									for i := range want.Indices {
+										if rIdx[i] != want.Indices[i] || rVal[i] != want.Values[i] {
+											t.Fatalf("%s round %d: client %d reassembled entry %d: (%d, %v), want (%d, %v)",
+												strat.Name(), m, ci, i, rIdx[i], rVal[i], want.Indices[i], want.Values[i])
+										}
+									}
+								}
 							}
 							for s, err := range join() {
 								if err != nil {
@@ -175,6 +188,26 @@ func TestDirectAggregationDifferential(t *testing.T) {
 			}
 		})
 	}
+}
+
+// fetchAndReassemble runs client ci's downlink for one round through
+// the real fetch-gather path (fetchBroadcastSlices) over the harness's
+// ingest conns and returns the reassembled B.
+func fetchAndReassemble(t *testing.T, clientConns [][]Conn, dim, ci, round, elems int) ([]int, []float64) {
+	t.Helper()
+	nShards := len(clientConns)
+	conns := make([]Conn, nShards)
+	bounds := make([]int, nShards+1)
+	for s := 0; s < nShards; s++ {
+		conns[s] = clientConns[s][ci]
+		lo, hi := tensor.ChunkBounds(dim, nShards, s)
+		bounds[s], bounds[s+1] = lo, hi
+	}
+	idx, val, err := fetchBroadcastSlices(ci, conns, bounds, round, elems, nil, nil)
+	if err != nil {
+		t.Fatalf("client %d round %d downlink: %v", ci, round, err)
+	}
+	return idx, val
 }
 
 // rawTCPPairFactory builds plain gob/TCP conn pairs (no handshake —
@@ -212,10 +245,11 @@ func rawTCPPairFactory(t *testing.T) (func() (Conn, Conn), func()) {
 // conns: RunServer coordinator (Direct), RunDirectShard shards whose
 // ingest conns are delivered through each client's DialShard hook, and
 // RunClient clients. wrapData optionally wraps a client's data-plane
-// conns (failure injection); clientImpostor optionally replaces one
-// client's RunClient with a custom function.
+// conns (failure injection); wrapShard optionally wraps a shard's
+// coordinator control conn (failure injection on the shard side);
+// impostor optionally replaces one client's RunClient with a custom
+// function.
 type directHarness struct {
-	nShards  int
 	serverCs []Conn // coordinator's client conns (hello unconsumed)
 	records  []RoundRecord
 	srvErr   error
@@ -225,6 +259,7 @@ type directHarness struct {
 
 func runDirectHarness(t *testing.T, rounds, k, nShards int,
 	wrapData func(clientID, shardID int, c Conn) Conn,
+	wrapShard func(shardID int, c Conn) Conn,
 	impostor func(id int, coord Conn, dial func(addr string) (Conn, error)) error) *directHarness {
 	t.Helper()
 	fed, model, initParams := buildWorkload()
@@ -254,12 +289,15 @@ func runDirectHarness(t *testing.T, rounds, k, nShards int,
 		}
 	}
 
-	h := &directHarness{nShards: nShards, cliErrs: make([]error, n), shardErr: make([]error, nShards)}
+	h := &directHarness{cliErrs: make([]error, n), shardErr: make([]error, nShards)}
 	shardCoordConns := make([]Conn, nShards)
 	coordShardConns := make([]Conn, nShards)
 	addrs := make([]string, nShards)
 	for s := 0; s < nShards; s++ {
 		coordShardConns[s], shardCoordConns[s] = NewMemPair()
+		if wrapShard != nil {
+			shardCoordConns[s] = wrapShard(s, shardCoordConns[s])
+		}
 		addrs[s] = addrOf(s)
 	}
 	h.serverCs = make([]Conn, n)
@@ -331,7 +369,7 @@ func runDirectHarness(t *testing.T, rounds, k, nShards int,
 // AND to the routed sharded deployment with the same seeds.
 func TestDirectDistributedMatchesReferenceEngine(t *testing.T) {
 	const k, rounds, nShards = 40, 15, 2
-	h := runDirectHarness(t, rounds, k, nShards, nil, nil)
+	h := runDirectHarness(t, rounds, k, nShards, nil, nil, nil)
 	if h.srvErr != nil {
 		t.Fatalf("server: %v", h.srvErr)
 	}
@@ -409,14 +447,16 @@ func TestDirectDistributedMatchesReferenceEngine(t *testing.T) {
 	}
 }
 
-// payloadMeter counts, per message type, what a connection delivered to
-// its owner, and sums the gradient-payload bytes of upload messages
-// (Upload and SliceUpload carry A_i index/value data; everything else
-// on the coordinator is control or selection metadata).
+// payloadMeter counts, per message type, what a metered endpoint saw,
+// and sums the gradient-payload bytes in each direction: uplink payload
+// (Upload, SliceUpload, and routed ShardUpload carry A_i index/value
+// data) and broadcast payload (Broadcast and SliceBroadcast carry B
+// index/value data). Everything else is control or selection metadata.
 type payloadMeter struct {
-	mu           sync.Mutex
-	msgs         map[string]int
-	payloadBytes int
+	mu             sync.Mutex
+	msgs           map[string]int
+	payloadBytes   int // uplink A_i payload
+	broadcastBytes int // downlink B payload
 }
 
 func (m *payloadMeter) observe(msg any) {
@@ -435,46 +475,87 @@ func (m *payloadMeter) observe(msg any) {
 	case ShardUpload:
 		m.msgs["ShardUpload"]++
 		m.payloadBytes += 8*len(v.Idx) + 8*len(v.Val)
+	case Broadcast:
+		m.msgs["Broadcast"]++
+		m.broadcastBytes += 8*len(v.Idx) + 8*len(v.Val)
+	case SliceBroadcast:
+		m.msgs["SliceBroadcast"]++
+		m.broadcastBytes += 8*len(v.Idx) + 8*len(v.Val)
 	case RoundMeta:
 		m.msgs["RoundMeta"]++
 	case ShardResult:
 		m.msgs["ShardResult"]++
 	case Hello:
 		m.msgs["Hello"]++
+	case Init:
+		m.msgs["Init"]++
+	case RoundRelease:
+		m.msgs["RoundRelease"]++
+	case RoundSeal:
+		m.msgs["RoundSeal"]++
+	case FillQuery:
+		m.msgs["FillQuery"]++
+	case SliceFetch:
+		m.msgs["SliceFetch"]++
 	default:
 		m.msgs[fmt.Sprintf("%T", msg)]++
 	}
 }
 
+// meteredConn meters what the owning endpoint receives (recv) and
+// transmits (send); either meter may be nil to leave a direction
+// untracked.
 type meteredConn struct {
 	Conn
-	m *payloadMeter
+	recv *payloadMeter
+	send *payloadMeter
 }
 
 func (c meteredConn) Recv() (any, error) {
 	msg, err := c.Conn.Recv()
-	if err == nil {
-		c.m.observe(msg)
+	if err == nil && c.recv != nil {
+		c.recv.observe(msg)
 	}
 	return msg, err
 }
 
-// TestDirectCoordinatorReceivesNoGradientPayload is the acceptance
-// criterion of the control-plane demotion: in direct mode the
-// coordinator receives zero gradient-payload bytes — no Upload, no
-// SliceUpload, no routed ShardUpload — only Hello handshakes, per-round
-// RoundMeta scalars, and the shard tier's reduction results. A routed
-// run over the same workload is measured as the contrast.
-func TestDirectCoordinatorReceivesNoGradientPayload(t *testing.T) {
+func (c meteredConn) Send(msg any) error {
+	err := c.Conn.Send(msg)
+	if err == nil && c.send != nil {
+		c.send.observe(msg)
+	}
+	return err
+}
+
+// coordMeters is the two-direction metering of one coordinator run:
+// what it received (ingress, all peers) and what it transmitted, split
+// by peer role.
+type coordMeters struct {
+	ingress   *payloadMeter
+	toClients *payloadMeter
+	toShards  *payloadMeter
+}
+
+// TestDirectCoordinatorCarriesNoGradientPayload is the acceptance
+// criterion of the control-plane demotion, metered in BOTH directions.
+// Ingress: the direct coordinator receives zero gradient-payload bytes
+// — no Upload, no SliceUpload, no routed ShardUpload — only Hello
+// handshakes, per-round RoundMeta scalars, and the shard tier's
+// reduction results. Egress: it transmits zero B-payload bytes — no
+// Broadcast — only the Init handshake and per-round RoundRelease
+// scalars to clients, and the assignment, fill queries, and O(|J|)
+// member-index seals to shards. A routed run over the same workload is
+// measured as the contrast on both directions.
+func TestDirectCoordinatorCarriesNoGradientPayload(t *testing.T) {
 	fed, model, initParams := buildWorkload()
 	const k, rounds, nShards = 40, 6, 2
 	n := fed.NumClients()
 
-	runMetered := func(direct bool) *payloadMeter {
-		meter := &payloadMeter{}
+	runMetered := func(direct bool) coordMeters {
+		meters := coordMeters{ingress: &payloadMeter{}, toClients: &payloadMeter{}, toShards: &payloadMeter{}}
 		if direct {
 			// Same harness as the trajectory test, but every conn the
-			// coordinator reads from is metered.
+			// coordinator reads from or writes to is metered.
 			shardAccept := make([]chan Conn, nShards)
 			for s := range shardAccept {
 				shardAccept[s] = make(chan Conn, n)
@@ -484,13 +565,13 @@ func TestDirectCoordinatorReceivesNoGradientPayload(t *testing.T) {
 			shardCoord := make([]Conn, nShards)
 			for s := 0; s < nShards; s++ {
 				a, b := NewMemPair()
-				coordShard[s], shardCoord[s] = meteredConn{a, meter}, b
+				coordShard[s], shardCoord[s] = meteredConn{a, meters.ingress, meters.toShards}, b
 			}
 			serverCs := make([]Conn, n)
 			clientCs := make([]Conn, n)
 			for i := range serverCs {
 				a, b := NewMemPair()
-				serverCs[i], clientCs[i] = meteredConn{a, meter}, b
+				serverCs[i], clientCs[i] = meteredConn{a, meters.ingress, meters.toClients}, b
 			}
 			var wg sync.WaitGroup
 			for s := 0; s < nShards; s++ {
@@ -537,13 +618,13 @@ func TestDirectCoordinatorReceivesNoGradientPayload(t *testing.T) {
 				t.Fatalf("direct server: %v", err)
 			}
 			wg.Wait()
-			return meter
+			return meters
 		}
 		serverCs := make([]Conn, n)
 		clientCs := make([]Conn, n)
 		for i := range serverCs {
 			a, b := NewMemPair()
-			serverCs[i], clientCs[i] = meteredConn{a, meter}, b
+			serverCs[i], clientCs[i] = meteredConn{a, meters.ingress, meters.toClients}, b
 		}
 		var wg sync.WaitGroup
 		for i := 0; i < n; i++ {
@@ -560,30 +641,71 @@ func TestDirectCoordinatorReceivesNoGradientPayload(t *testing.T) {
 			t.Fatalf("routed server: %v", err)
 		}
 		wg.Wait()
-		return meter
+		return meters
 	}
 
 	direct := runMetered(true)
-	if direct.payloadBytes != 0 {
+	// Ingress: zero uplink payload.
+	if direct.ingress.payloadBytes != 0 {
 		t.Fatalf("direct coordinator received %d gradient-payload bytes (messages: %v)",
-			direct.payloadBytes, direct.msgs)
+			direct.ingress.payloadBytes, direct.ingress.msgs)
 	}
 	for _, forbidden := range []string{"Upload", "SliceUpload", "ShardUpload"} {
-		if c := direct.msgs[forbidden]; c != 0 {
-			t.Fatalf("direct coordinator received %d %s messages: %v", c, forbidden, direct.msgs)
+		if c := direct.ingress.msgs[forbidden]; c != 0 {
+			t.Fatalf("direct coordinator received %d %s messages: %v", c, forbidden, direct.ingress.msgs)
 		}
 	}
-	if got, want := direct.msgs["RoundMeta"], n*rounds; got != want {
+	if got, want := direct.ingress.msgs["RoundMeta"], n*rounds; got != want {
 		t.Fatalf("direct coordinator saw %d RoundMeta messages, want %d", got, want)
 	}
-	if got, want := direct.msgs["ShardResult"], nShards*rounds; got != want {
+	if got, want := direct.ingress.msgs["ShardResult"], nShards*rounds; got != want {
 		t.Fatalf("direct coordinator saw %d ShardResult messages, want %d", got, want)
+	}
+	// Egress to clients: zero B payload — the Init handshake plus one
+	// RoundRelease per client per round, nothing else.
+	if direct.toClients.broadcastBytes != 0 || direct.toClients.msgs["Broadcast"] != 0 {
+		t.Fatalf("direct coordinator sent %d B-payload bytes to clients (messages: %v)",
+			direct.toClients.broadcastBytes, direct.toClients.msgs)
+	}
+	if got, want := direct.toClients.msgs["RoundRelease"], n*rounds; got != want {
+		t.Fatalf("direct coordinator sent %d RoundRelease messages, want %d", got, want)
+	}
+	if got, want := direct.toClients.msgs["Init"], n; got != want {
+		t.Fatalf("direct coordinator sent %d Init messages, want %d", got, want)
+	}
+	if total := countMsgs(direct.toClients); total != n+n*rounds {
+		t.Fatalf("direct coordinator sent %d client messages, want %d (Init + releases): %v",
+			total, n+n*rounds, direct.toClients.msgs)
+	}
+	// Egress to shards: member-index seals, never value payload.
+	if direct.toShards.broadcastBytes != 0 {
+		t.Fatalf("direct coordinator sent %d B-payload bytes to shards (messages: %v)",
+			direct.toShards.broadcastBytes, direct.toShards.msgs)
+	}
+	if got, want := direct.toShards.msgs["RoundSeal"], nShards*rounds; got != want {
+		t.Fatalf("direct coordinator sent %d RoundSeal messages, want %d", got, want)
 	}
 
 	routed := runMetered(false)
-	if routed.payloadBytes == 0 || routed.msgs["Upload"] != n*rounds {
-		t.Fatalf("contrast broken: routed coordinator saw %d payload bytes, %v", routed.payloadBytes, routed.msgs)
+	if routed.ingress.payloadBytes == 0 || routed.ingress.msgs["Upload"] != n*rounds {
+		t.Fatalf("contrast broken: routed coordinator saw %d payload bytes, %v",
+			routed.ingress.payloadBytes, routed.ingress.msgs)
 	}
+	if routed.toClients.broadcastBytes == 0 || routed.toClients.msgs["Broadcast"] != n*rounds {
+		t.Fatalf("contrast broken: routed coordinator sent %d B-payload bytes, %v",
+			routed.toClients.broadcastBytes, routed.toClients.msgs)
+	}
+}
+
+// countMsgs sums a meter's per-type message counts.
+func countMsgs(m *payloadMeter) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, c := range m.msgs {
+		total += c
+	}
+	return total
 }
 
 // TestDirectShardDeathFailsRound injects a shard death after a partial
@@ -598,7 +720,7 @@ func TestDirectShardDeathFailsRound(t *testing.T) {
 			return &FlakyConn{Inner: c, FailAfter: 3}
 		}
 		return c
-	}, nil)
+	}, nil, nil)
 	if h.srvErr == nil {
 		t.Fatal("server completed despite shard-1 links dying")
 	}
@@ -616,7 +738,7 @@ func TestDirectShardDeathFailsRound(t *testing.T) {
 // and dies. Shard 1's barrier must error on the dead connection (not
 // wedge), and the coordinator must fail the round.
 func TestDirectClientDeathBetweenSlices(t *testing.T) {
-	h := runDirectHarness(t, 5, 20, 2, nil,
+	h := runDirectHarness(t, 5, 20, 2, nil, nil,
 		func(id int, coord Conn, dial func(addr string) (Conn, error)) error {
 			if err := coord.Send(Hello{ClientID: id, Weight: 30}); err != nil {
 				return err
@@ -651,6 +773,109 @@ func TestDirectClientDeathBetweenSlices(t *testing.T) {
 	}
 	if h.shardErr[1] == nil || !strings.Contains(h.shardErr[1].Error(), "recv from client") {
 		t.Fatalf("shard 1 did not surface the broken barrier: %v", h.shardErr[1])
+	}
+}
+
+// sealInterceptor injects a shard death between seal and serve: the
+// wrapped control conn delivers every message except the RoundSeal,
+// which it converts into a connection failure — the shard dies with the
+// round sealed at the coordinator but its downlink never served.
+type sealInterceptor struct{ Conn }
+
+func (c sealInterceptor) Recv() (any, error) {
+	msg, err := c.Conn.Recv()
+	if err != nil {
+		return msg, err
+	}
+	if _, ok := msg.(RoundSeal); ok {
+		return nil, ErrInjected
+	}
+	return msg, nil
+}
+
+// TestDirectShardDeathBetweenSealAndServe kills shard 1 in the gap the
+// downlink barrier must cover: the coordinator has sealed the round
+// (and released the clients), but the shard dies before serving a
+// single slice. Every client must surface the dead downlink as an
+// error on its fetch, the coordinator must fail the run, and every
+// goroutine must join — nothing may wedge waiting for a slice that
+// will never come.
+func TestDirectShardDeathBetweenSealAndServe(t *testing.T) {
+	h := runDirectHarness(t, 5, 20, 2, nil, func(shardID int, c Conn) Conn {
+		if shardID == 1 {
+			return sealInterceptor{c}
+		}
+		return c
+	}, nil)
+	if h.srvErr == nil {
+		t.Fatal("server completed despite shard 1 dying between seal and serve")
+	}
+	if !errors.Is(h.shardErr[1], ErrInjected) {
+		t.Fatalf("shard 1 exit error %v, want the injected seal failure", h.shardErr[1])
+	}
+	anyFetch := false
+	for _, err := range h.cliErrs {
+		anyFetch = anyFetch || (err != nil && strings.Contains(err.Error(), "slice recv from shard"))
+	}
+	if !anyFetch {
+		t.Fatalf("no client surfaced the dead downlink: %v", h.cliErrs)
+	}
+}
+
+// TestDirectClientDeathMidFetch kills a client halfway through its
+// downlink fan-in: it completes the round-1 uplink (slices + metadata),
+// receives the release, pulls shard 0's slice, and dies without ever
+// fetching from shard 1. Shard 1's downlink serve must error on the
+// dead connection (not wedge), and the coordinator must fail the round.
+func TestDirectClientDeathMidFetch(t *testing.T) {
+	h := runDirectHarness(t, 5, 20, 2, nil, nil,
+		func(id int, coord Conn, dial func(addr string) (Conn, error)) error {
+			if err := coord.Send(Hello{ClientID: id, Weight: 30}); err != nil {
+				return err
+			}
+			msg, err := coord.Recv()
+			if err != nil {
+				return err
+			}
+			init := msg.(Init)
+			conns := make([]Conn, len(init.Shards))
+			for s, addr := range init.Shards {
+				conn, err := dial(addr)
+				if err != nil {
+					return err
+				}
+				conns[s] = conn
+				if err := conn.Send(DataHello{ClientID: id, ShardID: s, NumShards: len(init.Shards), Dim: len(init.Params)}); err != nil {
+					return err
+				}
+			}
+			// A complete round-1 uplink: empty slices are valid uploads.
+			for _, c := range conns {
+				if err := c.Send(SliceUpload{ClientID: id, Round: 1}); err != nil {
+					return err
+				}
+			}
+			if err := coord.Send(RoundMeta{ClientID: id, Round: 1, BatchLoss: 1, UploadLen: 0}); err != nil {
+				return err
+			}
+			if _, err := coord.Recv(); err != nil { // the release
+				return err
+			}
+			// Fetch shard 0's slice, then die with shard 1 unfetched.
+			if err := conns[0].Send(SliceFetch{ClientID: id, Round: 1}); err != nil {
+				return err
+			}
+			_, _ = conns[0].Recv()
+			for _, c := range conns {
+				_ = c.Close()
+			}
+			return errors.New("client died mid-fetch")
+		})
+	if h.srvErr == nil {
+		t.Fatal("server completed despite a client dying mid-fetch")
+	}
+	if h.shardErr[1] == nil || !strings.Contains(h.shardErr[1].Error(), "downlink serve recv") {
+		t.Fatalf("shard 1 did not surface the broken downlink serve: %v", h.shardErr[1])
 	}
 }
 
@@ -727,8 +952,9 @@ func TestRunDirectShardRejectsMalformed(t *testing.T) {
 
 	t.Run("duplicate slice upload", func(t *testing.T) {
 		// A client double-sends its round-1 slice; the duplicate is the
-		// next thing on its conn at the round-2 barrier and must fail as
-		// a stale (duplicate) slice, not silently double-count.
+		// next thing on its conn at the round-1 downlink serve — where a
+		// fetch is owed — and must fail as a protocol error, not
+		// silently double-count.
 		err := directShardHarness(t, assign, nil, func(clients []Conn, coord Conn) {
 			up := SliceUpload{ClientID: 0, Round: 1, Idx: []int{3}, Val: []float64{1}, Rank: []int{0}}
 			_ = clients[0].Send(up)
@@ -737,11 +963,10 @@ func TestRunDirectShardRejectsMalformed(t *testing.T) {
 			if msg, err := coord.Recv(); err != nil {
 				t.Errorf("no round-1 result: %v (%T)", err, msg)
 			}
-			_ = coord.Send(RoundFinish{Round: 1})
-			_ = clients[1].Send(SliceUpload{ClientID: 1, Round: 2})
+			_ = coord.Send(RoundSeal{Round: 1, Members: []int{3}})
 		})
-		if err == nil || !strings.Contains(err.Error(), "duplicate or skipped") {
-			t.Fatalf("error %v, want duplicate-slice complaint", err)
+		if err == nil || !strings.Contains(err.Error(), "want SliceFetch") {
+			t.Fatalf("error %v, want duplicate-slice complaint at the downlink serve", err)
 		}
 	})
 
@@ -753,6 +978,128 @@ func TestRunDirectShardRejectsMalformed(t *testing.T) {
 			t.Fatalf("error %v, want SliceUpload complaint", err)
 		}
 	})
+}
+
+// TestRunDirectShardRejectsBadSeal covers the shard's trust boundary on
+// the downlink: a corrupted seal (members outside the range, out of
+// order, never uploaded, or for the wrong round) must error the round
+// before any client can read a slice built from it, and malformed or
+// stale fetches must fail the serve instead of being answered.
+func TestRunDirectShardRejectsBadSeal(t *testing.T) {
+	// Shard 0 of 2 over dim 10 owns [0, 5); client 0 uploads coordinate
+	// 3, client 1 nothing.
+	assign := ShardAssign{ShardID: 0, NumShards: 2, Dim: 10, Rounds: 2, Weights: []float64{1, 2}, Direct: true}
+	roundOne := func(clients []Conn, coord Conn, t *testing.T) {
+		_ = clients[0].Send(SliceUpload{ClientID: 0, Round: 1, Idx: []int{3}, Val: []float64{1}, Rank: []int{0}})
+		_ = clients[1].Send(SliceUpload{ClientID: 1, Round: 1})
+		if msg, err := coord.Recv(); err != nil {
+			t.Errorf("no round-1 result: %v (%T)", err, msg)
+		}
+	}
+	sealCases := []struct {
+		name string
+		seal RoundSeal
+		want string
+	}{
+		{"member outside the owned range", RoundSeal{Round: 1, Members: []int{7}}, "out of order or outside range"},
+		{"members out of order", RoundSeal{Round: 1, Members: []int{3, 3}}, "out of order"},
+		{"member never uploaded", RoundSeal{Round: 1, Members: []int{2}}, "never uploaded"},
+		{"stale seal round", RoundSeal{Round: 2, Members: []int{3}}, "stale round seal"},
+	}
+	for _, tc := range sealCases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := directShardHarness(t, assign, nil, func(clients []Conn, coord Conn) {
+				roundOne(clients, coord, t)
+				_ = coord.Send(tc.seal)
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	fetchCases := []struct {
+		name  string
+		fetch any
+		want  string
+	}{
+		{"stale fetch round", SliceFetch{ClientID: 0, Round: 9}, "stale fetch"},
+		{"fetch identity forgery", SliceFetch{ClientID: 1, Round: 1}, "claims client"},
+		{"non-fetch message", Hello{ClientID: 0}, "want SliceFetch"},
+	}
+	for _, tc := range fetchCases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := directShardHarness(t, assign, nil, func(clients []Conn, coord Conn) {
+				roundOne(clients, coord, t)
+				_ = coord.Send(RoundSeal{Round: 1, Members: []int{3}})
+				_ = clients[0].Send(tc.fetch)
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// scriptedDownlink runs fetchBroadcastSlices for client 0 over two
+// fabricated shards (dim 10, ranges [0, 5) and [5, 10)) whose replies
+// are scripted, and returns the client-side error.
+func scriptedDownlink(elems int, replies ...any) error {
+	nShards := len(replies)
+	conns := make([]Conn, nShards)
+	bounds := make([]int, nShards+1)
+	for s, reply := range replies {
+		lo, hi := tensor.ChunkBounds(10, nShards, s)
+		bounds[s], bounds[s+1] = lo, hi
+		shardSide, clientSide := NewMemPair()
+		conns[s] = clientSide
+		go func(c Conn, reply any) {
+			if _, err := c.Recv(); err != nil { // the fetch
+				return
+			}
+			_ = c.Send(reply)
+		}(shardSide, reply)
+	}
+	_, _, err := fetchBroadcastSlices(0, conns, bounds, 1, elems, nil, nil)
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+// TestFetchBroadcastSlicesRejectsMalformed covers the client's trust
+// boundary on the downlink — the per-round epoch guard and the slice
+// validation: stale rounds, forged shard identities, ragged or
+// truncated slices, and out-of-range or unsorted coordinates must each
+// error the round, never silently apply a corrupted broadcast.
+func TestFetchBroadcastSlicesRejectsMalformed(t *testing.T) {
+	ok0 := SliceBroadcast{Round: 1, ShardID: 0, Idx: []int{2}, Val: []float64{0.5}}
+	ok1 := SliceBroadcast{Round: 1, ShardID: 1, Idx: []int{7}, Val: []float64{1.5}}
+	if err := scriptedDownlink(2, ok0, ok1); err != nil {
+		t.Fatalf("well-formed downlink rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		reply0 any
+		elems  int
+		want   string
+	}{
+		{"stale round", SliceBroadcast{Round: 0, ShardID: 0, Idx: []int{2}, Val: []float64{0.5}}, 2, "stale broadcast slice"},
+		{"forged shard identity", SliceBroadcast{Round: 1, ShardID: 1, Idx: []int{2}, Val: []float64{0.5}}, 2, "claims shard"},
+		{"ragged slice", SliceBroadcast{Round: 1, ShardID: 0, Idx: []int{2, 3}, Val: []float64{0.5}}, 3, "shape"},
+		{"coordinate outside the shard range", SliceBroadcast{Round: 1, ShardID: 0, Idx: []int{7}, Val: []float64{0.5}}, 2, "out of order or range"},
+		{"unsorted coordinates", SliceBroadcast{Round: 1, ShardID: 0, Idx: []int{3, 2}, Val: []float64{0.5, 0.5}}, 3, "out of order"},
+		{"truncated slice", SliceBroadcast{Round: 1, ShardID: 0, Idx: []int{2}, Val: []float64{0.5}}, 3, "truncated"},
+		{"non-broadcast message", Hello{ClientID: 0}, 2, "want SliceBroadcast"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := scriptedDownlink(tc.elems, tc.reply0, ok1)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
 }
 
 // TestRunDirectShardRejectsStaleDirectory pins the data-plane handshake:

@@ -31,11 +31,14 @@ type ServerConfig struct {
 	ShardConns []Conn
 	// Direct demotes the coordinator to a control plane: clients learn
 	// the shard directory from Init, split each upload by coordinate
-	// range, and send every slice straight to the owning shard; the
-	// coordinator only handles the handshake, per-round control metadata
-	// (RoundMeta), the selection over merged shard reductions, and the
-	// broadcast — it never receives a gradient upload. Requires
-	// ShardConns and a matching ShardAddrs.
+	// range, and send every slice straight to the owning shard — and
+	// pull the round's broadcast back from the shards the same way,
+	// each shard serving its span of the selection from its own merged
+	// sums. The coordinator only handles the handshake, per-round
+	// control metadata (RoundMeta up, RoundRelease down), the selection
+	// over merged shard reductions, and the O(|J|) shard seals — it
+	// never receives a gradient upload and never transmits B payload.
+	// Requires ShardConns and a matching ShardAddrs.
 	Direct bool
 	// ShardAddrs is the client-facing ingest address of each shard, in
 	// ShardConns order — the directory sent to clients in Init (shards
@@ -413,11 +416,11 @@ func RunClient(conn Conn, cfg ClientConfig) error {
 	if len(init.Shards) > 0 {
 		// The coordinator published a shard directory: switch to the
 		// direct data plane (dial the shards, upload range slices
-		// straight to the owners; the coordinator conn carries control
-		// metadata and the broadcast only).
+		// straight to the owners and pull the broadcast slices back from
+		// them; the coordinator conn carries control scalars only).
 		return runClientDirect(conn, cfg, init)
 	}
-	return runClientRounds(conn, cfg, init, func(m int, pairs sparse.Vec, batchLoss float64) error {
+	uplink := func(m int, pairs sparse.Vec, batchLoss float64) error {
 		up := Upload{
 			ClientID:  cfg.ID,
 			Round:     m,
@@ -429,26 +432,43 @@ func RunClient(conn Conn, cfg ClientConfig) error {
 			return fmt.Errorf("transport: client %d round %d send: %w", cfg.ID, m, err)
 		}
 		return nil
-	})
+	}
+	downlink := func(m int) ([]int, []float64, error) {
+		msg, err := conn.Recv()
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: client %d round %d recv: %w", cfg.ID, m, err)
+		}
+		bc, ok := msg.(Broadcast)
+		if !ok || bc.Round != m {
+			return nil, nil, fmt.Errorf("transport: client %d round %d: bad broadcast %T", cfg.ID, m, msg)
+		}
+		return bc.Idx, bc.Val, nil
+	}
+	return runClientRounds(cfg, init, uplink, downlink)
 }
 
 // runClientRounds is the training body shared by both data planes: per
 // round it draws the minibatch, accumulates the local gradient, extracts
 // the top-k upload, hands the pairs to the topology-specific uplink
-// hook, and applies the coordinator's broadcast with the error-feedback
-// residual reset. The rng consumption order lives here exactly once —
-// which is what keeps the routed and direct trajectories bit-identical
-// to each other and to the reference engine for the same seeds.
+// hook, receives the round's aggregated B through the
+// topology-specific downlink hook (the routed coordinator broadcast,
+// or the direct plane's shard-served slice reassembly), and applies it
+// with the error-feedback residual reset. The rng consumption order
+// lives here exactly once — which is what keeps the routed and direct
+// trajectories bit-identical to each other and to the reference engine
+// for the same seeds.
 //
-// The hook receives reusable buffers (the same zero-alloc hot loop as
-// the simulator engine). Reusing pairs across rounds is safe even over
-// by-reference in-memory conns: the protocol is lockstep — every
-// round-m consumer (the coordinator, or every shard's reduction and
-// fill queries) is done reading before the round-m broadcast is sent,
-// and the client only overwrites the buffers after receiving that
-// broadcast.
-func runClientRounds(coord Conn, cfg ClientConfig, init Init,
-	uplink func(round int, pairs sparse.Vec, batchLoss float64) error) error {
+// The uplink hook receives reusable buffers (the same zero-alloc hot
+// loop as the simulator engine), and the downlink hook may return
+// reused buffers. Reuse across rounds is safe even over by-reference
+// in-memory conns: the protocol is lockstep — every round-m consumer
+// (the coordinator, or every shard's reduction, fill queries, and
+// downlink serve) is done reading before the round-m broadcast can be
+// released, and the client only overwrites its buffers after applying
+// that broadcast.
+func runClientRounds(cfg ClientConfig, init Init,
+	uplink func(round int, pairs sparse.Vec, batchLoss float64) error,
+	downlink func(round int) (idx []int, val []float64, err error)) error {
 
 	net := cfg.Model()
 	net.SetParams(init.Params)
@@ -473,18 +493,14 @@ func runClientRounds(coord Conn, cfg ClientConfig, init Init,
 		if err := uplink(m, pairs, batchLoss); err != nil {
 			return err
 		}
-		msg, err := coord.Recv()
+		bIdx, bVal, err := downlink(m)
 		if err != nil {
-			return fmt.Errorf("transport: client %d round %d recv: %w", cfg.ID, m, err)
-		}
-		bc, ok := msg.(Broadcast)
-		if !ok || bc.Round != m {
-			return fmt.Errorf("transport: client %d round %d: bad broadcast %T", cfg.ID, m, msg)
+			return err
 		}
 		params := net.Params()
-		inJ := make(map[int]bool, len(bc.Idx))
-		for vi, j := range bc.Idx {
-			params[j] -= cfg.LearningRate * bc.Val[vi]
+		inJ := make(map[int]bool, len(bIdx))
+		for vi, j := range bIdx {
+			params[j] -= cfg.LearningRate * bVal[vi]
 			inJ[j] = true
 		}
 		for _, j := range pairs.Idx {

@@ -32,8 +32,9 @@ type (
 	// the run parameters every client must use. A non-empty Shards
 	// directory switches the client onto the direct data plane: entry s
 	// is the ingest address of aggregation shard s, the client dials
-	// every shard itself and uploads range slices straight to the owners
-	// (see direct.go). Empty keeps the routed plane (uploads to the
+	// every shard itself, uploads range slices straight to the owners,
+	// and pulls its broadcast slices back from them (see direct.go).
+	// Empty keeps the routed plane (uploads to and broadcasts from the
 	// coordinator).
 	Init struct {
 		Params []float64
@@ -144,7 +145,10 @@ func registerTypes() {
 		gob.Register(RoundMeta{})
 		gob.Register(FillQuery{})
 		gob.Register(FillCandidates{})
-		gob.Register(RoundFinish{})
+		gob.Register(RoundSeal{})
+		gob.Register(SliceFetch{})
+		gob.Register(SliceBroadcast{})
+		gob.Register(RoundRelease{})
 	})
 }
 

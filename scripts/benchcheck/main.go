@@ -15,6 +15,15 @@
 //	                                       # measurement pass (written even
 //	                                       # when the gate fails — that is
 //	                                       # when a re-baseline is wanted)
+//	go run ./scripts/benchcheck -smoke     # run every tracked benchmark
+//	                                       # once (benchtime 1x) and check
+//	                                       # only that each recorded
+//	                                       # baseline produced a result —
+//	                                       # the CI smoke that keeps bench
+//	                                       # code executing and fails
+//	                                       # loudly when a benchmark is
+//	                                       # renamed out from under its
+//	                                       # baseline
 //
 // Benchmark names are normalized by stripping the trailing -GOMAXPROCS
 // suffix, so baselines recorded on one core count compare across runners.
@@ -65,23 +74,31 @@ func main() {
 		baseline   = flag.String("baseline", "BENCH_fl.json", "baseline file holding the checks section")
 		update     = flag.Bool("update", false, "re-baseline: rewrite the checks section from a fresh run")
 		out        = flag.String("out", "", "also write a re-baselined copy of the baseline file here from the gate run's own measurements (no second benchmark pass; written even when the gate fails)")
+		smoke      = flag.Bool("smoke", false, "run every tracked benchmark once (benchtime 1x) and only cross-check coverage against the baselines' checks — no performance gating")
 		tolerance  = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression")
 		allocSlack = flag.Float64("alloc-slack", 2, "allowed absolute allocs/op growth on nonzero baselines (zero baselines stay strict)")
 	)
 	flag.Parse()
-	if err := run(*baseline, *update, *out, *tolerance, *allocSlack); err != nil {
+	if err := run(*baseline, *update, *out, *smoke, *tolerance, *allocSlack); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(baselinePath string, update bool, outPath string, tolerance, allocSlack float64) error {
-	results, err := measureAll()
+func run(baselinePath string, update bool, outPath string, smoke bool, tolerance, allocSlack float64) error {
+	benchtime := ""
+	if smoke {
+		benchtime = "1x"
+	}
+	results, err := measureAll(benchtime)
 	if err != nil {
 		return err
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark results parsed — did the bench patterns rot?")
+	}
+	if smoke {
+		return checkCoverage(baselinePath, results)
 	}
 	if update {
 		return rebaseline(baselinePath, baselinePath, results)
@@ -95,11 +112,16 @@ func run(baselinePath string, update bool, outPath string, tolerance, allocSlack
 }
 
 // measureAll runs every tracked benchmark set and returns the parsed
-// measurements keyed by normalized name.
-func measureAll() (map[string]measurement, error) {
+// measurements keyed by normalized name. A non-empty benchtime overrides
+// every tracked entry's iteration count (the -smoke 1x pass).
+func measureAll(benchtime string) (map[string]measurement, error) {
 	results := make(map[string]measurement)
 	for _, tr := range tracked {
-		args := []string{"test", "-run", "^$", "-bench", tr.pattern, "-benchtime", tr.benchtime, "-benchmem", "-count", "1", tr.pkg}
+		bt := tr.benchtime
+		if benchtime != "" {
+			bt = benchtime
+		}
+		args := []string{"test", "-run", "^$", "-bench", tr.pattern, "-benchtime", bt, "-benchmem", "-count", "1", tr.pkg}
 		fmt.Printf("benchcheck: go %s\n", strings.Join(args, " "))
 		cmd := exec.Command("go", args...)
 		var out bytes.Buffer
@@ -149,27 +171,74 @@ func parseBench(out string) []measurement {
 	return ms
 }
 
+// loadChecks parses the baseline document's checks section.
+func loadChecks(doc map[string]any, baselinePath string) (map[string]check, error) {
+	rawChecks, ok := doc["checks"].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%s has no checks section — run `go run ./scripts/benchcheck -update` on the baseline host", baselinePath)
+	}
+	checks := make(map[string]check, len(rawChecks))
+	for name, raw := range rawChecks {
+		b, err := json.Marshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		var c check
+		if err := json.Unmarshal(b, &c); err != nil {
+			return nil, fmt.Errorf("baseline entry %q: %w", name, err)
+		}
+		checks[name] = c
+	}
+	return checks, nil
+}
+
+// checkCoverage is the -smoke gate: every recorded baseline must have
+// produced a measurement (a baseline whose benchmark vanished means a
+// bench was renamed or deleted without -update — the smoke run must
+// fail loudly instead of silently shrinking), and unbaselined results
+// are reported so new benchmarks get adopted into the tracked set.
+func checkCoverage(baselinePath string, results map[string]measurement) error {
+	doc, err := loadBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
+	checks, err := loadChecks(doc, baselinePath)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	for name := range checks {
+		if _, ok := results[name]; !ok {
+			failures = append(failures, fmt.Sprintf("%s: tracked baseline produced no result — benchmark renamed or deleted without re-baselining?", name))
+		}
+	}
+	unbaselined := 0
+	for name := range results {
+		if _, ok := checks[name]; !ok {
+			unbaselined++
+			fmt.Printf("benchcheck: note: %s has no baseline (add one with -update)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchcheck: FAIL:", f)
+		}
+		return fmt.Errorf("%d tracked benchmark(s) missing from the smoke run", len(failures))
+	}
+	fmt.Printf("benchcheck: smoke OK — %d tracked benchmarks executed (%d unbaselined)\n",
+		len(checks), unbaselined)
+	return nil
+}
+
 // compare fails on any tracked regression against the baselines.
 func compare(baselinePath string, results map[string]measurement, tolerance, allocSlack float64) error {
 	doc, err := loadBaseline(baselinePath)
 	if err != nil {
 		return err
 	}
-	rawChecks, ok := doc["checks"].(map[string]any)
-	if !ok {
-		return fmt.Errorf("%s has no checks section — run `go run ./scripts/benchcheck -update` on the baseline host", baselinePath)
-	}
-	checks := make(map[string]check, len(rawChecks))
-	for name, raw := range rawChecks {
-		b, err := json.Marshal(raw)
-		if err != nil {
-			return err
-		}
-		var c check
-		if err := json.Unmarshal(b, &c); err != nil {
-			return fmt.Errorf("baseline entry %q: %w", name, err)
-		}
-		checks[name] = c
+	checks, err := loadChecks(doc, baselinePath)
+	if err != nil {
+		return err
 	}
 
 	// ns/op baselines only mean something on the hardware class that

@@ -11,16 +11,24 @@ set -eux
 test -z "$(gofmt -l .)"
 
 go vet ./...
+# staticcheck when available: CI's lint job installs the version pinned
+# in .github/workflows/ci.yml; local runs without the binary (offline
+# dev boxes) stay green and rely on CI to lint.
+if command -v staticcheck >/dev/null 2>&1; then
+  staticcheck ./...
+fi
 go build ./...
 go test ./...
 # cmd/flsim is in the race list for its loopback-TCP end-to-end runs of
-# both multi-process topologies (routed and client-direct).
+# both multi-process topologies (routed and client-direct, including the
+# shard-served downlink fan-out).
 go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/... ./cmd/flsim/...
-# Perf micro-benches + the engine grid, one iteration each: keeps the
-# benchmark code compiling AND executing without paying for real timings.
-go test -run '^$' -bench 'BenchmarkTopKInto' -benchtime=1x ./internal/sparse/
-go test -run '^$' -bench 'BenchmarkAggregate$|BenchmarkShardedAggregate' -benchtime=1x ./internal/gs/
-go test -run '^$' -bench 'BenchmarkRunGSParallel' -benchtime=1x .
+# Bench smoke, one iteration each: keeps the benchmark code compiling
+# AND executing without paying for real timings. The -bench patterns
+# live once, in scripts/benchcheck's tracked table, and the run is
+# cross-checked against BENCH_fl.json's checks — renaming a tracked
+# benchmark fails here loudly instead of silently shrinking the smoke.
+go run ./scripts/benchcheck -smoke
 
 # Bench-regression gate (CI_BENCH=1): re-runs the tracked benchmarks at
 # real iteration counts and fails on >25% ns/op or any allocs/op
