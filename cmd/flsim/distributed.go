@@ -36,7 +36,7 @@ func buildWorkload(datasetName, scale string) (*fedsparse.Workload, error) {
 // have advertised their ingest addresses, and the directory is published
 // to the clients in Init.
 func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, seed int64,
-	listenAddr string, nClients, nShards int, direct bool, acceptTimeout time.Duration) error {
+	listenAddr string, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -62,13 +62,13 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 	}
 	fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d %s shards (k=%d, %d rounds)\n",
 		ln.Addr(), nClients, nShards, plane, k, rounds)
-	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, acceptTimeout)
+	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, acceptTimeout)
 }
 
 // coordinate is the listener-driven core of the coordinator role,
 // separated so tests can bind the listener themselves.
 func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
-	k, rounds int, seed int64, nClients, nShards int, direct bool, acceptTimeout time.Duration) error {
+	k, rounds int, seed int64, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration) error {
 
 	// Synchronized initial weights: the same construction as the
 	// reference engine with this seed.
@@ -85,6 +85,7 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 		Rounds:        rounds,
 		InitialParams: ref.Params(),
 		ShardConns:    shardConns,
+		QuantBits:     quantBits,
 	}
 	if direct {
 		for s, addr := range shardAddrs {

@@ -16,7 +16,7 @@ import (
 // dispatches to — and returns the coordinator's CSV. With direct set the
 // shards serve their own ingest listeners and the clients upload straight
 // to them.
-func runRolesEndToEnd(t *testing.T, direct bool) string {
+func runRolesEndToEnd(t *testing.T, direct bool, quantBits int) string {
 	t.Helper()
 	const (
 		dataset = "femnist"
@@ -42,7 +42,7 @@ func runRolesEndToEnd(t *testing.T, direct bool) string {
 	var out bytes.Buffer
 	coordDone := make(chan error, 1)
 	go func() {
-		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, time.Minute)
+		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, time.Minute)
 	}()
 
 	var wg sync.WaitGroup
@@ -96,7 +96,7 @@ func TestDistributedRolesEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training run in -short mode")
 	}
-	runRolesEndToEnd(t, false)
+	runRolesEndToEnd(t, false, 0)
 }
 
 // TestDirectRolesEndToEnd covers the direct topology end to end over
@@ -109,10 +109,30 @@ func TestDirectRolesEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training run in -short mode")
 	}
-	direct := runRolesEndToEnd(t, true)
-	routed := runRolesEndToEnd(t, false)
+	direct := runRolesEndToEnd(t, true, 0)
+	routed := runRolesEndToEnd(t, false, 0)
 	if direct != routed {
 		t.Fatalf("direct CSV differs from routed CSV:\n--- direct ---\n%s--- routed ---\n%s", direct, routed)
+	}
+}
+
+// TestQuantizedRolesEndToEnd is the multi-process face of on-wire
+// quantization: with -quantbits 8 the direct and routed topologies must
+// still emit byte-identical per-round CSVs (values travel packed on the
+// binary codec's wire in both), and the trajectory must differ from the
+// full-precision run — proof the width actually reached the protocol.
+func TestQuantizedRolesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	direct := runRolesEndToEnd(t, true, 8)
+	routed := runRolesEndToEnd(t, false, 8)
+	if direct != routed {
+		t.Fatalf("quantized direct CSV differs from routed CSV:\n--- direct ---\n%s--- routed ---\n%s", direct, routed)
+	}
+	full := runRolesEndToEnd(t, false, 0)
+	if routed == full {
+		t.Fatal("quantized CSV identical to full-precision CSV — -quantbits did not reach the wire")
 	}
 }
 
@@ -172,6 +192,7 @@ func TestValidateFlags(t *testing.T) {
 		{"shard with clients", "shard", mk("connect", "clients"), 0, false, "x", "-clients"},
 		{"shard with id", "shard", mk("connect", "id"), 0, false, "x", "-id"},
 		{"shard direct", "shard", mk("connect", "direct", "listen"), 0, true, "x", ""},
+		{"shard with quantbits", "shard", mk("connect", "quantbits"), 0, false, "x", "-quantbits"},
 		{"shard direct without listen", "shard", mk("connect", "direct"), 0, true, "x", "-listen"},
 		{"shard routed with listen", "shard", mk("connect", "listen"), 0, false, "x", "-direct"},
 		{"client", "client", mk("connect", "id"), 0, false, "x", ""},
@@ -179,6 +200,7 @@ func TestValidateFlags(t *testing.T) {
 		{"client with shards", "client", mk("connect", "shards"), 2, false, "x", "-shards"},
 		{"client with clients", "client", mk("connect", "clients"), 0, false, "x", "-clients"},
 		{"client with direct", "client", mk("connect", "direct"), 0, true, "x", "Init"},
+		{"client with quantbits", "client", mk("connect", "quantbits"), 0, false, "x", "-quantbits"},
 		{"client with listen", "client", mk("connect", "listen"), 0, false, "x", "-listen"},
 		{"unknown role", "proxy", mk(), 0, false, "", "unknown role"},
 	}

@@ -55,6 +55,7 @@ func main() {
 		batch       = flag.Int("batch", 0, "minibatch size (0 = workload default)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		evalEvery   = flag.Int("eval-every", 0, "test-set evaluation cadence in rounds (0 = off)")
+		quantBits   = flag.Int("quantbits", 0, "quantize uploaded and broadcast gradient values to this many bits (0 = full precision; sim and coordinator roles)")
 		workers     = flag.Int("workers", 0, "per-client worker pool size, -1 = all CPUs (results are bit-identical at any value; 0 = sequential)")
 		shards      = flag.Int("shards", 0, "sim: run the server aggregation through that many in-process coordinate shards (bit-identical at any value; 0 = unsharded); coordinator: shard processes to wait for")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -78,7 +79,7 @@ func main() {
 		switch *role {
 		case "sim":
 			err = withProfiles(*cpuProfile, *memProfile, func() error {
-				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct)
+				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits)
 			})
 		case "coordinator":
 			// The distributed protocol is fixed-k FAB-top-k; reject flags
@@ -87,7 +88,7 @@ func main() {
 				err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
 				break
 			}
-			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *acceptWait)
+			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *acceptWait)
 		case "shard":
 			err = runShardRole(*connectAddr, *direct, *listenAddr, *acceptWait)
 		case "client":
@@ -140,6 +141,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct bool, co
 			return errors.New("flsim: -clients applies to -role coordinator")
 		case set["id"]:
 			return errors.New("flsim: -id applies to -role client")
+		case set["quantbits"]:
+			return errors.New("flsim: -quantbits is the coordinator's flag; shards learn the width from their assignment")
 		case direct && !set["listen"]:
 			return errors.New("flsim: a direct -role shard requires -listen INGEST_ADDR (clients upload straight to it)")
 		case !direct && set["listen"]:
@@ -155,6 +158,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct bool, co
 			return errors.New("flsim: -clients applies to -role coordinator")
 		case set["direct"]:
 			return errors.New("flsim: clients learn the topology from the coordinator's Init; -direct applies to sim, coordinator, and shard roles")
+		case set["quantbits"]:
+			return errors.New("flsim: clients learn the quantization width from the coordinator's Init; -quantbits applies to sim and coordinator roles")
 		case set["listen"]:
 			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
 		}
@@ -204,7 +209,7 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
-	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool) error {
+	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits int) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -235,6 +240,7 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		Workers:      workers,
 		Shards:       shards,
 		Direct:       direct,
+		QuantBits:    quantBits,
 	}
 
 	switch strategy {

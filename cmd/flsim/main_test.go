@@ -18,21 +18,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{
 			name: "bad dataset",
 			call: func() error {
-				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false)
+				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0)
 			},
 			want: "unknown dataset",
 		},
 		{
 			name: "bad strategy",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false)
+				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0)
 			},
 			want: "unknown strategy",
 		},
 		{
 			name: "bad controller",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false)
+				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0)
 			},
 			want: "unknown adaptive controller",
 		},
@@ -63,20 +63,27 @@ func TestRunEmitsCSV(t *testing.T) {
 		if strat == "fedavg" {
 			shards = 0
 		}
-		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false); err != nil {
+		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0); err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
 		if shards > 0 {
-			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true); err != nil {
+			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0); err != nil {
 				t.Fatalf("%s direct: %v", strat, err)
 			}
 		}
 	}
 	// Adaptive controllers over the CLI.
 	for _, ctrl := range []string{"alg2", "alg3", "value", "exp3", "bandit"} {
-		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false); err != nil {
+		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0); err != nil {
 			t.Fatalf("%s: %v", ctrl, err)
 		}
+	}
+	// Quantized uploads over the CLI, unsharded and sharded.
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8); err != nil {
+		t.Fatalf("quantbits=8: %v", err)
+	}
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8); err != nil {
+		t.Fatalf("quantbits=8 direct: %v", err)
 	}
 }
 

@@ -16,8 +16,10 @@
 //   - A synchronous federated-learning engine with the paper's
 //     normalized-time cost model, a from-scratch neural-network substrate
 //     with manual backpropagation, synthetic non-i.i.d. federated
-//     datasets standing in for FEMNIST/CIFAR-10, and a gob/TCP transport
-//     that runs the protocol distributed.
+//     datasets standing in for FEMNIST/CIFAR-10, and a TCP transport
+//     that runs the protocol distributed over a length-prefixed binary
+//     wire codec — gradient values travel as packed b-bit integers when
+//     quantization is on, with gob kept as the differential oracle.
 //
 // # Quickstart
 //
@@ -418,7 +420,7 @@ type (
 	RoundRecord = transport.RoundRecord
 	// Peer is an incoming connection classified by role.
 	Peer = transport.Peer
-	// Listener accepts gob-framed Conns on a TCP address.
+	// Listener accepts binary-framed Conns on a TCP address.
 	Listener = transport.Listener
 	// ShardGroup is the coordinator's handle on a routed shard tier;
 	// DirectGroup its control-plane handle on a client-direct one.
@@ -429,6 +431,7 @@ type (
 // Transport constructors and drivers.
 var (
 	NewMemPair       = transport.NewMemPair
+	NewBinConn       = transport.NewBinConn
 	NewGobConn       = transport.NewGobConn
 	RunServer        = transport.RunServer
 	RunServerPeers   = transport.RunServerPeers

@@ -475,7 +475,11 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 				pairs = c.pairs
 			}
 			if cfg.QuantBits > 0 {
-				pairs = sparse.Quantize(pairs, cfg.QuantBits)
+				// In place: pairs is the client's own upload buffer (its
+				// values are copies of acc), the same pre-send snap the
+				// wire protocol applies — one shared quantization
+				// semantics, no per-round clone.
+				sparse.QuantizeInPlace(pairs.Val, cfg.QuantBits)
 			}
 			uploads[pi] = gs.ClientUpload{Pairs: pairs, Weight: c.weight}
 		})
@@ -505,9 +509,12 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 			}
 		}
 		if cfg.QuantBits > 0 {
-			agg.Values = sparse.Quantize(sparse.Vec{Idx: agg.Indices, Val: agg.Values}, cfg.QuantBits).Val
+			// In place on the aggregation scratch — rebuilt from the
+			// uploads next round, so nothing downstream sees the
+			// unquantized values.
+			sparse.QuantizeInPlace(agg.Values, cfg.QuantBits)
 			if probeInt > 0 {
-				probeAgg.Values = sparse.Quantize(sparse.Vec{Idx: probeAgg.Indices, Val: probeAgg.Values}, cfg.QuantBits).Val
+				sparse.QuantizeInPlace(probeAgg.Values, cfg.QuantBits)
 			}
 		}
 

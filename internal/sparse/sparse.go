@@ -277,25 +277,52 @@ func StochasticRound(k float64, rng *rand.Rand) int {
 // untouched. The worst-case per-element error is scale/(2^(bits−1)−1)/2.
 func Quantize(v Vec, bits int) Vec {
 	out := v.Clone()
-	if bits >= 64 || out.Len() == 0 {
-		return out
+	QuantizeInPlace(out.Val, bits)
+	return out
+}
+
+// QuantizeInPlace quantizes val in place with Quantize's scheme
+// (symmetric uniform, scale = max |value|) and returns the scale it
+// used — the one scalar a receiver needs to reconstruct the b-bit
+// quantization grid, which is how quantized values travel as packed
+// integers on the wire (internal/transport's binary codec). bits must
+// be in [2, 64]; 64 is a no-op. A zero scale (empty or all-zero val)
+// leaves val untouched and reports 0: there is no grid to snap to.
+func QuantizeInPlace(val []float64, bits int) float64 {
+	if bits >= 64 || len(val) == 0 {
+		return 0
 	}
 	if bits < 2 {
 		panic("sparse: Quantize needs at least 2 bits")
 	}
 	var scale float64
-	for _, x := range out.Val {
+	for _, x := range val {
 		if a := math.Abs(x); a > scale {
 			scale = a
 		}
 	}
-	if scale == 0 {
-		return out
+	QuantizeToScale(val, bits, scale)
+	return scale
+}
+
+// QuantizeToScale snaps val onto the b-bit quantization grid of the
+// given scale: step = scale/(2^(bits−1)−1), each value becomes
+// round(v/step)·step. It is the receiver half of the wire quantization:
+// a peer that knows (bits, scale) reproduces the sender's grid values
+// bit-for-bit from its own copy of the pre-quantization data (the
+// direct downlink, where shards hold the reduction sums and the
+// coordinator broadcasts only the global scale). bits ≥ 64 and
+// scale = 0 are no-ops; bits must otherwise be in [2, 64].
+func QuantizeToScale(val []float64, bits int, scale float64) {
+	if bits >= 64 || scale == 0 || len(val) == 0 {
+		return
+	}
+	if bits < 2 {
+		panic("sparse: Quantize needs at least 2 bits")
 	}
 	levels := float64(int64(1)<<(bits-1)) - 1
 	step := scale / levels
-	for i, x := range out.Val {
-		out.Val[i] = math.Round(x/step) * step
+	for i, x := range val {
+		val[i] = math.Round(x/step) * step
 	}
-	return out
 }

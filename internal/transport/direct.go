@@ -65,13 +65,18 @@ type (
 	// explicit rank in the client's full upload (range slicing destroys
 	// positions, so the selection metadata rides along; ranks ascend).
 	// Clients send one per shard per round, empty when no pair landed in
-	// the range — the shard's barrier counts them.
+	// the range — the shard's barrier counts them. With quantization on,
+	// Val lies on the b-bit grid of Bits and Scale (the client's global
+	// per-upload scale, shared by all of its slices that round), which
+	// the binary codec packs as b-bit integers on the wire.
 	SliceUpload struct {
 		ClientID int
 		Round    int
 		Idx      []int
 		Val      []float64
 		Rank     []int
+		Bits     int
+		Scale    float64
 	}
 
 	// RoundMeta is the client's per-round control message to the
@@ -109,10 +114,17 @@ type (
 	// reconstructs the members' values from its own merged sums — the
 	// coordinator never re-transmits payload it only ever had as the
 	// shard's reduction — then serves the round's SliceFetch requests
-	// before entering the next round's barrier.
+	// before entering the next round's barrier. With quantization on,
+	// Bits and Scale carry the aggregate's GLOBAL grid (scale = max
+	// |value| over the whole selection, computed by the coordinator):
+	// every shard snaps its reconstructed span onto that one grid, so
+	// the reassembled B is bit-identical to the engine's quantized
+	// aggregate.
 	RoundSeal struct {
 		Round   int
 		Members []int
+		Bits    int
+		Scale   float64
 	}
 
 	// SliceFetch is a client's downlink pull for one round, sent on its
@@ -125,14 +137,18 @@ type (
 
 	// SliceBroadcast is one shard's broadcast slice for one round: the
 	// selected members of its coordinate range, ascending, with the
-	// exact aggregated values from its own reduction. Concatenating the
-	// slices in shard order reassembles B — shard ranges are contiguous
-	// and ascending, so no merge arithmetic happens at the client.
+	// exact aggregated values from its own reduction (snapped onto the
+	// seal's global quantization grid when the run quantizes — Bits and
+	// Scale echo the seal's). Concatenating the slices in shard order
+	// reassembles B — shard ranges are contiguous and ascending, so no
+	// merge arithmetic happens at the client.
 	SliceBroadcast struct {
 		Round   int
 		ShardID int
 		Idx     []int
 		Val     []float64
+		Bits    int
+		Scale   float64
 	}
 
 	// RoundRelease is the coordinator's per-round control message to a
@@ -241,6 +257,8 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 	// upload first.
 	var sealIdx []int
 	var sealVal []float64
+	var sealBits int
+	var sealScale float64
 
 	for m := 1; m <= assign.Rounds; m++ {
 		// The client barrier: one slice from every client completes the
@@ -267,6 +285,10 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 			if up.ClientID != ci {
 				return fmt.Errorf("transport: shard %d round %d: slice on client %d's connection claims client %d",
 					assign.ShardID, m, ci, up.ClientID)
+			}
+			if up.Bits != assign.QuantBits {
+				return fmt.Errorf("transport: shard %d round %d: client %d slice at %d-bit quantization, run uses %d",
+					assign.ShardID, m, ci, up.Bits, assign.QuantBits)
 			}
 			seenToken++
 			if err := gs.ValidateRangeSlice(up.Idx, up.Val, up.Rank, lo, hi, seen, seenToken); err != nil {
@@ -311,6 +333,14 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 			if seal.Round != m {
 				return fmt.Errorf("transport: shard %d round %d: stale round seal (round %d)", assign.ShardID, m, seal.Round)
 			}
+			if seal.Bits != assign.QuantBits {
+				return fmt.Errorf("transport: shard %d round %d: seal at %d-bit quantization, run uses %d",
+					assign.ShardID, m, seal.Bits, assign.QuantBits)
+			}
+			if math.IsNaN(seal.Scale) || math.IsInf(seal.Scale, 0) || seal.Scale < 0 {
+				return fmt.Errorf("transport: shard %d round %d: seal scale %v is not a finite non-negative real",
+					assign.ShardID, m, seal.Scale)
+			}
 			// Build the round's broadcast slice from the shard's own
 			// reduction — the seal carries member indices only, so a
 			// corrupted member set fails here, before any client reads it.
@@ -318,6 +348,14 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 			if err != nil {
 				return fmt.Errorf("transport: shard %d round %d seal: %w", assign.ShardID, m, err)
 			}
+			// Snap the reconstructed span onto the seal's global grid.
+			// Every shard quantizes against the same (bits, scale), so
+			// the clients' reassembled B equals the engine's quantized
+			// aggregate bit-for-bit.
+			if seal.Bits > 0 {
+				sparse.QuantizeToScale(sealVal, seal.Bits, seal.Scale)
+			}
+			sealBits, sealScale = seal.Bits, seal.Scale
 			break
 		}
 		// The downlink serve: one fetch per client, same counted barrier
@@ -339,7 +377,7 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 				return fmt.Errorf("transport: shard %d round %d: fetch on client %d's connection claims client %d",
 					assign.ShardID, m, ci, f.ClientID)
 			}
-			sb := SliceBroadcast{Round: m, ShardID: assign.ShardID, Idx: sealIdx, Val: sealVal}
+			sb := SliceBroadcast{Round: m, ShardID: assign.ShardID, Idx: sealIdx, Val: sealVal, Bits: sealBits, Scale: sealScale}
 			if err := conn.Send(sb); err != nil {
 				return fmt.Errorf("transport: shard %d round %d slice broadcast to client %d: %w", assign.ShardID, m, ci, err)
 			}
@@ -368,11 +406,12 @@ func ServeDirectShard(coord Conn, ln *Listener, acceptTimeout time.Duration) err
 // Single-goroutine state; returned Aggregates alias the selection
 // scratch and stay valid until the next Aggregate call.
 type DirectGroup struct {
-	conns    []Conn
-	dim      int
-	nClients int
-	bounds   []int // len(conns)+1 chunk boundaries over [0, dim)
-	sel      *gs.AggScratch
+	conns     []Conn
+	dim       int
+	nClients  int
+	quantBits int
+	bounds    []int // len(conns)+1 chunk boundaries over [0, dim)
+	sel       *gs.AggScratch
 
 	mergedIdx  []int
 	mergedSum  []float64
@@ -388,27 +427,35 @@ type DirectGroup struct {
 // NewDirectGroup sends every shard its direct-mode ShardAssign and
 // returns the group. dim is the model dimension, rounds the run length,
 // weights the aggregation weight C_i of each client in client-ID order.
-func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64) (*DirectGroup, error) {
+// quantBits is the run's gradient quantization width (0 = full
+// precision; else 2–64): Aggregate then snaps each round's selection
+// onto its global b-bit grid and seals the shards with that grid, so
+// the shard-served downlink is the engine's quantized aggregate.
+func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64, quantBits int) (*DirectGroup, error) {
 	if len(conns) == 0 {
 		return nil, fmt.Errorf("transport: direct group needs at least one shard")
 	}
 	if dim < 1 || len(weights) == 0 {
 		return nil, fmt.Errorf("transport: bad direct group geometry (dim=%d clients=%d)", dim, len(weights))
 	}
+	if quantBits != 0 && (quantBits < 2 || quantBits > 64) {
+		return nil, fmt.Errorf("transport: quantization width must be 0 (off) or in [2, 64], got %d", quantBits)
+	}
 	g := &DirectGroup{
-		conns:    conns,
-		dim:      dim,
-		nClients: len(weights),
-		bounds:   make([]int, len(conns)+1),
-		sel:      gs.NewAggScratch(0),
-		candSeen: make([]int, len(weights)),
+		conns:     conns,
+		dim:       dim,
+		nClients:  len(weights),
+		quantBits: quantBits,
+		bounds:    make([]int, len(conns)+1),
+		sel:       gs.NewAggScratch(0),
+		candSeen:  make([]int, len(weights)),
 	}
 	g.sel.Reserve(dim)
 	for s := range conns {
 		lo, hi := tensor.ChunkBounds(dim, len(conns), s)
 		g.bounds[s], g.bounds[s+1] = lo, hi
 	}
-	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true}
+	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true, QuantBits: quantBits}
 	for s, conn := range conns {
 		assign.ShardID = s
 		if err := conn.Send(assign); err != nil {
@@ -477,6 +524,15 @@ func (g *DirectGroup) Aggregate(strat gs.DirectSelector, round, k, maxLen int) (
 	if err != nil {
 		return gs.Aggregate{}, err
 	}
+	// With quantization on, snap the selection onto its global b-bit
+	// grid here — the engine's post-aggregation quantization — and seal
+	// the shards with the one (bits, scale) pair they all share. Each
+	// shard reapplies the same snap to its reconstructed span, so the
+	// two computations agree bit-for-bit.
+	var sealScale float64
+	if g.quantBits > 0 {
+		sealScale = sparse.QuantizeInPlace(main.Values, g.quantBits)
+	}
 	// Seal: split the selection by shard range and send each shard its
 	// span — member indices only, the values already live in the shards.
 	// The spans alias the selection scratch; that is safe even over
@@ -486,7 +542,7 @@ func (g *DirectGroup) Aggregate(strat gs.DirectSelector, round, k, maxLen int) (
 	// finished serving it).
 	g.spans = gs.MemberSpans(main.Indices, g.bounds, g.spans)
 	for s, conn := range g.conns {
-		seal := RoundSeal{Round: round, Members: g.spans[s]}
+		seal := RoundSeal{Round: round, Members: g.spans[s], Bits: g.quantBits, Scale: sealScale}
 		if err := conn.Send(seal); err != nil {
 			return gs.Aggregate{}, fmt.Errorf("transport: round %d seal to shard %d: %w", round, s, err)
 		}
@@ -580,11 +636,11 @@ func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg
 			return nil, fmt.Errorf("transport: direct mode: shard %d advertised no ingest address", s)
 		}
 	}
-	group, err := NewDirectGroup(cfg.ShardConns, dim, cfg.Rounds, weights)
+	group, err := NewDirectGroup(cfg.ShardConns, dim, cfg.Rounds, weights, cfg.QuantBits)
 	if err != nil {
 		return nil, err
 	}
-	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds, Shards: cfg.ShardAddrs}
+	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds, QuantBits: cfg.QuantBits, Shards: cfg.ShardAddrs}
 	for _, conn := range ordered {
 		if err := conn.Send(init); err != nil {
 			return nil, fmt.Errorf("transport: send init: %w", err)
@@ -689,7 +745,7 @@ func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
 	var bIdx []int
 	var bVal []float64
 
-	uplink := func(m int, pairs sparse.Vec, batchLoss float64) error {
+	uplink := func(m int, pairs sparse.Vec, scale, batchLoss float64) error {
 		for s := 0; s < nShards; s++ {
 			sIdx[s] = sIdx[s][:0]
 			sVal[s] = sVal[s][:0]
@@ -702,7 +758,10 @@ func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
 			sRank[s] = append(sRank[s], pi)
 		}
 		for s, conn := range shardConns {
-			up := SliceUpload{ClientID: cfg.ID, Round: m, Idx: sIdx[s], Val: sVal[s], Rank: sRank[s]}
+			// Every slice carries the client's global per-upload grid —
+			// the values were quantized once, before the range split.
+			up := SliceUpload{ClientID: cfg.ID, Round: m, Idx: sIdx[s], Val: sVal[s], Rank: sRank[s],
+				Bits: init.QuantBits, Scale: scale}
 			if err := conn.Send(up); err != nil {
 				return fmt.Errorf("transport: client %d round %d slice to shard %d: %w", cfg.ID, m, s, err)
 			}

@@ -137,7 +137,7 @@ func TestDirectAggregationDifferential(t *testing.T) {
 						}
 						for _, strat := range shardStrategies() {
 							coordConns, clientConns, join := startDirectShards(t, nShards, n, d, pair)
-							group, err := NewDirectGroup(coordConns, d, rounds, weights)
+							group, err := NewDirectGroup(coordConns, d, rounds, weights, 0)
 							if err != nil {
 								t.Fatal(err)
 							}
@@ -257,7 +257,7 @@ type directHarness struct {
 	shardErr []error
 }
 
-func runDirectHarness(t *testing.T, rounds, k, nShards int,
+func runDirectHarness(t testing.TB, rounds, k, nShards, quantBits int,
 	wrapData func(clientID, shardID int, c Conn) Conn,
 	wrapShard func(shardID int, c Conn) Conn,
 	impostor func(id int, coord Conn, dial func(addr string) (Conn, error)) error) *directHarness {
@@ -347,7 +347,7 @@ func runDirectHarness(t *testing.T, rounds, k, nShards int,
 		}(i)
 	}
 	h.records, h.srvErr = RunServer(h.serverCs, ServerConfig{
-		K: k, Rounds: rounds, InitialParams: initParams,
+		K: k, Rounds: rounds, InitialParams: initParams, QuantBits: quantBits,
 		ShardConns: coordShardConns, Direct: true, ShardAddrs: addrs,
 	})
 	// Tear everything down so every goroutine joins whether the run
@@ -369,7 +369,7 @@ func runDirectHarness(t *testing.T, rounds, k, nShards int,
 // AND to the routed sharded deployment with the same seeds.
 func TestDirectDistributedMatchesReferenceEngine(t *testing.T) {
 	const k, rounds, nShards = 40, 15, 2
-	h := runDirectHarness(t, rounds, k, nShards, nil, nil, nil)
+	h := runDirectHarness(t, rounds, k, nShards, 0, nil, nil, nil)
 	if h.srvErr != nil {
 		t.Fatalf("server: %v", h.srvErr)
 	}
@@ -714,7 +714,7 @@ func countMsgs(m *payloadMeter) int {
 // shard 1. The run must error out everywhere — coordinator, clients —
 // and every goroutine must join; nothing may wedge on the barrier.
 func TestDirectShardDeathFailsRound(t *testing.T) {
-	h := runDirectHarness(t, 30, 20, 2, func(clientID, shardID int, c Conn) Conn {
+	h := runDirectHarness(t, 30, 20, 2, 0, func(clientID, shardID int, c Conn) Conn {
 		if shardID == 1 {
 			// Hello + two round slices succeed, then the link is dead.
 			return &FlakyConn{Inner: c, FailAfter: 3}
@@ -738,7 +738,7 @@ func TestDirectShardDeathFailsRound(t *testing.T) {
 // and dies. Shard 1's barrier must error on the dead connection (not
 // wedge), and the coordinator must fail the round.
 func TestDirectClientDeathBetweenSlices(t *testing.T) {
-	h := runDirectHarness(t, 5, 20, 2, nil, nil,
+	h := runDirectHarness(t, 5, 20, 2, 0, nil, nil,
 		func(id int, coord Conn, dial func(addr string) (Conn, error)) error {
 			if err := coord.Send(Hello{ClientID: id, Weight: 30}); err != nil {
 				return err
@@ -801,7 +801,7 @@ func (c sealInterceptor) Recv() (any, error) {
 // goroutine must join — nothing may wedge waiting for a slice that
 // will never come.
 func TestDirectShardDeathBetweenSealAndServe(t *testing.T) {
-	h := runDirectHarness(t, 5, 20, 2, nil, func(shardID int, c Conn) Conn {
+	h := runDirectHarness(t, 5, 20, 2, 0, nil, func(shardID int, c Conn) Conn {
 		if shardID == 1 {
 			return sealInterceptor{c}
 		}
@@ -828,7 +828,7 @@ func TestDirectShardDeathBetweenSealAndServe(t *testing.T) {
 // fetching from shard 1. Shard 1's downlink serve must error on the
 // dead connection (not wedge), and the coordinator must fail the round.
 func TestDirectClientDeathMidFetch(t *testing.T) {
-	h := runDirectHarness(t, 5, 20, 2, nil, nil,
+	h := runDirectHarness(t, 5, 20, 2, 0, nil, nil,
 		func(id int, coord Conn, dial func(addr string) (Conn, error)) error {
 			if err := coord.Send(Hello{ClientID: id, Weight: 30}); err != nil {
 				return err
@@ -1179,7 +1179,7 @@ func TestDirectGroupRejectsBadReplies(t *testing.T) {
 			}
 			shardBehavior(fake)
 		}()
-		g, err := NewDirectGroup([]Conn{server}, 10, 1, []float64{1, 1})
+		g, err := NewDirectGroup([]Conn{server}, 10, 1, []float64{1, 1}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -37,7 +37,10 @@ type (
 	// client-direct data plane: slices arrive straight from the clients
 	// (RunDirectShard) instead of routed through the coordinator
 	// (RunShard); each runner rejects the other's assignment, so a
-	// topology mismatch fails loudly at the handshake.
+	// topology mismatch fails loudly at the handshake. QuantBits is the
+	// run's quantization width (direct plane only): a direct shard
+	// validates incoming slices against it and snaps its reconstructed
+	// downlink values onto the coordinator's sealed grid.
 	ShardAssign struct {
 		ShardID   int
 		NumShards int
@@ -45,6 +48,7 @@ type (
 		Rounds    int
 		Weights   []float64
 		Direct    bool
+		QuantBits int
 	}
 
 	// ShardUpload is one round's routed pairs for one shard, all clients

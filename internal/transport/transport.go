@@ -3,7 +3,18 @@
 // this package demonstrates that the same protocol — Hello/Init handshake,
 // per-round sparse uploads A_i, and aggregated broadcast B (Algorithm 1
 // lines 6 and 11) — operates as an actual message exchange, over either
-// in-memory pipes or TCP with gob encoding.
+// in-memory pipes or TCP.
+//
+// TCP connections default to a hand-written length-prefixed binary codec
+// (codec.go): one frame is [len u32][type u8][header][payload], little
+// endian, with per-connection decode scratch so the per-round slice
+// messages are allocation-free steady state, and with gradient values
+// traveling as packed b-bit integers when ServerConfig.QuantBits is set —
+// the paper's quantization lever realized as actual bytes saved on the
+// wire, not just a modeled cost. The gob codec (NewGobConn) remains as
+// the differential oracle: tests pin that every message round-trips
+// identically through both, and that full training trajectories match
+// bit-for-bit across codecs.
 //
 // The distributed runner mirrors the reference engine's arithmetic and
 // RNG-consumption order exactly, so for the same seeds a distributed run
@@ -18,6 +29,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // Message types of the protocol.
@@ -35,27 +47,41 @@ type (
 	// every shard itself, uploads range slices straight to the owners,
 	// and pulls its broadcast slices back from them (see direct.go).
 	// Empty keeps the routed plane (uploads to and broadcasts from the
-	// coordinator).
+	// coordinator). QuantBits > 0 tells every client to quantize its
+	// uploads to that width (and announces that broadcasts arrive
+	// quantized) — the run-wide knob behind the per-message Bits/Scale
+	// headers below.
 	Init struct {
-		Params []float64
-		K      int
-		Rounds int
-		Shards []string
+		Params    []float64
+		K         int
+		Rounds    int
+		QuantBits int
+		Shards    []string
 	}
 	// Upload is A_i: one client's top-k accumulated-gradient pairs for a
 	// round, plus its minibatch loss (the server's global-loss input).
+	// With quantization on, Val lies on the b-bit grid described by
+	// Bits and Scale (the client's per-upload max |value|), which is
+	// what lets the binary codec pack the values as b-bit integers on
+	// the wire; Bits 0 means full precision.
 	Upload struct {
 		ClientID  int
 		Round     int
 		Idx       []int
 		Val       []float64
 		BatchLoss float64
+		Bits      int
+		Scale     float64
 	}
-	// Broadcast is B: the aggregated sparse gradient for a round.
+	// Broadcast is B: the aggregated sparse gradient for a round. Bits
+	// and Scale describe the quantization grid of Val exactly as in
+	// Upload (Scale here is the aggregate's max |value|).
 	Broadcast struct {
 		Round int
 		Idx   []int
 		Val   []float64
+		Bits  int
+		Scale float64
 	}
 )
 
@@ -157,15 +183,22 @@ type envelope struct {
 	Msg any
 }
 
-// gobConn is a Conn over any net.Conn using gob encoding. Its close
-// semantics match memConn's: Close is idempotent, Send on a closed
-// connection reports ErrClosed, and Recv after either endpoint closes
-// reports io.EOF (the wire analogue of a drained in-memory pipe).
+// gobConn is a Conn over any net.Conn using gob encoding — kept as the
+// differential oracle for the default binary codec (binConn): tests pin
+// that both codecs carry every message and full trajectories
+// identically. Its close semantics match memConn's: Close is
+// idempotent, Send on a closed connection reports ErrClosed, and Recv
+// after either endpoint closes reports io.EOF (the wire analogue of a
+// drained in-memory pipe). Like binConn, the receive side is poisoned
+// after the first decode error: gob's stream is stateful, so a
+// corrupted value leaves the decoder desynced and every later Recv must
+// fail fast instead of misparsing.
 type gobConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 
+	recvErr   error
 	sendMu    sync.Mutex
 	closeOnce sync.Once
 	closed    atomic.Bool
@@ -182,9 +215,15 @@ func NewGobConn(conn net.Conn) Conn {
 }
 
 // closedConnErr reports whether err is how a net.Conn surfaces writes or
-// reads on a locally or remotely closed connection.
+// reads on a locally or remotely closed connection. Besides the local
+// forms (net.ErrClosed, io.ErrClosedPipe), a peer that hard-closed the
+// connection surfaces as ECONNRESET on reads and ECONNRESET or EPIPE on
+// writes — the remote analogues of the same condition, mapped to the
+// same memConn-symmetric sentinels (io.EOF from Recv, ErrClosed from
+// Send) instead of leaking platform errno wrappers to the protocol.
 func closedConnErr(err error) bool {
-	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe)
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
 }
 
 func (c *gobConn) Send(msg any) error {
@@ -203,6 +242,9 @@ func (c *gobConn) Send(msg any) error {
 }
 
 func (c *gobConn) Recv() (any, error) {
+	if err := c.recvErr; err != nil {
+		return nil, err
+	}
 	var env envelope
 	if err := c.dec.Decode(&env); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -211,7 +253,9 @@ func (c *gobConn) Recv() (any, error) {
 		if c.closed.Load() || closedConnErr(err) {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("transport: recv: %w", err)
+		err = fmt.Errorf("transport: recv: %w", err)
+		c.recvErr = err
+		return nil, err
 	}
 	return env.Msg, nil
 }
@@ -225,16 +269,17 @@ func (c *gobConn) Close() error {
 	return err
 }
 
-// Dial connects to a coordinator's TCP listener and returns the
-// gob-framed Conn. The caller's first message identifies its role: a
-// client sends Hello (RunClient does this), a shard sends ShardHello
-// (DialShard does both steps).
+// Dial connects to a coordinator's TCP listener and returns a Conn
+// using the default binary frame codec (NewBinConn — use NewGobConn
+// directly for the gob oracle). The caller's first message identifies
+// its role: a client sends Hello (RunClient does this), a shard sends
+// ShardHello (DialShard does both steps).
 func Dial(addr string) (Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return NewGobConn(conn), nil
+	return NewBinConn(conn), nil
 }
 
 // DialShard connects to a coordinator and identifies the connection as a
@@ -261,8 +306,8 @@ func DialDirectShard(coordAddr, ingestAddr string) (Conn, error) {
 	return conn, nil
 }
 
-// Listener accepts gob-framed Conns on a TCP address — the coordinator
-// side of a multi-process deployment.
+// Listener accepts binary-framed Conns on a TCP address — the
+// coordinator side of a multi-process deployment.
 type Listener struct {
 	ln net.Listener
 }
@@ -285,7 +330,7 @@ func (l *Listener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return NewGobConn(conn), nil
+	return NewBinConn(conn), nil
 }
 
 // Close stops the listener (established Conns stay open).

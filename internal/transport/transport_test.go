@@ -135,8 +135,8 @@ func buildWorkload() (*dataset.Federated, func() *nn.Network, []float64) {
 
 // runDistributed executes the protocol over the given connection factory
 // and returns the server records.
-func runDistributed(t *testing.T, fed *dataset.Federated, model func() *nn.Network,
-	initParams []float64, k, rounds int, pair func() (server, client Conn)) []RoundRecord {
+func runDistributed(t testing.TB, fed *dataset.Federated, model func() *nn.Network,
+	initParams []float64, k, rounds, quantBits int, pair func() (server, client Conn)) []RoundRecord {
 	t.Helper()
 	n := fed.NumClients()
 	serverConns := make([]Conn, n)
@@ -160,7 +160,7 @@ func runDistributed(t *testing.T, fed *dataset.Federated, model func() *nn.Netwo
 			})
 		}(i)
 	}
-	records, err := RunServer(serverConns, ServerConfig{K: k, Rounds: rounds, InitialParams: initParams})
+	records, err := RunServer(serverConns, ServerConfig{K: k, Rounds: rounds, InitialParams: initParams, QuantBits: quantBits})
 	if err != nil {
 		t.Fatalf("server: %v", err)
 	}
@@ -177,7 +177,7 @@ func TestDistributedMatchesReferenceEngine(t *testing.T) {
 	fed, model, initParams := buildWorkload()
 	const k, rounds = 40, 25
 
-	records := runDistributed(t, fed, model, initParams, k, rounds,
+	records := runDistributed(t, fed, model, initParams, k, rounds, 0,
 		func() (Conn, Conn) { return NewMemPair() })
 
 	// Reference: the in-process simulation engine with identical seeds.
@@ -209,10 +209,11 @@ func TestDistributedMatchesReferenceEngine(t *testing.T) {
 	}
 }
 
-func TestDistributedOverTCP(t *testing.T) {
-	fed, model, initParams := buildWorkload()
-	const k, rounds = 40, 10
-
+// runDistributedTCP runs the routed protocol over real TCP sockets,
+// wrapping each side with the given codec constructor.
+func runDistributedTCP(t *testing.T, fed *dataset.Federated, model func() *nn.Network,
+	initParams []float64, k, rounds, quantBits int, codec func(net.Conn) Conn) []RoundRecord {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -227,7 +228,7 @@ func TestDistributedOverTCP(t *testing.T) {
 			if err != nil {
 				return
 			}
-			accepted <- NewGobConn(c)
+			accepted <- codec(c)
 		}
 	}()
 
@@ -243,7 +244,7 @@ func TestDistributedOverTCP(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			errs[id] = RunClient(NewGobConn(conn), ClientConfig{
+			errs[id] = RunClient(codec(conn), ClientConfig{
 				ID:           id,
 				Data:         &fed.Clients[id],
 				Model:        model,
@@ -257,7 +258,7 @@ func TestDistributedOverTCP(t *testing.T) {
 	for i := 0; i < n; i++ {
 		serverConns[i] = <-accepted
 	}
-	records, err := RunServer(serverConns, ServerConfig{K: k, Rounds: rounds, InitialParams: initParams})
+	records, err := RunServer(serverConns, ServerConfig{K: k, Rounds: rounds, InitialParams: initParams, QuantBits: quantBits})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,20 +268,38 @@ func TestDistributedOverTCP(t *testing.T) {
 			t.Fatalf("client %d: %v", id, e)
 		}
 	}
+	return records
+}
 
-	// TCP and in-memory transports must produce the same trajectory.
-	memRecords := runDistributed(t, fed, model, initParams, k, rounds,
+func TestDistributedOverTCP(t *testing.T) {
+	fed, model, initParams := buildWorkload()
+	const k, rounds = 40, 10
+
+	// Both wire codecs and the in-memory transport must produce the
+	// same trajectory bit-for-bit.
+	memRecords := runDistributed(t, fed, model, initParams, k, rounds, 0,
 		func() (Conn, Conn) { return NewMemPair() })
-	for i := range records {
-		if records[i].Loss != memRecords[i].Loss {
-			t.Fatalf("round %d: TCP loss %v != mem loss %v", i+1, records[i].Loss, memRecords[i].Loss)
-		}
+	for _, tc := range []struct {
+		name  string
+		codec func(net.Conn) Conn
+	}{
+		{"binary", NewBinConn},
+		{"gob", NewGobConn},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			records := runDistributedTCP(t, fed, model, initParams, k, rounds, 0, tc.codec)
+			for i := range records {
+				if records[i].Loss != memRecords[i].Loss {
+					t.Fatalf("round %d: TCP/%s loss %v != mem loss %v", i+1, tc.name, records[i].Loss, memRecords[i].Loss)
+				}
+			}
+		})
 	}
 }
 
 func TestDistributedLossDecreases(t *testing.T) {
 	fed, model, initParams := buildWorkload()
-	records := runDistributed(t, fed, model, initParams, 40, 60,
+	records := runDistributed(t, fed, model, initParams, 40, 60, 0,
 		func() (Conn, Conn) { return NewMemPair() })
 	first := records[0].Loss
 	last := records[len(records)-1].Loss

@@ -53,20 +53,30 @@ var tracked = []struct {
 }{
 	{"./internal/sparse/", "BenchmarkTopKInto", "50x"},
 	{"./internal/gs/", "BenchmarkAggregate$|BenchmarkShardedAggregate", "10x"},
+	{"./internal/transport/", "BenchmarkSliceCodec|BenchmarkWireRoundBytes", "20x"},
 	{".", "BenchmarkRunGSParallel", "3x"},
 }
 
-// check is one benchmark's recorded baseline.
+// check is one benchmark's recorded baseline. The bytes fields are the
+// wire-size baselines reported by the transport benchmarks
+// (BenchmarkWireRoundBytes's B/round and valB/round ReportMetric
+// columns); they are deterministic byte counts, not wall-clock, so they
+// gate hard on any meaningful increase regardless of host.
 type check struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp            float64 `json:"ns_per_op"`
+	AllocsPerOp        float64 `json:"allocs_per_op"`
+	BytesPerRound      float64 `json:"bytes_per_round,omitempty"`
+	ValueBytesPerRound float64 `json:"value_bytes_per_round,omitempty"`
 }
 
-// measurement is one parsed benchmark result line.
+// measurement is one parsed benchmark result line. bytesRound and
+// valBytesRound are -1 when the benchmark does not report them.
 type measurement struct {
-	name   string
-	ns     float64
-	allocs float64
+	name          string
+	ns            float64
+	allocs        float64
+	bytesRound    float64
+	valBytesRound float64
 }
 
 func main() {
@@ -149,7 +159,7 @@ func parseBench(out string) []measurement {
 		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		m := measurement{name: procSuffix.ReplaceAllString(fields[0], ""), allocs: -1}
+		m := measurement{name: procSuffix.ReplaceAllString(fields[0], ""), allocs: -1, bytesRound: -1, valBytesRound: -1}
 		ok := false
 		for i := 1; i+1 < len(fields); i++ {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -162,6 +172,10 @@ func parseBench(out string) []measurement {
 				ok = true
 			case "allocs/op":
 				m.allocs = v
+			case "B/round":
+				m.bytesRound = v
+			case "valB/round":
+				m.valBytesRound = v
 			}
 		}
 		if ok {
@@ -284,6 +298,17 @@ func compare(baselinePath string, results map[string]measurement, tolerance, all
 			failures = append(failures, fmt.Sprintf("%s: %.1f allocs/op regressed from baseline %.1f",
 				name, got.allocs, base.AllocsPerOp))
 		}
+		// Wire-size baselines are deterministic byte counts over a fixed
+		// workload — any growth beyond rounding noise is a codec or
+		// protocol change, and gates hard on every host class.
+		if base.BytesPerRound > 0 && got.bytesRound >= 0 && got.bytesRound > base.BytesPerRound*1.01 {
+			failures = append(failures, fmt.Sprintf("%s: %.0f B/round regressed from baseline %.0f",
+				name, got.bytesRound, base.BytesPerRound))
+		}
+		if base.ValueBytesPerRound > 0 && got.valBytesRound >= 0 && got.valBytesRound > base.ValueBytesPerRound*1.01 {
+			failures = append(failures, fmt.Sprintf("%s: %.0f valB/round regressed from baseline %.0f",
+				name, got.valBytesRound, base.ValueBytesPerRound))
+		}
 	}
 	for name := range results {
 		if _, ok := checks[name]; !ok {
@@ -333,7 +358,14 @@ func rebaseline(srcPath, dstPath string, results map[string]measurement) error {
 		if allocs < 0 {
 			allocs = 0
 		}
-		checks[name] = check{NsPerOp: m.ns, AllocsPerOp: allocs}
+		c := check{NsPerOp: m.ns, AllocsPerOp: allocs}
+		if m.bytesRound >= 0 {
+			c.BytesPerRound = m.bytesRound
+		}
+		if m.valBytesRound >= 0 {
+			c.ValueBytesPerRound = m.valBytesRound
+		}
+		checks[name] = c
 	}
 	doc["checks"] = checks
 	doc["checks_host"] = map[string]any{
