@@ -7,14 +7,22 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"fedsparse"
 )
+
+// coordinatorWAL is the coordinator's log file inside -wal-dir; the
+// run identity is fedsparse.WALRunID(seed), so restarting with the
+// same flags resumes the same run.
+const coordinatorWAL = "coordinator.wal"
 
 // buildWorkload resolves the dataset flag to a workload; every role
 // builds the same one so weights, models, and data partitions agree
@@ -36,7 +44,8 @@ func buildWorkload(datasetName, scale string) (*fedsparse.Workload, error) {
 // have advertised their ingest addresses, and the directory is published
 // to the clients in Init.
 func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, seed int64,
-	listenAddr string, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration) error {
+	listenAddr string, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration,
+	walDir string, resume bool) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -60,44 +69,71 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 	if direct {
 		plane = "direct"
 	}
-	fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d %s shards (k=%d, %d rounds)\n",
-		ln.Addr(), nClients, nShards, plane, k, rounds)
-	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, acceptTimeout)
+	if resume {
+		fmt.Fprintf(out, "# coordinator on %s: resuming run %#x for %d clients and %d %s shards (k=%d, %d rounds)\n",
+			ln.Addr(), fedsparse.WALRunID(seed), nClients, nShards, plane, k, rounds)
+	} else {
+		fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d %s shards (k=%d, %d rounds)\n",
+			ln.Addr(), nClients, nShards, plane, k, rounds)
+	}
+	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, acceptTimeout, walDir, resume)
 }
 
 // coordinate is the listener-driven core of the coordinator role,
-// separated so tests can bind the listener themselves.
+// separated so tests can bind the listener themselves. With walDir the
+// run is durable: decisions are journaled to walDir/coordinator.wal and
+// peers that drop mid-run re-enter through a rejoin desk on the same
+// listener; with resume the log is replayed instead of accepting a
+// fresh enrollment (every peer reconnects via the Rejoin handshake).
 func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
-	k, rounds int, seed int64, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration) error {
+	k, rounds int, seed int64, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration,
+	walDir string, resume bool) error {
 
 	// Synchronized initial weights: the same construction as the
 	// reference engine with this seed.
 	ref := w.Model()
 	ref.InitWeights(rand.New(rand.NewSource(seed)))
 
-	clients, shardPeers, err := fedsparse.AcceptPeers(ln, nClients, nShards, acceptTimeout)
-	if err != nil {
-		return err
-	}
-	shardConns, shardAddrs := fedsparse.SplitShardPeers(shardPeers)
 	cfg := fedsparse.ServerConfig{
 		K:             k,
 		Rounds:        rounds,
 		InitialParams: ref.Params(),
-		ShardConns:    shardConns,
 		QuantBits:     quantBits,
-	}
-	if direct {
-		for s, addr := range shardAddrs {
-			if addr == "" {
-				return fmt.Errorf("flsim: shard %d advertised no ingest address (run shards with -direct -listen INGEST_ADDR)", s)
-			}
-		}
-		cfg.Direct = true
-		cfg.ShardAddrs = shardAddrs
+		Direct:        direct,
 	}
 
-	records, err := fedsparse.RunServerPeers(clients, cfg)
+	var records []fedsparse.RoundRecord
+	var err error
+	if resume {
+		records, err = resumeCoordinator(ln, cfg, walDir, seed, nClients, nShards)
+	} else {
+		var clients, shardPeers []fedsparse.Peer
+		clients, shardPeers, err = fedsparse.AcceptPeers(ln, nClients, nShards, acceptTimeout)
+		if err != nil {
+			return err
+		}
+		// Durable shards declare a stable -id in their hello; seat them
+		// by declaration, not arrival order (racy across processes).
+		shardPeers, err = fedsparse.SeatShardPeers(shardPeers)
+		if err != nil {
+			return err
+		}
+		shardConns, shardAddrs := fedsparse.SplitShardPeers(shardPeers)
+		cfg.ShardConns = shardConns
+		if direct {
+			for s, addr := range shardAddrs {
+				if addr == "" {
+					return fmt.Errorf("flsim: shard %d advertised no ingest address (run shards with -direct -listen INGEST_ADDR)", s)
+				}
+			}
+			cfg.ShardAddrs = shardAddrs
+		}
+		if walDir == "" {
+			records, err = fedsparse.RunServerPeers(clients, cfg)
+		} else {
+			records, err = startDurableCoordinator(ln, clients, cfg, walDir, seed)
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -108,12 +144,58 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 	return nil
 }
 
+// startDurableCoordinator drives a fresh WAL-backed run: the already
+// accepted peers enroll normally, and every later link failure pulls a
+// replacement connection from the rejoin desk over the same listener.
+func startDurableCoordinator(ln *fedsparse.Listener, clients []fedsparse.Peer,
+	cfg fedsparse.ServerConfig, walDir string, seed int64) ([]fedsparse.RoundRecord, error) {
+
+	if err := os.MkdirAll(walDir, 0o755); err != nil {
+		return nil, fmt.Errorf("flsim: -wal-dir: %w", err)
+	}
+	desk := fedsparse.NewRejoinDesk(ln.Accept)
+	defer desk.Close()
+	return fedsparse.RunDurableServerPeers(clients, cfg, fedsparse.DurableServerConfig{
+		RunID:   fedsparse.WALRunID(seed),
+		WALPath: filepath.Join(walDir, coordinatorWAL),
+		Desk:    desk,
+	})
+}
+
+// resumeCoordinator restarts a crashed durable coordinator: replay the
+// log (repairing a torn tail — the crash may have interrupted an
+// append), then finish the partial round and continue. No enrollment
+// happens; every client and shard re-establishes its link through the
+// rejoin desk as the resume needs it.
+func resumeCoordinator(ln *fedsparse.Listener, cfg fedsparse.ServerConfig,
+	walDir string, seed int64, nClients, nShards int) ([]fedsparse.RoundRecord, error) {
+
+	runID := fedsparse.WALRunID(seed)
+	walPath := filepath.Join(walDir, coordinatorWAL)
+	wlog, replayed, err := fedsparse.OpenWAL(walPath, runID, true)
+	if err != nil {
+		return nil, err
+	}
+	defer wlog.Close()
+	desk := fedsparse.NewRejoinDesk(ln.Accept)
+	defer desk.Close()
+	dur := fedsparse.DurableServerConfig{RunID: runID, WALPath: walPath, Desk: desk}
+	return fedsparse.ResumeDurableServer(cfg, dur, wlog, replayed, nClients, nShards)
+}
+
 // runShardRole connects to the coordinator as an aggregation shard and
 // serves range reductions until the run completes: routed (slices arrive
 // from the coordinator) by default, or — with direct — over its own
 // ingest listener that clients upload their range slices to and pull
 // their broadcast slices back from.
-func runShardRole(connect string, direct bool, listenAddr string, acceptTimeout time.Duration) error {
+// A durable shard (-durable) speaks the crash-recovery protocol
+// against a -wal-dir coordinator: it redials with backoff, rejoins
+// after a coordinator restart, and — restarted itself with -resume —
+// re-enters the run fresh, rebuilding its reduction from the clients'
+// resent slices. Its -id is its stable identity across restarts.
+func runShardRole(connect string, direct bool, listenAddr string, acceptTimeout time.Duration,
+	durable, fresh bool, shardID int, seed int64) error {
+
 	if connect == "" {
 		return errors.New("flsim: -role shard requires -connect")
 	}
@@ -130,6 +212,20 @@ func runShardRole(connect string, direct bool, listenAddr string, acceptTimeout 
 		return err
 	}
 	defer ln.Close()
+	if durable {
+		ctx := context.Background()
+		policy := fedsparse.RetryPolicy{}
+		return fedsparse.RunDurableDirectShard(fedsparse.DurableShardConfig{
+			RunID:   fedsparse.WALRunID(seed),
+			ShardID: shardID,
+			Addr:    ln.Addr().String(),
+			Fresh:   fresh,
+			Dial: func() (fedsparse.Conn, error) {
+				return fedsparse.DialRetry(ctx, connect, policy)
+			},
+			AcceptData: ln.Accept,
+		})
+	}
 	conn, err := fedsparse.DialDirectShard(connect, ln.Addr().String())
 	if err != nil {
 		return err
@@ -141,7 +237,14 @@ func runShardRole(connect string, direct bool, listenAddr string, acceptTimeout 
 // runClientRole connects to the coordinator as participant `id` and
 // trains until the run completes. k and rounds come from the
 // coordinator's Init, so only the workload flags and the id must agree.
-func runClientRole(datasetName, scale string, id int, seed int64, lr float64, batch int, connect string) error {
+// With -durable the client dials through the backoff retry loop and
+// runs the recovery protocol: it rejoins a restarted coordinator (or
+// shard) mid-run instead of erroring, resending the last rounds'
+// uploads from its ring. Requires a -wal-dir coordinator (the Init
+// must carry a run identity).
+func runClientRole(datasetName, scale string, id int, seed int64, lr float64, batch int,
+	connect string, durable bool) error {
+
 	if connect == "" {
 		return errors.New("flsim: -role client requires -connect")
 	}
@@ -158,12 +261,7 @@ func runClientRole(datasetName, scale string, id int, seed int64, lr float64, ba
 	if batch == 0 {
 		batch = w.BatchSize
 	}
-	conn, err := fedsparse.Dial(connect)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	return fedsparse.RunClient(conn, fedsparse.ClientConfig{
+	cfg := fedsparse.ClientConfig{
 		ID:           id,
 		Data:         &w.Data.Clients[id],
 		Model:        w.Model,
@@ -172,5 +270,29 @@ func runClientRole(datasetName, scale string, id int, seed int64, lr float64, ba
 		// The reference engine's per-client seeding scheme, for
 		// trajectory-identical runs.
 		Seed: seed + 1000003*int64(id+1),
-	})
+	}
+	if durable {
+		ctx := context.Background()
+		policy := fedsparse.RetryPolicy{}
+		redial := func() (fedsparse.Conn, error) {
+			return fedsparse.DialRetry(ctx, connect, policy)
+		}
+		conn, err := redial()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		return fedsparse.RunDurableClient(conn, cfg, fedsparse.DurableClientConfig{
+			Redial: redial,
+			RedialShard: func(addr string) (fedsparse.Conn, error) {
+				return fedsparse.DialRetry(ctx, addr, policy)
+			},
+		})
+	}
+	conn, err := fedsparse.Dial(connect)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return fedsparse.RunClient(conn, cfg)
 }

@@ -17,6 +17,14 @@ import (
 // shards serve their own ingest listeners and the clients upload straight
 // to them.
 func runRolesEndToEnd(t *testing.T, direct bool, quantBits int) string {
+	return runRolesDurable(t, direct, quantBits, "", 2)
+}
+
+// runRolesDurable is runRolesEndToEnd with an optional -wal-dir: a
+// non-empty walDir runs the durable coordinator and makes every shard
+// and client speak the recovery protocol, exactly as the CLI wires
+// -wal-dir / -durable.
+func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nShards int) string {
 	t.Helper()
 	const (
 		dataset = "femnist"
@@ -24,7 +32,6 @@ func runRolesEndToEnd(t *testing.T, direct bool, quantBits int) string {
 		k       = 20
 		rounds  = 8
 		seed    = int64(3)
-		nShards = 2
 	)
 	w, err := buildWorkload(dataset, scale)
 	if err != nil {
@@ -38,30 +45,35 @@ func runRolesEndToEnd(t *testing.T, direct bool, quantBits int) string {
 	}
 	defer ln.Close()
 	addr := ln.Addr().String()
+	durable := walDir != ""
 
 	var out bytes.Buffer
 	coordDone := make(chan error, 1)
 	go func() {
-		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, time.Minute)
+		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, time.Minute, walDir, false)
 	}()
 
 	var wg sync.WaitGroup
 	shardErrs := make([]error, nShards)
-	for s := 0; s < nShards; s++ {
+	// Launch shards in reverse id order with a stagger so durable shards
+	// provably enroll out of id order: the coordinator must seat them by
+	// their declared -id (SeatShardPeers), never by arrival.
+	for s := nShards - 1; s >= 0; s-- {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
 			// A direct shard needs its own ingest listener, exactly as
 			// the CLI wires it with -direct -listen.
-			shardErrs[s] = runShardRole(addr, direct, "127.0.0.1:0", time.Minute)
+			shardErrs[s] = runShardRole(addr, direct, "127.0.0.1:0", time.Minute, durable, false, s, seed)
 		}(s)
+		time.Sleep(20 * time.Millisecond)
 	}
 	clientErrs := make([]error, n)
 	for id := 0; id < n; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			clientErrs[id] = runClientRole(dataset, scale, id, seed, 0, 0, addr)
+			clientErrs[id] = runClientRole(dataset, scale, id, seed, 0, 0, addr, durable)
 		}(id)
 	}
 
@@ -136,18 +148,43 @@ func TestQuantizedRolesEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDurableRolesEndToEnd is the CLI face of the durable control
+// plane: a -wal-dir coordinator with -durable shards and clients must
+// complete and emit the exact CSV of the plain deployment — journaling
+// and the recovery protocol change no trajectory bit — in both the
+// routed (unsharded) and the direct sharded topologies.
+func TestDurableRolesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	t.Run("routed", func(t *testing.T) {
+		durable := runRolesDurable(t, false, 0, t.TempDir(), 0)
+		plain := runRolesDurable(t, false, 0, "", 0)
+		if durable != plain {
+			t.Fatalf("durable CSV differs from plain CSV:\n--- durable ---\n%s--- plain ---\n%s", durable, plain)
+		}
+	})
+	t.Run("direct", func(t *testing.T) {
+		durable := runRolesDurable(t, true, 0, t.TempDir(), 2)
+		plain := runRolesDurable(t, true, 0, "", 2)
+		if durable != plain {
+			t.Fatalf("durable CSV differs from plain CSV:\n--- durable ---\n%s--- plain ---\n%s", durable, plain)
+		}
+	})
+}
+
 // TestRoleValidation covers the role plumbing that needs no network.
 func TestRoleValidation(t *testing.T) {
-	if err := runShardRole("", false, "", 0); err == nil {
+	if err := runShardRole("", false, "", 0, false, false, 0, 1); err == nil {
 		t.Fatal("shard role without -connect accepted")
 	}
-	if err := runClientRole("femnist", "tiny", 0, 1, 0, 0, ""); err == nil {
+	if err := runClientRole("femnist", "tiny", 0, 1, 0, 0, "", false); err == nil {
 		t.Fatal("client role without -connect accepted")
 	}
-	if err := runClientRole("imagenet", "tiny", 0, 1, 0, 0, "x"); err == nil {
+	if err := runClientRole("imagenet", "tiny", 0, 1, 0, 0, "x", false); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
-	if err := runClientRole("femnist", "tiny", -3, 1, 0, 0, "127.0.0.1:1"); err == nil {
+	if err := runClientRole("femnist", "tiny", -3, 1, 0, 0, "127.0.0.1:1", false); err == nil {
 		t.Fatal("negative client id accepted")
 	}
 }
@@ -169,44 +206,66 @@ func TestValidateFlags(t *testing.T) {
 		set     map[string]bool
 		shards  int
 		direct  bool
+		durable bool
+		resume  bool
+		walDir  string
 		connect string
 		wantErr string // "" = valid
 	}{
-		{"sim default", "sim", mk(), 0, false, "", ""},
-		{"sim sharded", "sim", mk("shards"), 4, false, "", ""},
-		{"sim direct sharded", "sim", mk("shards", "direct"), 2, true, "", ""},
-		{"sim direct without shards", "sim", mk("direct"), 0, true, "", "-shards"},
-		{"sim with connect", "sim", mk("connect"), 0, false, "x", "-connect"},
-		{"sim with id", "sim", mk("id"), 0, false, "", "-id"},
-		{"sim with clients", "sim", mk("clients"), 0, false, "", "-clients"},
-		{"sim with listen", "sim", mk("listen"), 0, false, "", "-listen"},
-		{"coordinator routed", "coordinator", mk("listen", "shards"), 2, false, "", ""},
-		{"coordinator direct", "coordinator", mk("listen", "shards", "direct"), 2, true, "", ""},
-		{"coordinator direct without shards", "coordinator", mk("listen", "direct"), 0, true, "", "-shards"},
-		{"coordinator with connect", "coordinator", mk("connect"), 0, false, "x", "-connect"},
-		{"coordinator with id", "coordinator", mk("id"), 0, false, "", "-id"},
-		{"coordinator with workers", "coordinator", mk("workers"), 0, false, "", "-workers"},
-		{"shard routed", "shard", mk("connect"), 0, false, "x", ""},
-		{"shard without connect", "shard", mk(), 0, false, "", "-connect"},
-		{"shard with shards", "shard", mk("connect", "shards"), 2, false, "x", "-shards"},
-		{"shard with clients", "shard", mk("connect", "clients"), 0, false, "x", "-clients"},
-		{"shard with id", "shard", mk("connect", "id"), 0, false, "x", "-id"},
-		{"shard direct", "shard", mk("connect", "direct", "listen"), 0, true, "x", ""},
-		{"shard with quantbits", "shard", mk("connect", "quantbits"), 0, false, "x", "-quantbits"},
-		{"shard direct without listen", "shard", mk("connect", "direct"), 0, true, "x", "-listen"},
-		{"shard routed with listen", "shard", mk("connect", "listen"), 0, false, "x", "-direct"},
-		{"client", "client", mk("connect", "id"), 0, false, "x", ""},
-		{"client without connect", "client", mk("id"), 0, false, "", "-connect"},
-		{"client with shards", "client", mk("connect", "shards"), 2, false, "x", "-shards"},
-		{"client with clients", "client", mk("connect", "clients"), 0, false, "x", "-clients"},
-		{"client with direct", "client", mk("connect", "direct"), 0, true, "x", "Init"},
-		{"client with quantbits", "client", mk("connect", "quantbits"), 0, false, "x", "-quantbits"},
-		{"client with listen", "client", mk("connect", "listen"), 0, false, "x", "-listen"},
-		{"unknown role", "proxy", mk(), 0, false, "", "unknown role"},
+		{"sim default", "sim", mk(), 0, false, false, false, "", "", ""},
+		{"sim sharded", "sim", mk("shards"), 4, false, false, false, "", "", ""},
+		{"sim direct sharded", "sim", mk("shards", "direct"), 2, true, false, false, "", "", ""},
+		{"sim direct without shards", "sim", mk("direct"), 0, true, false, false, "", "", "-shards"},
+		{"sim with connect", "sim", mk("connect"), 0, false, false, false, "", "x", "-connect"},
+		{"sim with id", "sim", mk("id"), 0, false, false, false, "", "", "-id"},
+		{"sim with clients", "sim", mk("clients"), 0, false, false, false, "", "", "-clients"},
+		{"sim with listen", "sim", mk("listen"), 0, false, false, false, "", "", "-listen"},
+		{"sim durable", "sim", mk("wal-dir"), 0, false, false, false, "d", "", ""},
+		{"sim resume", "sim", mk("wal-dir", "resume"), 0, false, false, true, "d", "", ""},
+		{"sim resume without wal-dir", "sim", mk("resume"), 0, false, false, true, "", "", "-wal-dir"},
+		{"sim with durable", "sim", mk("durable"), 0, false, true, false, "", "", "-durable"},
+		{"coordinator routed", "coordinator", mk("listen", "shards"), 2, false, false, false, "", "", ""},
+		{"coordinator direct", "coordinator", mk("listen", "shards", "direct"), 2, true, false, false, "", "", ""},
+		{"coordinator direct without shards", "coordinator", mk("listen", "direct"), 0, true, false, false, "", "", "-shards"},
+		{"coordinator with connect", "coordinator", mk("connect"), 0, false, false, false, "", "x", "-connect"},
+		{"coordinator with id", "coordinator", mk("id"), 0, false, false, false, "", "", "-id"},
+		{"coordinator with workers", "coordinator", mk("workers"), 0, false, false, false, "", "", "-workers"},
+		{"coordinator durable unsharded", "coordinator", mk("listen", "wal-dir"), 0, false, false, false, "d", "", ""},
+		{"coordinator durable direct", "coordinator", mk("listen", "shards", "direct", "wal-dir"), 2, true, false, false, "d", "", ""},
+		{"coordinator durable routed shards", "coordinator", mk("listen", "shards", "wal-dir"), 2, false, false, false, "d", "", "-direct"},
+		{"coordinator resume", "coordinator", mk("listen", "wal-dir", "resume"), 0, false, false, true, "d", "", ""},
+		{"coordinator resume without wal-dir", "coordinator", mk("listen", "resume"), 0, false, false, true, "", "", "-wal-dir"},
+		{"coordinator with durable", "coordinator", mk("listen", "durable"), 0, false, true, false, "", "", "-durable"},
+		{"shard routed", "shard", mk("connect"), 0, false, false, false, "", "x", ""},
+		{"shard without connect", "shard", mk(), 0, false, false, false, "", "", "-connect"},
+		{"shard with shards", "shard", mk("connect", "shards"), 2, false, false, false, "", "x", "-shards"},
+		{"shard with clients", "shard", mk("connect", "clients"), 0, false, false, false, "", "x", "-clients"},
+		{"shard with id", "shard", mk("connect", "id"), 0, false, false, false, "", "x", "-id"},
+		{"shard direct", "shard", mk("connect", "direct", "listen"), 0, true, false, false, "", "x", ""},
+		{"shard with quantbits", "shard", mk("connect", "quantbits"), 0, false, false, false, "", "x", "-quantbits"},
+		{"shard direct without listen", "shard", mk("connect", "direct"), 0, true, false, false, "", "x", "-listen"},
+		{"shard routed with listen", "shard", mk("connect", "listen"), 0, false, false, false, "", "x", "-direct"},
+		{"shard durable", "shard", mk("connect", "direct", "listen", "durable", "id"), 0, true, true, false, "", "x", ""},
+		{"shard durable fresh restart", "shard", mk("connect", "direct", "listen", "durable", "id", "resume"), 0, true, true, true, "", "x", ""},
+		{"shard durable routed", "shard", mk("connect", "durable", "id"), 0, false, true, false, "", "x", "-direct"},
+		{"shard durable without id", "shard", mk("connect", "direct", "listen", "durable"), 0, true, true, false, "", "x", "-id"},
+		{"shard resume without durable", "shard", mk("connect", "direct", "listen", "resume"), 0, true, false, true, "", "x", "-durable"},
+		{"shard with wal-dir", "shard", mk("connect", "wal-dir"), 0, false, false, false, "d", "x", "-wal-dir"},
+		{"client", "client", mk("connect", "id"), 0, false, false, false, "", "x", ""},
+		{"client without connect", "client", mk("id"), 0, false, false, false, "", "", "-connect"},
+		{"client with shards", "client", mk("connect", "shards"), 2, false, false, false, "", "x", "-shards"},
+		{"client with clients", "client", mk("connect", "clients"), 0, false, false, false, "", "x", "-clients"},
+		{"client with direct", "client", mk("connect", "direct"), 0, true, false, false, "", "x", "Init"},
+		{"client with quantbits", "client", mk("connect", "quantbits"), 0, false, false, false, "", "x", "-quantbits"},
+		{"client with listen", "client", mk("connect", "listen"), 0, false, false, false, "", "x", "-listen"},
+		{"client durable", "client", mk("connect", "id", "durable"), 0, false, true, false, "", "x", ""},
+		{"client with wal-dir", "client", mk("connect", "wal-dir"), 0, false, false, false, "d", "x", "-durable"},
+		{"client with resume", "client", mk("connect", "resume"), 0, false, false, true, "", "x", "-durable"},
+		{"unknown role", "proxy", mk(), 0, false, false, false, "", "", "unknown role"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.role, tc.set, tc.shards, tc.direct, tc.connect)
+			err := validateFlags(tc.role, tc.set, tc.shards, tc.direct, tc.durable, tc.resume, tc.walDir, tc.connect)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("valid combination rejected: %v", err)

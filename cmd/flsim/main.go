@@ -25,6 +25,21 @@
 //	flsim -role shard  -direct -connect 127.0.0.1:7000 -listen 127.0.0.1:7101
 //	flsim -role client -connect 127.0.0.1:7000 -id 0    (unchanged: the
 //	    client learns the shard directory from the coordinator's Init)
+//
+// Durability: -wal-dir journals the run's control-plane decisions so a
+// crashed process restarts instead of killing the run (see README
+// "Durability and recovery"). In sim mode it also writes periodic model
+// snapshots, and -resume continues a halted run bit-identically. A
+// durable deployment pairs a -wal-dir coordinator with -durable shards
+// and clients, which redial with backoff and rejoin mid-run:
+//
+//	flsim -role coordinator -direct -wal-dir run1 -listen 127.0.0.1:7000 -shards 2
+//	flsim -role shard  -direct -durable -id 0 -connect 127.0.0.1:7000 -listen 127.0.0.1:7101
+//	flsim -role client -durable -connect 127.0.0.1:7000 -id 0
+//
+// A crashed coordinator restarts with the same flags plus -resume; a
+// dead shard restarts with its same -id plus -resume (it rejoins fresh
+// and rebuilds its state from the clients' resent slices).
 package main
 
 import (
@@ -65,8 +80,11 @@ func main() {
 		listenAddr  = flag.String("listen", "127.0.0.1:0", "coordinator: TCP address to listen on; direct shard: its client-facing ingest address")
 		connectAddr = flag.String("connect", "", "shard/client: the coordinator's address")
 		clients     = flag.Int("clients", 0, "coordinator: client processes to wait for (0 = the workload's client count)")
-		clientID    = flag.Int("id", 0, "client: this participant's client ID")
+		clientID    = flag.Int("id", 0, "client: this participant's client ID; durable shard: its shard ID")
 		acceptWait  = flag.Duration("accept-timeout", 2*time.Minute, "coordinator/direct shard: how long to wait for all peers to arrive (0 = forever)")
+		walDir      = flag.String("wal-dir", "", "durability: journal control-plane decisions (and, for sim, periodic snapshots) into this directory; required for -resume (sim and coordinator roles)")
+		resume      = flag.Bool("resume", false, "sim/coordinator: resume a halted or crashed run from the -wal-dir log; durable shard: rejoin an in-progress run as a fresh (state-less) restart")
+		durable     = flag.Bool("durable", false, "shard/client: speak the crash-recovery protocol — redial with backoff and rejoin a -wal-dir coordinator after link or process failures")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -74,12 +92,12 @@ func main() {
 	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	err := validateFlags(*role, set, *shards, *direct, *connectAddr)
+	err := validateFlags(*role, set, *shards, *direct, *durable, *resume, *walDir, *connectAddr)
 	if err == nil {
 		switch *role {
 		case "sim":
 			err = withProfiles(*cpuProfile, *memProfile, func() error {
-				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits)
+				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *walDir, *resume)
 			})
 		case "coordinator":
 			// The distributed protocol is fixed-k FAB-top-k; reject flags
@@ -88,11 +106,11 @@ func main() {
 				err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
 				break
 			}
-			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *acceptWait)
+			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *acceptWait, *walDir, *resume)
 		case "shard":
-			err = runShardRole(*connectAddr, *direct, *listenAddr, *acceptWait)
+			err = runShardRole(*connectAddr, *direct, *listenAddr, *acceptWait, *durable, *resume, *clientID, *seed)
 		case "client":
-			err = runClientRole(*datasetName, *scale, *clientID, *seed, *lr, *batch, *connectAddr)
+			err = runClientRole(*datasetName, *scale, *clientID, *seed, *lr, *batch, *connectAddr, *durable)
 		}
 	}
 	if err != nil {
@@ -105,7 +123,7 @@ func main() {
 // error — a wrong pairing must fail before any process starts waiting on
 // a peer that will never behave as expected (a mid-round hang is the
 // alternative). set records which flags were given explicitly.
-func validateFlags(role string, set map[string]bool, shards int, direct bool, connect string) error {
+func validateFlags(role string, set map[string]bool, shards int, direct, durable, resume bool, walDir, connect string) error {
 	switch role {
 	case "sim":
 		switch {
@@ -117,6 +135,10 @@ func validateFlags(role string, set map[string]bool, shards int, direct bool, co
 			return errors.New("flsim: -clients applies to -role coordinator")
 		case set["listen"]:
 			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
+		case set["durable"]:
+			return errors.New("flsim: -durable applies to -role shard|client; sim durability is -wal-dir")
+		case resume && walDir == "":
+			return errors.New("flsim: -resume needs -wal-dir DIR (the log to resume from)")
 		case direct && shards < 1:
 			return errors.New("flsim: -direct requires -shards >= 1 (the direct data plane is a topology of the sharded tier)")
 		}
@@ -128,6 +150,12 @@ func validateFlags(role string, set map[string]bool, shards int, direct bool, co
 			return errors.New("flsim: -id applies to -role client")
 		case set["workers"]:
 			return errors.New("flsim: -workers applies to -role sim; distributed parallelism comes from shard processes")
+		case set["durable"]:
+			return errors.New("flsim: -durable applies to -role shard|client; coordinator durability is -wal-dir")
+		case resume && walDir == "":
+			return errors.New("flsim: -resume needs -wal-dir DIR (the log to resume from)")
+		case walDir != "" && shards > 0 && !direct:
+			return errors.New("flsim: a -wal-dir coordinator's shard tier is direct-only; add -direct (routed shards cannot rejoin)")
 		case direct && shards < 1:
 			return errors.New("flsim: a -direct coordinator requires -shards >= 1 (it waits for that many direct shard processes)")
 		}
@@ -139,10 +167,18 @@ func validateFlags(role string, set map[string]bool, shards int, direct bool, co
 			return errors.New("flsim: -shards is the coordinator's flag; shard processes learn the geometry from their assignment")
 		case set["clients"]:
 			return errors.New("flsim: -clients applies to -role coordinator")
-		case set["id"]:
-			return errors.New("flsim: -id applies to -role client")
 		case set["quantbits"]:
 			return errors.New("flsim: -quantbits is the coordinator's flag; shards learn the width from their assignment")
+		case set["wal-dir"]:
+			return errors.New("flsim: -wal-dir applies to -role sim|coordinator; a shard's durability is -durable")
+		case set["id"] && !durable:
+			return errors.New("flsim: -id on a shard requires -durable (the rejoin identity); plain shards learn theirs from the assignment")
+		case durable && !direct:
+			return errors.New("flsim: -durable shards are direct-only; add -direct -listen INGEST_ADDR")
+		case durable && !set["id"]:
+			return errors.New("flsim: a -durable shard requires -id SHARD_ID (its identity across restarts)")
+		case resume && !durable:
+			return errors.New("flsim: -resume on a shard requires -durable (a fresh restart rejoins the run)")
 		case direct && !set["listen"]:
 			return errors.New("flsim: a direct -role shard requires -listen INGEST_ADDR (clients upload straight to it)")
 		case !direct && set["listen"]:
@@ -162,6 +198,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct bool, co
 			return errors.New("flsim: clients learn the quantization width from the coordinator's Init; -quantbits applies to sim and coordinator roles")
 		case set["listen"]:
 			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
+		case set["wal-dir"] || set["resume"]:
+			return errors.New("flsim: -wal-dir/-resume apply to -role sim|coordinator; a client's durability is -durable (it rejoins mid-run, it has no log)")
 		}
 	default:
 		return fmt.Errorf("flsim: unknown role %q (sim, coordinator, shard, client)", role)
@@ -209,7 +247,8 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
-	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits int) error {
+	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits int,
+	walDir string, resume bool) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -241,6 +280,13 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		Shards:       shards,
 		Direct:       direct,
 		QuantBits:    quantBits,
+		WALDir:       walDir,
+		Resume:       resume,
+	}
+	if walDir != "" {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return fmt.Errorf("flsim: -wal-dir: %w", err)
+		}
 	}
 
 	switch strategy {
@@ -278,6 +324,9 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 			cfg.Controller = fedsparse.NewContinuousBandit(kmin, kmax, kmax, rounds, 0, 0, newRand(seed+2))
 		default:
 			return fmt.Errorf("unknown adaptive controller %q", adaptive)
+		}
+		if walDir != "" && (adaptive == "exp3" || adaptive == "bandit") {
+			return fmt.Errorf("flsim: -wal-dir cannot snapshot the self-randomizing %s controller; use none, alg2, alg3, or value", adaptive)
 		}
 	}
 

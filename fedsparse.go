@@ -132,6 +132,35 @@
 // model, downlink fan-out included; the differential suites pin direct
 // == routed == unsharded over mem and TCP).
 //
+// # Durability and recovery
+//
+// Both round engines can journal their control-plane decisions to a
+// write-ahead log and recover from a crash with a bit-identical
+// trajectory. The in-process engine takes Config.WALDir (+ Resume,
+// SnapshotEvery): every finished round appends a Finish record of the
+// round's scalars, periodic snapshots capture the model vector, the
+// error-feedback residuals, the controller state (any core.Resumable —
+// all built-ins except the self-randomizing EXP3/ContinuousBandit),
+// and the exact positions of every counted rng stream; a resumed run
+// restores the latest snapshot, replays the logged prefix, recomputes
+// the suffix with bit-exact verification against the log, and then
+// continues — WAL on or off, halted or not, the Result is bit-identical
+// to the uninterrupted run. The distributed coordinator has the same
+// discipline (RunDurableServerPeers / ResumeDurableServer with a
+// DurableServerConfig): Seal/Release/Finish records journal each round
+// decision — indices and scalars only, never gradient payloads — and a
+// restarted coordinator re-issues the last unacknowledged seal or
+// release before continuing. Peers survive the other side's death:
+// RunDurableClient and RunDurableDirectShard redial through DialRetry
+// (bounded exponential backoff + jitter), re-identify with a
+// Rejoin{RunID, Round, LastSeal} handshake accepted by the
+// coordinator's RejoinDesk, and resend from small per-link rings; a
+// shard restarted empty is re-pointed to the clients, which re-feed its
+// reduction from their rings. The recovery suites kill the coordinator
+// at every WAL boundary and pin the final CSV byte-identical across
+// {mem, TCP} × {routed, direct}. See README.md ("Durability and
+// recovery") for the record layout and handshake sequences.
+//
 // # Scratch types and allocation-free steady state
 //
 // The round loop reuses every per-round buffer, so steady-state training
@@ -174,6 +203,7 @@ import (
 	"fedsparse/internal/simtime"
 	"fedsparse/internal/sparse"
 	"fedsparse/internal/transport"
+	"fedsparse/internal/wal"
 )
 
 // Federated-learning engine (internal/fl).
@@ -428,6 +458,45 @@ type (
 	DirectGroup = transport.DirectGroup
 )
 
+// Durable control plane (internal/transport + internal/wal): see the
+// "Durability and recovery" section of the package documentation.
+type (
+	// DurableServerConfig layers a WAL and rejoin-based recovery on a
+	// ServerConfig (RunDurableServerPeers / ResumeDurableServer).
+	DurableServerConfig = transport.DurableServerConfig
+	// DurableClientConfig gives RunDurableClient its redial hooks.
+	DurableClientConfig = transport.DurableClientConfig
+	// DurableShardConfig parameterizes RunDurableDirectShard.
+	DurableShardConfig = transport.DurableShardConfig
+	// RejoinDesk classifies reconnecting peers for a durable coordinator.
+	RejoinDesk = transport.RejoinDesk
+	// Rejoin is the re-handshake a recovering peer opens with.
+	Rejoin = transport.Rejoin
+	// RetryPolicy bounds a DialRetry backoff loop.
+	RetryPolicy = transport.RetryPolicy
+	// WAL is an append-only CRC-framed record log (wal.Log).
+	WAL = wal.Log
+	// WALRecord is one decoded log record (wal.Record).
+	WALRecord = wal.Record
+)
+
+// Durable drivers, recovery dials, and WAL access.
+var (
+	RunDurableServerPeers = transport.RunDurableServerPeers
+	ResumeDurableServer   = transport.ResumeDurableServer
+	RunDurableClient      = transport.RunDurableClient
+	RunDurableDirectShard = transport.RunDurableDirectShard
+	NewRejoinDesk         = transport.NewRejoinDesk
+	DialRetry             = transport.DialRetry
+	DialShardRetry        = transport.DialShardRetry
+	// WALRunID derives the stable run identity a seed's durable run is
+	// stamped with (coordinator, WAL, and every Rejoin must agree).
+	WALRunID = wal.RunID
+	// OpenWAL replays an existing log for ResumeDurableServer; the
+	// repairTail flag truncates a torn final record instead of erroring.
+	OpenWAL = wal.Open
+)
+
 // Transport constructors and drivers.
 var (
 	NewMemPair       = transport.NewMemPair
@@ -449,4 +518,5 @@ var (
 	AcceptPeers      = transport.AcceptPeers
 	AcceptDataPeers  = transport.AcceptDataPeers
 	SplitShardPeers  = transport.SplitShardPeers
+	SeatShardPeers   = transport.SeatShardPeers
 )

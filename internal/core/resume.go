@@ -1,0 +1,127 @@
+// Controller state export/import for durable runs. A crash-resumed
+// engine replays the trajectory from a snapshot, and the controller's
+// decisions are part of that trajectory — so a controller that wants to
+// participate in durable runs must round-trip its mutable state exactly
+// (bit-identical floats, no re-derivation).
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resumable is a Controller whose mutable state can be exported as a
+// flat float64 vector and restored bit-exactly. The vector layout is
+// private to each implementation; StateRestore must reject vectors it
+// did not produce. Immutable configuration (bounds, rates, sources) is
+// NOT part of the state — a resumed run reconstructs the controller
+// with the original constructor arguments and then restores the state
+// on top.
+//
+// EXP3 and ContinuousBandit are deliberately not Resumable: they draw
+// from their own uncounted rng, so their post-restore stream cannot be
+// replayed.
+type Resumable interface {
+	Controller
+	// StateSave exports the mutable state (nil/empty when stateless).
+	StateSave() []float64
+	// StateRestore imports a vector previously returned by StateSave on
+	// a controller constructed with the same arguments.
+	StateRestore(state []float64) error
+}
+
+var (
+	_ Resumable = (*FixedK)(nil)
+	_ Resumable = (*ThresholdK)(nil)
+	_ Resumable = (*SignOGD)(nil)
+	_ Resumable = (*AdaptiveSignOGD)(nil)
+	_ Resumable = (*ValueOGD)(nil)
+)
+
+func wantState(name string, got []float64, want int) error {
+	if len(got) != want {
+		return fmt.Errorf("core: %s state has %d fields, want %d", name, len(got), want)
+	}
+	return nil
+}
+
+// StateSave implements Resumable; FixedK is stateless.
+func (f *FixedK) StateSave() []float64 { return nil }
+
+// StateRestore implements Resumable.
+func (f *FixedK) StateRestore(state []float64) error {
+	return wantState(f.Name(), state, 0)
+}
+
+// StateSave implements Resumable.
+func (t *ThresholdK) StateSave() []float64 {
+	switched := 0.0
+	if t.switched {
+		switched = 1
+	}
+	return []float64{switched, float64(t.SwitchRound)}
+}
+
+// StateRestore implements Resumable.
+func (t *ThresholdK) StateRestore(state []float64) error {
+	if err := wantState(t.Name(), state, 2); err != nil {
+		return err
+	}
+	t.switched = state[0] != 0
+	t.SwitchRound = int(state[1])
+	return nil
+}
+
+// StateSave implements Resumable.
+func (s *SignOGD) StateSave() []float64 {
+	return []float64{s.k, float64(s.updates), float64(s.unavailable)}
+}
+
+// StateRestore implements Resumable.
+func (s *SignOGD) StateRestore(state []float64) error {
+	if err := wantState(s.Name(), state, 3); err != nil {
+		return err
+	}
+	s.k = state[0]
+	s.updates = int(state[1])
+	s.unavailable = int(state[2])
+	return nil
+}
+
+// StateSave implements Resumable. The current search interval is
+// mutable state here (Algorithm 3 shrinks it), unlike SignOGD's.
+func (s *AdaptiveSignOGD) StateSave() []float64 {
+	return []float64{
+		s.kmin, s.kmax, s.b, s.k,
+		float64(s.m0), float64(s.mPrev), float64(s.n),
+		s.wMin, s.wMax, float64(s.resets),
+	}
+}
+
+// StateRestore implements Resumable.
+func (s *AdaptiveSignOGD) StateRestore(state []float64) error {
+	if err := wantState(s.Name(), state, 10); err != nil {
+		return err
+	}
+	if state[0] < s.kminAbs || state[1] > s.kmaxAbs || math.IsNaN(state[3]) {
+		return fmt.Errorf("core: %s state interval [%v, %v] escapes the absolute bounds [%v, %v]",
+			s.Name(), state[0], state[1], s.kminAbs, s.kmaxAbs)
+	}
+	s.kmin, s.kmax, s.b, s.k = state[0], state[1], state[2], state[3]
+	s.m0, s.mPrev, s.n = int(state[4]), int(state[5]), int(state[6])
+	s.wMin, s.wMax = state[7], state[8]
+	s.resets = int(state[9])
+	return nil
+}
+
+// StateSave implements Resumable.
+func (v *ValueOGD) StateSave() []float64 { return []float64{v.k} }
+
+// StateRestore implements Resumable.
+func (v *ValueOGD) StateRestore(state []float64) error {
+	if err := wantState(v.Name(), state, 1); err != nil {
+		return err
+	}
+	v.k = state[0]
+	return nil
+}

@@ -40,6 +40,7 @@ import (
 	"fedsparse/internal/simtime"
 	"fedsparse/internal/sparse"
 	"fedsparse/internal/tensor"
+	"fedsparse/internal/wal"
 )
 
 // Config describes one federated training run.
@@ -129,6 +130,30 @@ type Config struct {
 	// Strategy must implement gs.ShardSelector (all built-ins do).
 	Shards int
 
+	// WALDir enables the durable engine: every finished round is
+	// appended (and fsynced) to a write-ahead log in this directory, and
+	// whole-state snapshots are checkpointed every SnapshotEvery rounds.
+	// Durability never changes the trajectory — rng streams are only
+	// counted, so a WAL-backed run is bit-identical to a plain one.
+	// Requires a core.Resumable Controller; GS mode only; incompatible
+	// with RecordPerClient (per-client counts are not logged).
+	WALDir string
+	// Resume continues the run recorded in WALDir instead of starting
+	// fresh: the latest snapshot is restored, the rounds after it are
+	// recomputed and verified bit-exactly against the logged results,
+	// and training continues from where the log ends. The returned
+	// Stats cover ALL rounds (replayed ones from the log), so a resumed
+	// run's output is byte-identical to an uninterrupted run's.
+	Resume bool
+	// SnapshotEvery is the checkpoint cadence in rounds (0 = every 10).
+	// Only meaningful with WALDir.
+	SnapshotEvery int
+	// HaltAfter stops the run cleanly after that round (0 = run to
+	// completion) — an operational/testing hook for exercising Resume:
+	// the returned Result covers rounds 1..HaltAfter and a later Run
+	// with Resume set picks up from the log. Requires WALDir.
+	HaltAfter int
+
 	// Direct switches the sharded tier (Shards > 0 required) from the
 	// routed topology — every upload flows through the coordinator, which
 	// re-routes range slices to shards — to the client-direct one: each
@@ -204,7 +229,23 @@ func Run(cfg Config) (*Result, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
-	engineRng := rand.New(rand.NewSource(cfg.Seed))
+	var dur *engineWAL
+	var engineRng *rand.Rand
+	if cfg.WALDir != "" {
+		dur = &engineWAL{
+			runID:      wal.RunID(cfg.Seed),
+			dir:        cfg.WALDir,
+			every:      cfg.SnapshotEvery,
+			engineSrc:  wal.NewCountingSource(cfg.Seed, 0),
+			clientSrcs: make([]*wal.CountingSource, cfg.Data.NumClients()),
+		}
+		if dur.every == 0 {
+			dur.every = defaultSnapshotEvery
+		}
+		engineRng = rand.New(dur.engineSrc)
+	} else {
+		engineRng = rand.New(rand.NewSource(cfg.Seed))
+	}
 
 	// Build synchronized clients.
 	ref := cfg.Model()
@@ -219,12 +260,20 @@ func Run(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("fl: model factory returned inconsistent dimension %d != %d", net.D(), d)
 		}
 		net.SetParams(ref.Params())
+		seed := cfg.Seed + 1000003*int64(i+1)
+		var rng *rand.Rand
+		if dur != nil {
+			dur.clientSrcs[i] = wal.NewCountingSource(seed, 0)
+			rng = rand.New(dur.clientSrcs[i])
+		} else {
+			rng = rand.New(rand.NewSource(seed))
+		}
 		clients[i] = &client{
 			net:    net,
 			acc:    make([]float64, d),
 			data:   &cfg.Data.Clients[i],
 			weight: float64(cfg.Data.Clients[i].Len()),
-			rng:    rand.New(rand.NewSource(cfg.Seed + 1000003*int64(i+1))),
+			rng:    rng,
 		}
 	}
 	var totalWeight float64
@@ -240,7 +289,24 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.FedAvg {
 		return runFedAvg(cfg, clients, totalWeight, cost, engineRng)
 	}
-	return runGS(cfg, clients, totalWeight, cost, ctrl, engineRng, d)
+	if dur != nil {
+		rc, ok := ctrl.(core.Resumable)
+		if !ok {
+			return nil, fmt.Errorf("fl: WALDir requires a core.Resumable controller; %s is not", ctrl.Name())
+		}
+		dur.ctrl = rc
+		dur.strat, _ = cfg.Strategy.(gs.Stateful)
+		if err := dur.open(&cfg, clients, d); err != nil {
+			return nil, err
+		}
+		defer dur.log.Close()
+		if dur.restored {
+			// The snapshot repositioned the engine stream past the draws
+			// InitWeights and this function already consumed.
+			engineRng = rand.New(dur.engineSrc)
+		}
+	}
+	return runGS(cfg, clients, totalWeight, cost, ctrl, engineRng, d, dur)
 }
 
 func validate(cfg *Config) error {
@@ -277,6 +343,14 @@ func validate(cfg *Config) error {
 		return errors.New("fl: Direct applies to GS mode only (FedAvg has no sparse aggregation)")
 	case cfg.Direct && cfg.Shards == 0:
 		return errors.New("fl: Direct requires Shards > 0 (it is a topology of the sharded tier)")
+	case cfg.SnapshotEvery < 0 || cfg.HaltAfter < 0:
+		return errors.New("fl: SnapshotEvery and HaltAfter must be non-negative")
+	case cfg.WALDir == "" && (cfg.Resume || cfg.SnapshotEvery > 0 || cfg.HaltAfter > 0):
+		return errors.New("fl: Resume, SnapshotEvery, and HaltAfter require WALDir")
+	case cfg.WALDir != "" && cfg.FedAvg:
+		return errors.New("fl: WALDir applies to GS mode only (FedAvg weights diverge between aggregations and are not snapshotted)")
+	case cfg.WALDir != "" && cfg.RecordPerClient:
+		return errors.New("fl: WALDir and RecordPerClient are incompatible (per-client counts are not logged, so a resumed run could not reproduce them)")
 	}
 	if cfg.Shards > 0 {
 		if cfg.Direct {
@@ -368,7 +442,7 @@ func (ar *roundArena) stampInJ(indices []int) {
 
 // runGS is Algorithm 1 plus the Fig. 3 adaptive-k schedule.
 func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.CostModel,
-	ctrl core.Controller, engineRng *rand.Rand, d int) (*Result, error) {
+	ctrl core.Controller, engineRng *rand.Rand, d int, dur *engineWAL) (*Result, error) {
 
 	res := &Result{}
 	var clock simtime.Clock
@@ -408,7 +482,17 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	// slice rebuilding.
 	mandInto, _ := cfg.Strategy.(gs.MandatedIntoStrategy)
 
-	for m := 1; m <= cfg.Rounds; m++ {
+	// A resumed run reports the rounds before the restored snapshot from
+	// the log (the state to recompute them is gone by design — that is
+	// what the snapshot bounds) and recomputes everything after it, each
+	// round verified bit-exactly against its logged record in commit.
+	start := 1
+	if dur != nil {
+		res.Stats = append(res.Stats, dur.logged[:dur.snapRound]...)
+		clock.Advance(dur.clock0)
+		start = dur.snapRound + 1
+	}
+	for m := start; m <= cfg.Rounds; m++ {
 		dec := ctrl.Decide(m)
 		kCont := core.Project(dec.K, 1, float64(d))
 		kInt := sparse.StochasticRound(kCont, engineRng)
@@ -631,9 +715,17 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 			stats.PerClientUsed = used
 		}
 		maybeEval(&cfg, &stats, clients[0].net, clients, totalWeight, m)
+		if dur != nil {
+			if err := dur.commit(&stats, clients); err != nil {
+				return nil, err
+			}
+		}
 		res.Stats = append(res.Stats, stats)
 
 		if cfg.MaxTime > 0 && clock.Now() >= cfg.MaxTime {
+			break
+		}
+		if cfg.HaltAfter > 0 && m == cfg.HaltAfter {
 			break
 		}
 	}

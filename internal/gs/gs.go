@@ -65,6 +65,22 @@ type Strategy interface {
 	Aggregate(uploads []ClientUpload, k int) Aggregate
 }
 
+// Stateful is implemented by strategies that carry mutable state across
+// rounds and therefore need snapshotting in durable (WAL-backed) runs.
+// None of the built-in strategies implement it: their only cross-round
+// inputs are the round number and the engine rng (whose stream position
+// the snapshot already records), so a reconstructed strategy replays
+// bit-identically with no state of its own. The durable engine snapshots
+// an empty state vector for such strategies and restores through this
+// interface when a custom strategy provides it.
+type Stateful interface {
+	Strategy
+	// StateSave exports the mutable cross-round state.
+	StateSave() []float64
+	// StateRestore imports a vector previously returned by StateSave.
+	StateRestore(state []float64) error
+}
+
 // totalWeight returns C = Σ C_i.
 func totalWeight(uploads []ClientUpload) float64 {
 	var c float64

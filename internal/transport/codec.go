@@ -46,6 +46,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxFrame caps a frame's declared payload length. The biggest honest
@@ -72,6 +73,9 @@ const (
 	tagSliceFetch
 	tagSliceBroadcast
 	tagRoundRelease
+	tagRejoin
+	tagRejoinAck
+	tagRedo
 )
 
 // wireWriter appends wire-encoded primitives to a buffer, latching the
@@ -97,6 +101,10 @@ func (w *wireWriter) putNum(v int) {
 		return
 	}
 	w.putU32(uint32(v))
+}
+
+func (w *wireWriter) putU64(v uint64) {
+	w.b = binary.LittleEndian.AppendUint64(w.b, v)
 }
 
 func (w *wireWriter) putF64(v float64) {
@@ -246,6 +254,19 @@ func (r *wireReader) u32() uint32 {
 }
 
 func (r *wireReader) num() int { return int(r.u32()) }
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("short frame")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
 
 func (r *wireReader) f64() float64 {
 	if r.err != nil {
@@ -546,6 +567,7 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.K)
 		w.putNum(m.Rounds)
 		w.putNum(m.QuantBits)
+		w.putU64(m.RunID)
 		w.putF64s(m.Params)
 		w.putStrs(m.Shards)
 	case Upload:
@@ -567,6 +589,8 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 	case ShardHello:
 		w.putU8(tagShardHello)
 		w.putStr(m.Addr)
+		w.putNum(m.ID)
+		w.putBool(m.HasID)
 	case ShardAssign:
 		w.putU8(tagShardAssign)
 		w.putNum(m.ShardID)
@@ -574,6 +598,7 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.Dim)
 		w.putNum(m.Rounds)
 		w.putNum(m.QuantBits)
+		w.putNum(m.StartRound)
 		w.putBool(m.Direct)
 		w.putF64s(m.Weights)
 	case ShardUpload:
@@ -644,6 +669,25 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putU8(tagRoundRelease)
 		w.putNum(m.Round)
 		w.putNum(m.Elems)
+	case Rejoin:
+		w.putU8(tagRejoin)
+		w.putU64(m.RunID)
+		w.putNum(m.Kind)
+		w.putNum(m.ID)
+		w.putNum(m.Round)
+		w.putNum(m.LastSeal)
+		w.putBool(m.Fresh)
+		w.putStr(m.Addr)
+	case RejoinAck:
+		w.putU8(tagRejoinAck)
+		w.putU64(m.RunID)
+		w.putNum(m.Round)
+		w.putNum(m.NeedFrom)
+	case Redo:
+		w.putU8(tagRedo)
+		w.putNum(m.Round)
+		w.putNum(m.ShardID)
+		w.putStr(m.Addr)
 	default:
 		return b, fmt.Errorf("transport: binary codec: unsupported message type %T", msg)
 	}
@@ -681,6 +725,7 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.K = r.num()
 		m.Rounds = r.num()
 		m.QuantBits = r.num()
+		m.RunID = r.u64()
 		m.Params = r.f64s(nil)
 		m.Shards = r.strs(nil)
 		msg = m
@@ -691,6 +736,8 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 	case tagShardHello:
 		var m ShardHello
 		m.Addr = r.str()
+		m.ID = r.num()
+		m.HasID = r.bool_()
 		msg = m
 	case tagShardAssign:
 		var m ShardAssign
@@ -699,6 +746,7 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.Dim = r.num()
 		m.Rounds = r.num()
 		m.QuantBits = r.num()
+		m.StartRound = r.num()
 		m.Direct = r.bool_()
 		m.Weights = r.f64s(nil)
 		msg = m
@@ -742,6 +790,28 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		var m RoundRelease
 		m.Round = r.num()
 		m.Elems = r.num()
+		msg = m
+	case tagRejoin:
+		var m Rejoin
+		m.RunID = r.u64()
+		m.Kind = r.num()
+		m.ID = r.num()
+		m.Round = r.num()
+		m.LastSeal = r.num()
+		m.Fresh = r.bool_()
+		m.Addr = r.str()
+		msg = m
+	case tagRejoinAck:
+		var m RejoinAck
+		m.RunID = r.u64()
+		m.Round = r.num()
+		m.NeedFrom = r.num()
+		msg = m
+	case tagRedo:
+		var m Redo
+		m.Round = r.num()
+		m.ShardID = r.num()
+		m.Addr = r.str()
 		msg = m
 	default:
 		return nil, fmt.Errorf("transport: binary codec: unknown message type tag %d", tag)
@@ -860,3 +930,9 @@ func (c *binConn) Close() error {
 	})
 	return err
 }
+
+// SetReadDeadline delegates to the underlying socket. A deadline that
+// expires poisons the receive side like any other read error (the
+// stream position is untrustworthy mid-frame), so it is only used on
+// connections that are abandoned on timeout — the handshake paths.
+func (c *binConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }

@@ -37,7 +37,7 @@ func codecFixtures() []any {
 	qbscale := sparse.QuantizeInPlace(qb, 8)
 	return []any{
 		Hello{ClientID: 7, Weight: 2.5},
-		Init{Params: []float64{0.5, -1, 2}, K: 3, Rounds: 9, QuantBits: 8, Shards: []string{"a:1", "b:2"}},
+		Init{Params: []float64{0.5, -1, 2}, K: 3, Rounds: 9, QuantBits: 8, RunID: 0xdeadbeefcafe0123, Shards: []string{"a:1", "b:2"}},
 		// A non-finite VALUE is a legal raw payload (only a non-finite
 		// quantization SCALE is a protocol error).
 		Upload{ClientID: 1, Round: 2, Idx: []int{3, 9}, Val: []float64{1.5, math.Inf(-1)}, BatchLoss: 0.75},
@@ -45,7 +45,8 @@ func codecFixtures() []any {
 		Broadcast{Round: 3, Idx: []int{0, 4, 7}, Val: []float64{-1, 0.5, 2}},
 		Broadcast{Round: 4, Idx: []int{2, 5, 6}, Val: qb, Bits: 8, Scale: qbscale},
 		ShardHello{Addr: "127.0.0.1:9"},
-		ShardAssign{ShardID: 1, NumShards: 2, Dim: 32, Rounds: 5, Weights: []float64{1, 2, 3, 4}, Direct: true, QuantBits: 8},
+		ShardHello{Addr: "127.0.0.1:10", ID: 1, HasID: true},
+		ShardAssign{ShardID: 1, NumShards: 2, Dim: 32, Rounds: 5, Weights: []float64{1, 2, 3, 4}, Direct: true, QuantBits: 8, StartRound: 3},
 		ShardUpload{Round: 1, Off: []int{0, 1, 2}, Idx: []int{4, 8}, Val: []float64{0.5, -0.5}, Rank: []int{0, 3}},
 		ShardResult{Round: 1, ShardID: 0, Idx: []int{2, 5}, Sum: []float64{1.25, -3}, MinRank: []int{1, 0}},
 		DataHello{ClientID: 2, ShardID: 1, NumShards: 2, Dim: 32},
@@ -59,6 +60,10 @@ func codecFixtures() []any {
 		SliceBroadcast{Round: 2, ShardID: 0, Idx: []int{3, 5}, Val: []float64{0.5, -0.75}},
 		SliceBroadcast{Round: 3, ShardID: 1, Idx: []int{7, 8, 12}, Val: qv[:3], Bits: 8, Scale: qscale},
 		RoundRelease{Round: 2, Elems: 40},
+		Rejoin{RunID: 0xdeadbeefcafe0123, Kind: RejoinShard, ID: 1, Round: 4, LastSeal: 3, Fresh: true, Addr: "127.0.0.1:9"},
+		Rejoin{RunID: 1, Kind: RejoinClient, ID: 2, Round: 5, LastSeal: 5},
+		RejoinAck{RunID: 0xdeadbeefcafe0123, Round: 4, NeedFrom: 4},
+		Redo{Round: 4, ShardID: 1, Addr: "127.0.0.1:10"},
 	}
 }
 
@@ -172,6 +177,7 @@ func TestBinaryCodecCorruptedFrames(t *testing.T) {
 		w.putNum(3)           // K
 		w.putNum(5)           // Rounds
 		w.putNum(0)           // QuantBits
+		w.putU64(7)           // RunID
 		w.putU32(1 << 28)     // Params count: 2 GiB worth of floats...
 		w.b = append(w.b, 42) // ...backed by one byte
 		return w.b

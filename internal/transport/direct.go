@@ -432,6 +432,26 @@ type DirectGroup struct {
 // onto its global b-bit grid and seals the shards with that grid, so
 // the shard-served downlink is the engine's quantized aggregate.
 func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64, quantBits int) (*DirectGroup, error) {
+	g, err := newDirectGroupState(conns, dim, weights, quantBits)
+	if err != nil {
+		return nil, err
+	}
+	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true, QuantBits: quantBits}
+	for s, conn := range conns {
+		assign.ShardID = s
+		if err := conn.Send(assign); err != nil {
+			return nil, fmt.Errorf("transport: assign direct shard %d: %w", s, err)
+		}
+	}
+	return g, nil
+}
+
+// newDirectGroupState builds a DirectGroup's selection and partition
+// state without sending any assignments — the shared constructor body
+// behind NewDirectGroup, and what a resumed durable coordinator uses
+// (its shards are mid-run and already assigned; connections arrive
+// later through rejoins).
+func newDirectGroupState(conns []Conn, dim int, weights []float64, quantBits int) (*DirectGroup, error) {
 	if len(conns) == 0 {
 		return nil, fmt.Errorf("transport: direct group needs at least one shard")
 	}
@@ -454,13 +474,6 @@ func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64, quantBits 
 	for s := range conns {
 		lo, hi := tensor.ChunkBounds(dim, len(conns), s)
 		g.bounds[s], g.bounds[s+1] = lo, hi
-	}
-	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true, QuantBits: quantBits}
-	for s, conn := range conns {
-		assign.ShardID = s
-		if err := conn.Send(assign); err != nil {
-			return nil, fmt.Errorf("transport: assign direct shard %d: %w", s, err)
-		}
 	}
 	return g, nil
 }

@@ -717,7 +717,7 @@ func TestDirectShardDeathFailsRound(t *testing.T) {
 	h := runDirectHarness(t, 30, 20, 2, 0, func(clientID, shardID int, c Conn) Conn {
 		if shardID == 1 {
 			// Hello + two round slices succeed, then the link is dead.
-			return &FlakyConn{Inner: c, FailAfter: 3}
+			return NewFaultConn(c, FaultFailSend, 3, 1)
 		}
 		return c
 	}, nil, nil)

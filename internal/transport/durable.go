@@ -1,0 +1,705 @@
+// The durable coordinator: the crash-recoverable control plane of the
+// distributed protocol. Every round the coordinator logs its decisions
+// to a write-ahead log (internal/wal) at three boundaries — the seal
+// (selection finished), the release (downlink cleared), the finish
+// (round closed) — as indices and scalars only; gradient payloads
+// never enter the log. After a crash, ResumeDurableServer replays the
+// log, re-seats every peer through the Rejoin handshake (rejoin.go),
+// re-issues whatever the partial round still owes (the last seal or
+// release), and continues the run from the round in progress — with
+// trajectories bit-identical to an uninterrupted run, because every
+// decision is either replayed from the log or recomputed from
+// deterministically re-sent inputs.
+//
+// Recovery is synchronous and rests on one universal idempotency rule:
+// a RejoinAck tells the peer to resend every buffered message with
+// round >= NeedFrom, and EVERY receiver discards messages staler than
+// the round it is waiting for. Conservative resends are therefore
+// always safe — duplicates die at the receiver — which removes all
+// precise delivery bookkeeping from the protocol.
+//
+// Scope limits, each failing loudly rather than corrupting a run: the
+// routed shard tier is not supported under a WAL (use direct mode for
+// durable sharding); a shard death in the middle of a fill-query round
+// trip or during the downlink fetch phase errors the run; a FRESH
+// shard arriving while a resume preamble is still re-issuing an old
+// round's seal errors the resume (restart it once the round is
+// finished); clients must survive (client state is not checkpointed —
+// the paper's participants hold the model).
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"fedsparse/internal/gs"
+	"fedsparse/internal/wal"
+)
+
+// Boundary names the per-round WAL decision points of the durable
+// coordinator — the instants a crash-recovery test kills the process
+// at, and the vocabulary of the crash hook.
+type Boundary string
+
+const (
+	// BoundarySealLogged: the round's Seal record is durable, no seal
+	// or broadcast has been sent.
+	BoundarySealLogged Boundary = "seal-logged"
+	// BoundarySealSent: every shard seal (direct) or client broadcast
+	// (routed) has been sent.
+	BoundarySealSent Boundary = "seal-sent"
+	// BoundaryReleaseLogged: the Release record is durable, no client
+	// has been released.
+	BoundaryReleaseLogged Boundary = "release-logged"
+	// BoundaryFinishLogged: the Finish record is durable, the round is
+	// fully closed.
+	BoundaryFinishLogged Boundary = "finish-logged"
+)
+
+// DurableServerConfig parameterizes the durable coordinator on top of
+// a ServerConfig.
+type DurableServerConfig struct {
+	// RunID identifies the run (non-zero; derive it with wal.RunID).
+	// It stamps the WAL, the Init, and every Rejoin handshake.
+	RunID uint64
+	// WALPath is where RunDurableServerPeers creates the log.
+	// ResumeDurableServer takes an already-opened log instead.
+	WALPath string
+	// Desk supplies rejoining peers; required. The coordinator pulls
+	// from it whenever a live connection fails (or, on resume, is not
+	// yet established).
+	Desk *RejoinDesk
+	// RejoinTimeout bounds each wait for a rejoining peer (default
+	// 30s).
+	RejoinTimeout time.Duration
+
+	// crash is the test hook: invoked at every Boundary with the
+	// round; a non-nil return closes every peer connection (emulating
+	// process death) and unwinds the run with that error.
+	crash func(Boundary, int) error
+}
+
+func (d DurableServerConfig) rejoinTimeout() time.Duration {
+	if d.RejoinTimeout > 0 {
+		return d.RejoinTimeout
+	}
+	return 30 * time.Second
+}
+
+// coordConf is the configuration fingerprint stored in the RunStart
+// record and validated on resume: a log is never replayed under a
+// different geometry.
+func coordConf(cfg ServerConfig, nClients, nShards int) []int64 {
+	direct := int64(0)
+	if cfg.Direct {
+		direct = 1
+	}
+	return []int64{int64(len(cfg.InitialParams)), int64(cfg.K), int64(cfg.Rounds),
+		int64(cfg.QuantBits), int64(nClients), int64(nShards), direct}
+}
+
+// durServer is the durable coordinator's state. Connections may be nil
+// — a nil entry is a broken link, re-established through the rejoin
+// desk at the next use.
+type durServer struct {
+	cfg ServerConfig
+	dur DurableServerConfig
+	log *wal.Log
+	dim int
+
+	clients     []Conn // client control conns in ID order; nil = broken
+	weights     []float64
+	totalWeight float64
+
+	group    *DirectGroup // direct mode only; group.conns[s] nil = broken
+	strategy *gs.FABTopK
+
+	// routed-mode aggregation state (mirrors RunServerPeers).
+	scratch   *gs.AggScratch
+	uploads   []gs.ClientUpload
+	seen      []int
+	seenToken int
+
+	round   int
+	records []RoundRecord
+
+	// Rejoins that arrived while a different peer was being awaited.
+	pendingClients map[int]rejoinArrival
+	pendingShards  map[int]rejoinArrival
+
+	spanOffs []int // reusable Seal.Spans offsets buffer
+}
+
+// RunDurableServerPeers is RunServerPeers with a write-ahead log: it
+// creates the WAL at dur.WALPath (RunStart carries the configuration
+// fingerprint and the clients' Hello weights, which rejoins do not
+// resend), then drives the round loop with WAL appends at every
+// decision boundary and rejoin-based recovery on every link failure.
+// Shard connections ride in cfg.ShardConns exactly as in
+// RunServerPeers; direct mode is required for a durable shard tier.
+func RunDurableServerPeers(clients []Peer, cfg ServerConfig, dur DurableServerConfig) ([]RoundRecord, error) {
+	s, err := newDurServer(cfg, dur, len(clients), len(cfg.ShardConns), false)
+	if err != nil {
+		return nil, err
+	}
+	// Order the client conns by ID and collect weights, as
+	// RunServerPeers does.
+	for _, peer := range clients {
+		if peer.Hello == nil {
+			return nil, fmt.Errorf("transport: durable server: non-client peer in the client list")
+		}
+		h := *peer.Hello
+		if h.ClientID < 0 || h.ClientID >= len(clients) {
+			return nil, fmt.Errorf("transport: client id %d out of range", h.ClientID)
+		}
+		if s.clients[h.ClientID] != nil {
+			return nil, fmt.Errorf("transport: duplicate client id %d", h.ClientID)
+		}
+		s.clients[h.ClientID] = peer.Conn
+		s.weights[h.ClientID] = h.Weight
+		s.totalWeight += h.Weight
+	}
+	rs := wal.RunStart{RunID: dur.RunID, Kind: wal.KindCoordinator,
+		Conf: coordConf(cfg, len(clients), len(cfg.ShardConns)), Weights: s.weights}
+	log, err := wal.Create(dur.WALPath, rs)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	defer log.Close()
+
+	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds,
+		QuantBits: cfg.QuantBits, RunID: dur.RunID}
+	if cfg.Direct {
+		group, err := NewDirectGroup(cfg.ShardConns, s.dim, cfg.Rounds, s.weights, cfg.QuantBits)
+		if err != nil {
+			return nil, err
+		}
+		s.group = group
+		init.Shards = cfg.ShardAddrs
+	}
+	for id, conn := range s.clients {
+		if err := conn.Send(init); err != nil {
+			return nil, fmt.Errorf("transport: send init to client %d: %w", id, err)
+		}
+	}
+	s.round = 1
+	return s.run()
+}
+
+// ResumeDurableServer restarts a crashed coordinator from its replayed
+// WAL (open the log with wal.Open first). No peer connections exist
+// yet: every client and shard re-establishes its link through
+// dur.Desk's Rejoin handshake as the resume needs it. The preamble
+// finishes the partial round exactly where the crash left it — the
+// logged seal is re-issued verbatim (direct) or re-derived from
+// re-sent uploads and verified bit-exact against the log (routed) —
+// and the loop then continues to cfg.Rounds. The caller owns log's
+// lifetime.
+func ResumeDurableServer(cfg ServerConfig, dur DurableServerConfig, log *wal.Log,
+	replayed []wal.Record, nClients, nShards int) ([]RoundRecord, error) {
+
+	s, err := newDurServer(cfg, dur, nClients, nShards, true)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	if len(replayed) == 0 {
+		return nil, fmt.Errorf("transport: resume: empty WAL replay")
+	}
+	rs, ok := replayed[0].(*wal.RunStart)
+	if !ok {
+		return nil, fmt.Errorf("transport: resume: log does not begin with RunStart")
+	}
+	if rs.RunID != dur.RunID {
+		return nil, fmt.Errorf("transport: resume: log belongs to run %#x, want %#x", rs.RunID, dur.RunID)
+	}
+	if rs.Kind != wal.KindCoordinator {
+		return nil, fmt.Errorf("transport: resume: log written by writer kind %d, not a coordinator", rs.Kind)
+	}
+	want := coordConf(cfg, nClients, nShards)
+	if len(rs.Conf) != len(want) {
+		return nil, fmt.Errorf("transport: resume: configuration fingerprint has %d fields, want %d", len(rs.Conf), len(want))
+	}
+	for i := range want {
+		if rs.Conf[i] != want[i] {
+			return nil, fmt.Errorf("transport: resume: configuration fingerprint field %d is %d, log has %d — refusing to replay under a different run configuration",
+				i, want[i], rs.Conf[i])
+		}
+	}
+	if len(rs.Weights) != nClients {
+		return nil, fmt.Errorf("transport: resume: log holds %d client weights, want %d", len(rs.Weights), nClients)
+	}
+	copy(s.weights, rs.Weights)
+	for _, w := range s.weights {
+		s.totalWeight += w
+	}
+
+	records, seal, release, err := replayRounds(replayed[1:])
+	if err != nil {
+		return nil, err
+	}
+	s.records = records
+	if cfg.Direct {
+		group, err := newDirectGroupState(make([]Conn, nShards), s.dim, s.weights, cfg.QuantBits)
+		if err != nil {
+			return nil, err
+		}
+		s.group = group
+	}
+	s.round = len(records) + 1
+	if s.round > cfg.Rounds {
+		if seal != nil {
+			return s.records, fmt.Errorf("transport: resume: seal for round %d past the final round %d", seal.Round, cfg.Rounds)
+		}
+		return s.records, nil
+	}
+	if seal != nil {
+		if cfg.Direct {
+			err = s.resumeDirectSeal(seal, release)
+		} else {
+			err = s.resumeRoutedSeal(seal, release)
+		}
+		if err != nil {
+			return s.records, err
+		}
+	}
+	return s.run()
+}
+
+func newDurServer(cfg ServerConfig, dur DurableServerConfig, nClients, nShards int, resume bool) (*durServer, error) {
+	if nClients < 1 {
+		return nil, fmt.Errorf("transport: durable server needs at least one client")
+	}
+	if cfg.QuantBits != 0 && (cfg.QuantBits < 2 || cfg.QuantBits > 64) {
+		return nil, fmt.Errorf("transport: QuantBits must be 0 (off) or in [2, 64], got %d", cfg.QuantBits)
+	}
+	if dur.RunID == 0 {
+		return nil, fmt.Errorf("transport: durable server needs a non-zero RunID (derive one with wal.RunID)")
+	}
+	if dur.Desk == nil {
+		return nil, fmt.Errorf("transport: durable server needs a RejoinDesk (durability implies recovery)")
+	}
+	if !cfg.Direct && nShards > 0 {
+		return nil, fmt.Errorf("transport: the durable coordinator does not support the routed shard tier — use Direct mode for durable sharding")
+	}
+	if cfg.Direct {
+		if nShards == 0 {
+			return nil, fmt.Errorf("transport: direct mode needs ShardConns (the coordinator no longer aggregates)")
+		}
+		if !resume && len(cfg.ShardAddrs) != nShards {
+			return nil, fmt.Errorf("transport: direct mode needs one ShardAddrs entry per shard (%d addrs for %d shards)",
+				len(cfg.ShardAddrs), nShards)
+		}
+		if len(cfg.ShardAddrs) != nShards {
+			// Resume starts with no shard directory — a restarted
+			// coordinator holds no connections at all. Every rejoining
+			// shard advertises its ingest address (awaitShard refills
+			// the slots), so redos after the resume still broadcast a
+			// correct directory.
+			cfg.ShardAddrs = make([]string, nShards)
+		}
+	}
+	s := &durServer{
+		cfg:            cfg,
+		dur:            dur,
+		dim:            len(cfg.InitialParams),
+		clients:        make([]Conn, nClients),
+		weights:        make([]float64, nClients),
+		strategy:       &gs.FABTopK{},
+		pendingClients: make(map[int]rejoinArrival),
+		pendingShards:  make(map[int]rejoinArrival),
+	}
+	if !cfg.Direct {
+		s.scratch = gs.NewAggScratch(0)
+		s.scratch.Reserve(s.dim)
+		s.uploads = make([]gs.ClientUpload, nClients)
+		s.seen = make([]int, s.dim)
+	}
+	return s, nil
+}
+
+// replayRounds rebuilds the finished rounds from the replayed records
+// and returns the trailing partial round's seal/release, if any.
+func replayRounds(recs []wal.Record) ([]RoundRecord, *wal.Seal, *wal.Release, error) {
+	var records []RoundRecord
+	var seal *wal.Seal
+	var release *wal.Release
+	for _, r := range recs {
+		next := len(records) + 1
+		switch r := r.(type) {
+		case *wal.Seal:
+			if seal != nil || r.Round != next {
+				return nil, nil, nil, fmt.Errorf("transport: resume: out-of-order seal for round %d (next round is %d)", r.Round, next)
+			}
+			seal = r
+		case *wal.Release:
+			if seal == nil || release != nil || r.Round != next {
+				return nil, nil, nil, fmt.Errorf("transport: resume: out-of-order release for round %d (next round is %d)", r.Round, next)
+			}
+			release = r
+		case *wal.Finish:
+			if seal == nil || release == nil || r.Round != next {
+				return nil, nil, nil, fmt.Errorf("transport: resume: finish for round %d without its seal and release", r.Round)
+			}
+			if len(r.Ints) != 1 || len(r.Floats) != 1 {
+				return nil, nil, nil, fmt.Errorf("transport: resume: finish for round %d carries %d ints and %d floats, want 1 and 1",
+					r.Round, len(r.Ints), len(r.Floats))
+			}
+			records = append(records, RoundRecord{Round: r.Round, Loss: r.Floats[0], DownlinkElems: int(r.Ints[0])})
+			seal, release = nil, nil
+		default:
+			return nil, nil, nil, fmt.Errorf("transport: resume: unexpected %T record in a coordinator log", r)
+		}
+	}
+	return records, seal, release, nil
+}
+
+// run drives rounds s.round..Rounds.
+func (s *durServer) run() ([]RoundRecord, error) {
+	for m := s.round; m <= s.cfg.Rounds; m++ {
+		s.round = m
+		var err error
+		if s.cfg.Direct {
+			err = s.directRound(m)
+		} else {
+			err = s.routedRound(m)
+		}
+		if err != nil {
+			return s.records, err
+		}
+	}
+	return s.records, nil
+}
+
+// --- WAL + crash hook ------------------------------------------------
+
+func (s *durServer) logSync(r wal.Record) error {
+	if err := s.log.Append(r); err != nil {
+		return fmt.Errorf("transport: wal append: %w", err)
+	}
+	if err := s.log.Sync(); err != nil {
+		return fmt.Errorf("transport: wal sync: %w", err)
+	}
+	return nil
+}
+
+// crashAt fires the crash hook; a non-nil return closes every peer
+// connection (process-death emulation: peers observe EOF and start
+// rejoining) and unwinds with the hook's error.
+func (s *durServer) crashAt(b Boundary, m int) error {
+	if s.dur.crash == nil {
+		return nil
+	}
+	if err := s.dur.crash(b, m); err != nil {
+		s.closeAll()
+		return err
+	}
+	return nil
+}
+
+func (s *durServer) closeAll() {
+	for _, c := range s.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	if s.group != nil {
+		for _, c := range s.group.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for _, a := range s.pendingClients {
+		a.conn.Close()
+	}
+	for _, a := range s.pendingShards {
+		a.conn.Close()
+	}
+}
+
+// --- rejoin plumbing -------------------------------------------------
+
+// msgRound extracts the round of a peer→coordinator protocol message,
+// for the universal discard-stale rule.
+func msgRound(msg any) (int, bool) {
+	switch m := msg.(type) {
+	case Upload:
+		return m.Round, true
+	case RoundMeta:
+		return m.Round, true
+	case ShardResult:
+		return m.Round, true
+	case FillCandidates:
+		return m.Round, true
+	}
+	return 0, false
+}
+
+// awaitClient blocks until client id rejoins (consulting the stash of
+// rejoins that arrived out of turn first), acks it with the current
+// round as NeedFrom, swaps the connection in, and returns the Rejoin.
+func (s *durServer) awaitClient(id int) (Rejoin, error) {
+	for {
+		if a, ok := s.pendingClients[id]; ok {
+			delete(s.pendingClients, id)
+			if rj, ok := s.adopt(&s.clients[id], a); ok {
+				return rj, nil
+			}
+			continue
+		}
+		if err := s.fillPending(fmt.Sprintf("client %d", id)); err != nil {
+			return Rejoin{}, err
+		}
+	}
+}
+
+// awaitShard is awaitClient for shard sid.
+func (s *durServer) awaitShard(sid int) (Rejoin, error) {
+	for {
+		if a, ok := s.pendingShards[sid]; ok {
+			delete(s.pendingShards, sid)
+			if rj, ok := s.adopt(&s.group.conns[sid], a); ok {
+				// Keep the client-facing directory current: after a
+				// coordinator resume the slot starts empty, and a
+				// restarted shard may listen on a new address.
+				if rj.Addr != "" && sid < len(s.cfg.ShardAddrs) {
+					s.cfg.ShardAddrs[sid] = rj.Addr
+				}
+				return rj, nil
+			}
+			continue
+		}
+		if err := s.fillPending(fmt.Sprintf("shard %d", sid)); err != nil {
+			return Rejoin{}, err
+		}
+	}
+}
+
+// adopt acks one rejoin arrival and swaps its connection into slot.
+// Returns false when the ack could not be delivered (the peer gave up
+// and will redial; wait for the next arrival).
+func (s *durServer) adopt(slot *Conn, a rejoinArrival) (Rejoin, bool) {
+	ack := RejoinAck{RunID: s.dur.RunID, Round: s.round, NeedFrom: s.round}
+	if err := a.conn.Send(ack); err != nil {
+		a.conn.Close()
+		return Rejoin{}, false
+	}
+	if *slot != nil {
+		(*slot).Close()
+	}
+	*slot = a.conn
+	return a.rj, true
+}
+
+// fillPending pulls one classified rejoin from the desk into the
+// stash, validating identity; who names the peer being waited on, for
+// the timeout error.
+func (s *durServer) fillPending(who string) error {
+	conn, rj, err := s.dur.Desk.Next(s.dur.rejoinTimeout())
+	if err != nil {
+		return fmt.Errorf("transport: link to %s lost and no rejoin arrived: %w", who, err)
+	}
+	if rj.RunID != s.dur.RunID {
+		conn.Close()
+		return nil
+	}
+	switch rj.Kind {
+	case RejoinClient:
+		if rj.ID < 0 || rj.ID >= len(s.clients) {
+			conn.Close()
+			return nil
+		}
+		if old, ok := s.pendingClients[rj.ID]; ok {
+			old.conn.Close() // superseded by a newer redial
+		}
+		s.pendingClients[rj.ID] = rejoinArrival{conn: conn, rj: rj}
+	case RejoinShard:
+		if s.group == nil || rj.ID < 0 || rj.ID >= len(s.group.conns) {
+			conn.Close()
+			return nil
+		}
+		if old, ok := s.pendingShards[rj.ID]; ok {
+			old.conn.Close()
+		}
+		s.pendingShards[rj.ID] = rejoinArrival{conn: conn, rj: rj}
+	default:
+		conn.Close()
+	}
+	return nil
+}
+
+// recvClientRound returns the next round-m-or-later message from
+// client id, discarding stale resends and recovering the link through
+// rejoins.
+func (s *durServer) recvClientRound(id, m int) (any, error) {
+	for {
+		if s.clients[id] == nil {
+			if _, err := s.awaitClient(id); err != nil {
+				return nil, err
+			}
+		}
+		msg, err := s.clients[id].Recv()
+		if err != nil {
+			s.clients[id].Close()
+			s.clients[id] = nil
+			continue
+		}
+		if r, ok := msgRound(msg); ok && r < m {
+			continue // stale resend: already consumed before a rejoin
+		}
+		return msg, nil
+	}
+}
+
+// sendClientGated delivers a round-m message to client id, recovering
+// through rejoins; a rejoining client that already holds round m
+// (LastSeal >= m) is skipped — and a duplicate would be discarded by
+// the client anyway.
+func (s *durServer) sendClientGated(id, m int, msg any) error {
+	for {
+		if s.clients[id] == nil {
+			rj, err := s.awaitClient(id)
+			if err != nil {
+				return err
+			}
+			if rj.LastSeal >= m {
+				return nil
+			}
+		}
+		if err := s.clients[id].Send(msg); err == nil {
+			return nil
+		}
+		s.clients[id].Close()
+		s.clients[id] = nil
+	}
+}
+
+// sendClientAlways is sendClientGated without the gate — for Redo,
+// which is idempotent at the client and not covered by LastSeal.
+func (s *durServer) sendClientAlways(id int, msg any) error {
+	for {
+		if s.clients[id] == nil {
+			if _, err := s.awaitClient(id); err != nil {
+				return err
+			}
+		}
+		if err := s.clients[id].Send(msg); err == nil {
+			return nil
+		}
+		s.clients[id].Close()
+		s.clients[id] = nil
+	}
+}
+
+// recvShardResult gathers shard sid's round-m reduction with full
+// validation (mirroring DirectGroup.Aggregate), recovering the link
+// through rejoins; a FRESH rejoin (the shard restarted empty) triggers
+// the redo flow: re-assign the shard at round m and point every client
+// at its new address to re-feed the barrier.
+func (s *durServer) recvShardResult(sid, m, maxLen int) (ShardResult, error) {
+	g := s.group
+	for {
+		if g.conns[sid] == nil {
+			rj, err := s.awaitShard(sid)
+			if err != nil {
+				return ShardResult{}, err
+			}
+			if rj.Fresh {
+				if err := s.redoShard(sid, m, rj); err != nil {
+					return ShardResult{}, err
+				}
+			}
+		}
+		msg, err := g.conns[sid].Recv()
+		if err != nil {
+			g.conns[sid].Close()
+			g.conns[sid] = nil
+			continue
+		}
+		if r, ok := msgRound(msg); ok && r < m {
+			continue
+		}
+		res, ok := msg.(ShardResult)
+		if !ok {
+			return ShardResult{}, fmt.Errorf("transport: round %d: shard %d sent %T, want ShardResult", m, sid, msg)
+		}
+		if res.Round != m || res.ShardID != sid {
+			return ShardResult{}, fmt.Errorf("transport: round %d: stale result (round %d from shard %d)", m, res.Round, res.ShardID)
+		}
+		if len(res.Idx) != len(res.Sum) || len(res.Idx) != len(res.MinRank) {
+			return ShardResult{}, fmt.Errorf("transport: round %d: shard %d result shape %d/%d/%d",
+				m, sid, len(res.Idx), len(res.Sum), len(res.MinRank))
+		}
+		for i, j := range res.Idx {
+			if j < g.bounds[sid] || j >= g.bounds[sid+1] || (i > 0 && j <= res.Idx[i-1]) {
+				return ShardResult{}, fmt.Errorf("transport: round %d: shard %d result index %d out of order or range", m, sid, j)
+			}
+			if r := res.MinRank[i]; r < 0 || r >= maxLen {
+				return ShardResult{}, fmt.Errorf("transport: round %d: shard %d result rank %d for index %d outside [0, %d)",
+					m, sid, r, j, maxLen)
+			}
+		}
+		return res, nil
+	}
+}
+
+// sendShardSeal delivers a round-m seal to shard sid, recovering
+// through rejoins. A FRESH rejoin here means the old shard died after
+// its result was consumed: when allowRedo, the redo flow reruns the
+// round-m barrier at the new shard (clients re-feed it from their
+// rings; the rebuilt reduction is bit-identical) and the seal is then
+// delivered on top; during a resume preamble redo is unsupported and
+// errors instead.
+func (s *durServer) sendShardSeal(sid, m int, seal RoundSeal, allowRedo bool) error {
+	g := s.group
+	for {
+		if g.conns[sid] == nil {
+			rj, err := s.awaitShard(sid)
+			if err != nil {
+				return err
+			}
+			if rj.Fresh {
+				if !allowRedo {
+					return fmt.Errorf("transport: resume: shard %d restarted empty while round %d's seal was being re-issued — restart it after the round finishes", sid, m)
+				}
+				if err := s.redoShard(sid, m, rj); err != nil {
+					return err
+				}
+			} else if rj.LastSeal >= m {
+				return nil
+			}
+		}
+		if err := g.conns[sid].Send(seal); err == nil {
+			return nil
+		}
+		g.conns[sid].Close()
+		g.conns[sid] = nil
+	}
+}
+
+// redoShard re-seats a shard that restarted with no state: send it a
+// round-m assignment (StartRound winds its barrier to the round in
+// progress), adopt its new ingest address, and tell every client to
+// re-dial it and resend their round-m slices. The rebuilt reduction is
+// bit-identical to the lost one — the clients' rings hold exact copies
+// of what they sent.
+func (s *durServer) redoShard(sid, m int, rj Rejoin) error {
+	g := s.group
+	assign := ShardAssign{ShardID: sid, NumShards: len(g.conns), Dim: s.dim, Rounds: s.cfg.Rounds,
+		Weights: append([]float64(nil), s.weights...), Direct: true, QuantBits: s.cfg.QuantBits, StartRound: m}
+	if err := g.conns[sid].Send(assign); err != nil {
+		return fmt.Errorf("transport: round %d: re-assigning restarted shard %d: %w", m, sid, err)
+	}
+	if sid < len(s.cfg.ShardAddrs) {
+		s.cfg.ShardAddrs[sid] = rj.Addr
+	}
+	redo := Redo{Round: m, ShardID: sid, Addr: rj.Addr}
+	for id := range s.clients {
+		if err := s.sendClientAlways(id, redo); err != nil {
+			return err
+		}
+	}
+	return nil
+}

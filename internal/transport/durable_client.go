@@ -1,0 +1,259 @@
+// The durable client: RunClient with rejoin-based recovery on every
+// link. The training body (runClientRounds) and therefore the rng
+// stream are untouched — durability is a property of the uplink and
+// downlink hooks only. Each link keeps a small ring of the last two
+// rounds' sent messages (deep copies — the protocol buffers are
+// reused); on any failure the client redials, re-identifies with a
+// Rejoin, and resends the ring from the coordinator's NeedFrom.
+// Receivers discard stale resends, so the conservative replay is
+// always safe.
+package transport
+
+import (
+	"fmt"
+
+	"fedsparse/internal/sparse"
+)
+
+// ringDepth is how many rounds of sent messages each durable link
+// buffers for rejoin resends. Two is exactly what recovery can owe: a
+// peer can be at most one full round behind the sender's current one.
+const ringDepth = 2
+
+// ringEntry is one round's buffered messages on one link.
+type ringEntry struct {
+	round int
+	msgs  []any
+}
+
+// ring is the fixed-depth resend buffer.
+type ring struct {
+	entries []ringEntry
+}
+
+// push appends msg to round's entry, opening (and trimming) as needed.
+func (r *ring) push(round int, msg any) {
+	n := len(r.entries)
+	if n == 0 || r.entries[n-1].round != round {
+		if n == ringDepth {
+			copy(r.entries, r.entries[1:])
+			r.entries[n-1] = ringEntry{round: round}
+		} else {
+			r.entries = append(r.entries, ringEntry{round: round})
+		}
+		n = len(r.entries)
+	}
+	r.entries[n-1].msgs = append(r.entries[n-1].msgs, msg)
+}
+
+// resend replays every buffered message with round >= needFrom, oldest
+// first, onto conn.
+func (r *ring) resend(conn Conn, needFrom int) error {
+	for _, e := range r.entries {
+		if e.round < needFrom {
+			continue
+		}
+		for _, m := range e.msgs {
+			if err := conn.Send(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// oldest returns the oldest buffered round (0 when empty).
+func (r *ring) oldest() int {
+	if len(r.entries) == 0 {
+		return 0
+	}
+	return r.entries[0].round
+}
+
+// DurableClientConfig parameterizes RunDurableClient's recovery.
+type DurableClientConfig struct {
+	// Redial re-establishes the coordinator control connection (e.g. a
+	// DialRetry closure). Required.
+	Redial func() (Conn, error)
+	// RedialShard re-establishes one shard data connection by ingest
+	// address (direct mode). Defaults to Redial's transport via Dial
+	// when nil — tests inject in-memory hubs here.
+	RedialShard func(addr string) (Conn, error)
+	// RejoinAttempts bounds each rejoin loop (default 10).
+	RejoinAttempts int
+}
+
+func (d DurableClientConfig) attempts() int {
+	if d.RejoinAttempts > 0 {
+		return d.RejoinAttempts
+	}
+	return 10
+}
+
+// coordLink is the durable control-plane connection to the
+// coordinator.
+type coordLink struct {
+	conn     Conn
+	id       int
+	runID    uint64
+	round    int // round currently acted in (Rejoin.Round)
+	lastSeal int // last round whose broadcast/release was received
+	ring     ring
+	dur      DurableClientConfig
+}
+
+// rejoin redials the coordinator and splices this link back into the
+// run: send the Rejoin, await the ack (deadline-bounded), resend the
+// ring from the coordinator's NeedFrom. Bounded attempts; dial-level
+// retry lives inside dur.Redial.
+func (l *coordLink) rejoin() error {
+	var lastErr error
+	for attempt := 0; attempt < l.dur.attempts(); attempt++ {
+		conn, err := l.dur.Redial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rj := Rejoin{RunID: l.runID, Kind: RejoinClient, ID: l.id, Round: l.round, LastSeal: l.lastSeal}
+		if err := conn.Send(rj); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		msg, err := recvDeadline(conn, handshakeTimeout)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		ack, ok := msg.(RejoinAck)
+		if !ok {
+			conn.Close()
+			lastErr = fmt.Errorf("expected RejoinAck, got %T", msg)
+			continue
+		}
+		if ack.RunID != l.runID {
+			conn.Close()
+			return fmt.Errorf("transport: client %d rejoined run %#x, coordinator is running %#x", l.id, l.runID, ack.RunID)
+		}
+		if err := l.ring.resend(conn, ack.NeedFrom); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		if l.conn != nil {
+			l.conn.Close()
+		}
+		l.conn = conn
+		return nil
+	}
+	return fmt.Errorf("transport: client %d could not rejoin the coordinator after %d attempts: %v", l.id, l.dur.attempts(), lastErr)
+}
+
+// send buffers msg in the ring and delivers it; on failure the link
+// rejoins (the ring resend carries the delivery) and reports success.
+func (l *coordLink) send(round int, msg any) error {
+	l.ring.push(round, msg)
+	if l.conn != nil {
+		if err := l.conn.Send(msg); err == nil {
+			return nil
+		}
+		l.conn.Close()
+		l.conn = nil
+	}
+	return l.rejoin()
+}
+
+// recv returns the next control message, rejoining on failure.
+func (l *coordLink) recv() (any, error) {
+	for {
+		if l.conn == nil {
+			if err := l.rejoin(); err != nil {
+				return nil, err
+			}
+		}
+		msg, err := l.conn.Recv()
+		if err != nil {
+			l.conn.Close()
+			l.conn = nil
+			continue
+		}
+		return msg, nil
+	}
+}
+
+// RunDurableClient is RunClient with rejoin-based recovery: the
+// initial Hello/Init handshake is plain (a client that cannot even
+// enroll fails loudly), and every later exchange survives coordinator
+// restarts, shard restarts (via the coordinator's Redo flow), and
+// dropped connections. Requires a durable coordinator (the Init must
+// carry its RunID) and, in direct mode, durable shards (plain shards
+// cannot accept a reconnect).
+func RunDurableClient(conn Conn, cfg ClientConfig, dur DurableClientConfig) error {
+	if dur.Redial == nil {
+		return fmt.Errorf("transport: client %d: durable client needs a Redial hook", cfg.ID)
+	}
+	if err := conn.Send(Hello{ClientID: cfg.ID, Weight: float64(cfg.Data.Len())}); err != nil {
+		return fmt.Errorf("transport: client %d hello: %w", cfg.ID, err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("transport: client %d init recv: %w", cfg.ID, err)
+	}
+	init, ok := msg.(Init)
+	if !ok {
+		return fmt.Errorf("transport: client %d expected Init, got %T", cfg.ID, msg)
+	}
+	if init.RunID == 0 {
+		return fmt.Errorf("transport: client %d: coordinator is not durable (Init carries no RunID)", cfg.ID)
+	}
+	link := &coordLink{conn: conn, id: cfg.ID, runID: init.RunID, dur: dur}
+	if len(init.Shards) > 0 {
+		return runDurableClientDirect(link, cfg, init)
+	}
+	return runDurableClientRouted(link, cfg, init)
+}
+
+// runDurableClientRouted wires the routed data plane through the
+// durable coordinator link: uploads are deep-copied into the ring
+// (the protocol buffers are reused across rounds), and the downlink
+// discards broadcasts staler than the awaited round.
+func runDurableClientRouted(link *coordLink, cfg ClientConfig, init Init) error {
+	uplink := func(m int, pairs sparse.Vec, scale, batchLoss float64) error {
+		link.round = m
+		up := Upload{
+			ClientID:  cfg.ID,
+			Round:     m,
+			Idx:       append([]int(nil), pairs.Idx...),
+			Val:       append([]float64(nil), pairs.Val...),
+			BatchLoss: batchLoss,
+			Bits:      init.QuantBits,
+			Scale:     scale,
+		}
+		if err := link.send(m, up); err != nil {
+			return fmt.Errorf("transport: client %d round %d send: %w", cfg.ID, m, err)
+		}
+		return nil
+	}
+	downlink := func(m int) ([]int, []float64, error) {
+		for {
+			msg, err := link.recv()
+			if err != nil {
+				return nil, nil, fmt.Errorf("transport: client %d round %d recv: %w", cfg.ID, m, err)
+			}
+			bc, ok := msg.(Broadcast)
+			if !ok {
+				return nil, nil, fmt.Errorf("transport: client %d round %d: bad broadcast %T", cfg.ID, m, msg)
+			}
+			if bc.Round < m {
+				continue // stale resend of an already-applied round
+			}
+			if bc.Round != m {
+				return nil, nil, fmt.Errorf("transport: client %d round %d: broadcast for round %d", cfg.ID, m, bc.Round)
+			}
+			link.lastSeal = m
+			return bc.Idx, bc.Val, nil
+		}
+	}
+	return runClientRounds(cfg, init, uplink, downlink)
+}

@@ -1,0 +1,567 @@
+// The durable direct shard: RunDirectShard with rejoin-based recovery
+// on every link. The round body — barrier, range reduction, fill
+// service, seal, downlink serve — is the plain shard's, and the
+// reduction arithmetic is untouched; durability adds (a) a control
+// link that rejoins the coordinator and re-offers its last ShardResult
+// (the only message the coordinator could have lost), (b) a data desk
+// that keeps accepting client ingest connections for the whole run, so
+// a client that redials mid-round is re-seated at the barrier, and (c)
+// a fresh-start mode for a shard process that restarted with no state:
+// it announces itself with Rejoin{Fresh: true} and the coordinator's
+// redo flow re-assigns it at the round in progress and points every
+// client at its new ingest address.
+package transport
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"fedsparse/internal/gs"
+	"fedsparse/internal/sparse"
+	"fedsparse/internal/tensor"
+)
+
+// DurableShardConfig parameterizes RunDurableDirectShard.
+type DurableShardConfig struct {
+	// RunID is the durable run's identity (must match the
+	// coordinator's).
+	RunID uint64
+	// ShardID is this shard's identity in the partition.
+	ShardID int
+	// Addr is the ingest address the shard advertises (ShardHello on a
+	// fresh run, Rejoin.Addr on a fresh restart — the coordinator's
+	// Redo re-points clients here).
+	Addr string
+	// Fresh marks a shard process that restarted with no state: it
+	// joins through the Rejoin handshake and receives a mid-run
+	// ShardAssign (StartRound = the round in progress) instead of
+	// opening with ShardHello.
+	Fresh bool
+	// Dial establishes (and re-establishes) the coordinator control
+	// connection. Required.
+	Dial func() (Conn, error)
+	// AcceptData accepts one client ingest connection (e.g. a
+	// Listener.Accept closure). Required. It is called from a
+	// background goroutine for the whole run; it should return an
+	// error once its listener closes.
+	AcceptData func() (Conn, error)
+	// RejoinAttempts bounds each coordinator rejoin loop (default 10).
+	RejoinAttempts int
+	// BarrierTimeout bounds each wait for a (re)connecting client at
+	// the barrier (default 30s).
+	BarrierTimeout time.Duration
+
+	// killAfter is the test hook: when > 0, the shard closes every
+	// connection and unwinds with an error after fully serving round
+	// killAfter — emulating a shard process death between rounds.
+	killAfter int
+}
+
+func (d DurableShardConfig) attempts() int {
+	if d.RejoinAttempts > 0 {
+		return d.RejoinAttempts
+	}
+	return 10
+}
+
+func (d DurableShardConfig) barrierTimeout() time.Duration {
+	if d.BarrierTimeout > 0 {
+		return d.BarrierTimeout
+	}
+	return 30 * time.Second
+}
+
+// dataDesk accepts, classifies, and stages client ingest connections
+// for the whole run: every accepted connection's DataHello is
+// validated against the shard's geometry, then the connection waits in
+// its client's slot until the barrier pulls it. A redialing client
+// simply queues a replacement — the dead predecessor surfaces as a
+// recv error and is discarded.
+type dataDesk struct {
+	shardID, nShards, dim, nClients int
+
+	ch   []chan Conn
+	done chan struct{}
+	once sync.Once
+}
+
+func newDataDesk(accept func() (Conn, error), shardID, nShards, dim, nClients int) *dataDesk {
+	d := &dataDesk{
+		shardID:  shardID,
+		nShards:  nShards,
+		dim:      dim,
+		nClients: nClients,
+		ch:       make([]chan Conn, nClients),
+		done:     make(chan struct{}),
+	}
+	for i := range d.ch {
+		d.ch[i] = make(chan Conn, 2)
+	}
+	go func() {
+		for {
+			conn, err := accept()
+			if err != nil {
+				return
+			}
+			go d.handshake(conn)
+		}
+	}()
+	return d
+}
+
+// handshake validates one accepted connection's DataHello and stages
+// it; anything else — a stray, a stale directory, an out-of-range
+// identity — is closed.
+func (d *dataDesk) handshake(conn Conn) {
+	p, err := AcceptPeer(conn)
+	if err != nil || p.Data == nil {
+		conn.Close()
+		return
+	}
+	h := p.Data
+	if h.ShardID != d.shardID || h.NumShards != d.nShards || h.Dim != d.dim ||
+		h.ClientID < 0 || h.ClientID >= d.nClients {
+		conn.Close()
+		return
+	}
+	select {
+	case d.ch[h.ClientID] <- conn:
+	case <-d.done:
+		conn.Close()
+	}
+}
+
+// next returns client ci's staged connection, waiting up to timeout.
+func (d *dataDesk) next(ci int, timeout time.Duration) (Conn, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case conn := <-d.ch[ci]:
+		return conn, nil
+	case <-t.C:
+		return nil, fmt.Errorf("no ingest connection from client %d within %v", ci, timeout)
+	case <-d.done:
+		return nil, fmt.Errorf("data desk closed")
+	}
+}
+
+// close stops staging and discards every staged connection. The accept
+// loop itself unwinds when the caller's listener closes.
+func (d *dataDesk) close() {
+	d.once.Do(func() { close(d.done) })
+	for _, ch := range d.ch {
+		for {
+			select {
+			case conn := <-ch:
+				conn.Close()
+			default:
+			}
+			break
+		}
+	}
+}
+
+// shardCtl is the shard's durable control link to the coordinator. Its
+// resend buffer is exactly one message deep: the last ShardResult is
+// the only shard→coordinator message recovery can owe (fill replies
+// are never resent — the coordinator re-queries fill from scratch when
+// it recomputes a round).
+type shardCtl struct {
+	conn       Conn
+	runID      uint64
+	shardID    int
+	addr       string
+	round      int
+	lastSeal   int
+	lastResult ShardResult // deep copy; Round == 0 means none yet
+	dial       func() (Conn, error)
+	attempts   int
+}
+
+// rejoin redials the coordinator, re-identifies with a (non-fresh)
+// Rejoin — the shard still holds its round state — and re-offers the
+// last result if the coordinator's NeedFrom asks for it.
+func (c *shardCtl) rejoin() error {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		conn, err := c.dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rj := Rejoin{RunID: c.runID, Kind: RejoinShard, ID: c.shardID, Round: c.round, LastSeal: c.lastSeal, Addr: c.addr}
+		if err := conn.Send(rj); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		msg, err := recvDeadline(conn, handshakeTimeout)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		ack, ok := msg.(RejoinAck)
+		if !ok {
+			conn.Close()
+			lastErr = fmt.Errorf("expected RejoinAck, got %T", msg)
+			continue
+		}
+		if ack.RunID != c.runID {
+			conn.Close()
+			return fmt.Errorf("transport: shard %d rejoined run %#x, coordinator is running %#x", c.shardID, c.runID, ack.RunID)
+		}
+		if c.lastResult.Round >= ack.NeedFrom && c.lastResult.Round > 0 {
+			if err := conn.Send(c.lastResult); err != nil {
+				conn.Close()
+				lastErr = err
+				continue
+			}
+		}
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.conn = conn
+		return nil
+	}
+	return fmt.Errorf("transport: shard %d could not rejoin the coordinator after %d attempts: %v", c.shardID, c.attempts, lastErr)
+}
+
+// sendResult deep-copies res into the resend buffer and delivers it;
+// on failure the rejoin's re-offer carries the delivery.
+func (c *shardCtl) sendResult(res ShardResult) error {
+	c.lastResult = ShardResult{Round: res.Round, ShardID: res.ShardID,
+		Idx:     append([]int(nil), res.Idx...),
+		Sum:     append([]float64(nil), res.Sum...),
+		MinRank: append([]int(nil), res.MinRank...)}
+	if c.conn != nil {
+		if err := c.conn.Send(res); err == nil {
+			return nil
+		}
+		c.conn.Close()
+		c.conn = nil
+	}
+	return c.rejoin()
+}
+
+// send delivers a non-buffered control message (fill replies),
+// rejoining on failure — the reply itself is NOT re-sent: the
+// coordinator that lost it recomputes the round and queries fill
+// afresh.
+func (c *shardCtl) send(msg any) error {
+	for {
+		if c.conn == nil {
+			if err := c.rejoin(); err != nil {
+				return err
+			}
+		}
+		if err := c.conn.Send(msg); err == nil {
+			return nil
+		}
+		c.conn.Close()
+		c.conn = nil
+		if err := c.rejoin(); err != nil {
+			return err
+		}
+		return nil // delivered by recomputation, not by resend
+	}
+}
+
+// recv returns the next control message, rejoining on failure.
+func (c *shardCtl) recv() (any, error) {
+	for {
+		if c.conn == nil {
+			if err := c.rejoin(); err != nil {
+				return nil, err
+			}
+		}
+		msg, err := c.conn.Recv()
+		if err != nil {
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		return msg, nil
+	}
+}
+
+// RunDurableDirectShard executes one durable aggregation shard of the
+// direct data plane. A fresh run opens with ShardHello and starts at
+// round 1; a fresh restart (cfg.Fresh) opens with Rejoin{Fresh: true}
+// and receives a mid-run assignment whose StartRound winds the barrier
+// to the round in progress — the clients re-feed it from their resend
+// rings, so the rebuilt reduction is bit-identical to the lost one.
+// Client ingest connections are accepted for the whole run through
+// cfg.AcceptData; a client that redials is re-seated wherever the
+// round is. Returns when the assigned rounds are done.
+func RunDurableDirectShard(cfg DurableShardConfig) error {
+	if cfg.Dial == nil || cfg.AcceptData == nil {
+		return fmt.Errorf("transport: durable shard %d needs Dial and AcceptData hooks", cfg.ShardID)
+	}
+	if cfg.RunID == 0 {
+		return fmt.Errorf("transport: durable shard %d needs a non-zero RunID", cfg.ShardID)
+	}
+	ctl := &shardCtl{runID: cfg.RunID, shardID: cfg.ShardID, addr: cfg.Addr,
+		dial: cfg.Dial, attempts: cfg.attempts()}
+	conn, err := cfg.Dial()
+	if err != nil {
+		return fmt.Errorf("transport: shard %d dial coordinator: %w", cfg.ShardID, err)
+	}
+	ctl.conn = conn
+	defer func() {
+		if ctl.conn != nil {
+			ctl.conn.Close()
+		}
+	}()
+	if cfg.Fresh {
+		rj := Rejoin{RunID: cfg.RunID, Kind: RejoinShard, ID: cfg.ShardID, Fresh: true, Addr: cfg.Addr}
+		if err := conn.Send(rj); err != nil {
+			return fmt.Errorf("transport: fresh shard %d rejoin: %w", cfg.ShardID, err)
+		}
+		msg, err := recvDeadline(conn, handshakeTimeout)
+		if err != nil {
+			return fmt.Errorf("transport: fresh shard %d rejoin ack: %w", cfg.ShardID, err)
+		}
+		ack, ok := msg.(RejoinAck)
+		if !ok {
+			return fmt.Errorf("transport: fresh shard %d expected RejoinAck, got %T", cfg.ShardID, msg)
+		}
+		if ack.RunID != cfg.RunID {
+			return fmt.Errorf("transport: fresh shard %d joined run %#x, coordinator is running %#x", cfg.ShardID, cfg.RunID, ack.RunID)
+		}
+	} else {
+		if err := conn.Send(ShardHello{Addr: cfg.Addr, ID: cfg.ShardID, HasID: true}); err != nil {
+			return fmt.Errorf("transport: shard %d hello: %w", cfg.ShardID, err)
+		}
+	}
+	msg, err := recvDeadline(conn, handshakeTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: shard %d assign recv: %w", cfg.ShardID, err)
+	}
+	assign, ok := msg.(ShardAssign)
+	if !ok {
+		return fmt.Errorf("transport: shard %d expected ShardAssign, got %T", cfg.ShardID, msg)
+	}
+	if assign.ShardID != cfg.ShardID {
+		return fmt.Errorf("transport: shard %d received shard %d's assignment", cfg.ShardID, assign.ShardID)
+	}
+	if assign.NumShards < 1 || assign.ShardID < 0 || assign.ShardID >= assign.NumShards {
+		return fmt.Errorf("transport: shard id %d out of range [0, %d)", assign.ShardID, assign.NumShards)
+	}
+	if assign.Dim < 1 || assign.Rounds < 0 || len(assign.Weights) == 0 {
+		return fmt.Errorf("transport: bad shard assignment (dim=%d rounds=%d clients=%d)",
+			assign.Dim, assign.Rounds, len(assign.Weights))
+	}
+	if !assign.Direct {
+		return fmt.Errorf("transport: routed assignment sent to a direct shard (the durable shard tier is direct-only)")
+	}
+	start := assign.StartRound
+	if start <= 0 {
+		start = 1
+	}
+	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
+	n := len(assign.Weights)
+
+	desk := newDataDesk(cfg.AcceptData, assign.ShardID, assign.NumShards, assign.Dim, n)
+	defer desk.close()
+	conns := make([]Conn, n) // nil = not (re)connected yet
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	scratch := gs.NewAggScratch(0)
+	scratch.Reserve(assign.Dim)
+	uploads := make([]gs.ClientUpload, n)
+	ranks := make([][]int, n)
+	for ci := range uploads {
+		uploads[ci].Weight = assign.Weights[ci]
+	}
+	seen := make([]int, assign.Dim)
+	seenToken := 0
+	var fill []gs.FillCand
+	var fillClient, fillIdx []int
+	var fillAbs []float64
+	var sealIdx []int
+	var sealVal []float64
+	var sealBits int
+	var sealScale float64
+
+	// recvData returns client ci's next data message at round m,
+	// re-seating the connection from the desk on any failure and
+	// discarding stale resends (a reconnecting client conservatively
+	// replays its ring; consumed rounds die here).
+	recvData := func(ci, m int, serving bool) (any, error) {
+		for {
+			if conns[ci] == nil {
+				c, err := desk.next(ci, cfg.barrierTimeout())
+				if err != nil {
+					return nil, fmt.Errorf("transport: shard %d round %d: %w", assign.ShardID, m, err)
+				}
+				conns[ci] = c
+			}
+			msg, err := conns[ci].Recv()
+			if err != nil {
+				conns[ci].Close()
+				conns[ci] = nil
+				continue
+			}
+			switch v := msg.(type) {
+			case SliceUpload:
+				// While serving round m's downlink, round m's own slice is
+				// also stale — the barrier consumed the original.
+				if v.Round < m || (serving && v.Round == m) {
+					continue
+				}
+			case SliceFetch:
+				if v.Round < m {
+					continue
+				}
+			}
+			return msg, nil
+		}
+	}
+
+	ctl.round = start
+	for m := start; m <= assign.Rounds; m++ {
+		ctl.round = m
+		// The client barrier, with re-seating: one validated slice per
+		// client completes the range, exactly as in RunDirectShard.
+		for ci := range conns {
+			msg, err := recvData(ci, m, false)
+			if err != nil {
+				return err
+			}
+			up, ok := msg.(SliceUpload)
+			if !ok {
+				return fmt.Errorf("transport: shard %d round %d: client %d sent %T, want SliceUpload", assign.ShardID, m, ci, msg)
+			}
+			if up.Round != m {
+				return fmt.Errorf("transport: shard %d round %d: slice from client %d for round %d — skipped upload",
+					assign.ShardID, m, ci, up.Round)
+			}
+			if up.ClientID != ci {
+				return fmt.Errorf("transport: shard %d round %d: slice on client %d's connection claims client %d",
+					assign.ShardID, m, ci, up.ClientID)
+			}
+			if up.Bits != assign.QuantBits {
+				return fmt.Errorf("transport: shard %d round %d: client %d slice at %d-bit quantization, run uses %d",
+					assign.ShardID, m, ci, up.Bits, assign.QuantBits)
+			}
+			seenToken++
+			if err := gs.ValidateRangeSlice(up.Idx, up.Val, up.Rank, lo, hi, seen, seenToken); err != nil {
+				return fmt.Errorf("transport: shard %d round %d: client %d slice: %w", assign.ShardID, m, ci, err)
+			}
+			uploads[ci].Pairs = sparse.Vec{Idx: up.Idx, Val: up.Val}
+			ranks[ci] = up.Rank
+		}
+		red := gs.RangeReduceInto(scratch, uploads, ranks, lo, hi)
+		if err := ctl.sendResult(ShardResult{Round: m, ShardID: assign.ShardID, Idx: red.Idx, Sum: red.Sum, MinRank: red.MinRank}); err != nil {
+			return fmt.Errorf("transport: shard %d round %d result: %w", assign.ShardID, m, err)
+		}
+		// Control loop: serve fill queries until the round's seal,
+		// discarding stale control messages a coordinator restart may
+		// replay.
+		for {
+			msg, err := ctl.recv()
+			if err != nil {
+				return fmt.Errorf("transport: shard %d round %d control recv: %w", assign.ShardID, m, err)
+			}
+			if q, ok := msg.(FillQuery); ok {
+				if q.Round < m {
+					continue
+				}
+				if q.Round != m {
+					return fmt.Errorf("transport: shard %d round %d: fill query for round %d", assign.ShardID, m, q.Round)
+				}
+				fill = gs.AppendFillCands(fill[:0], uploads, ranks, q.Kappa)
+				fillClient, fillIdx, fillAbs = fillClient[:0], fillIdx[:0], fillAbs[:0]
+				for _, c := range fill {
+					fillClient = append(fillClient, c.Client)
+					fillIdx = append(fillIdx, c.Idx)
+					fillAbs = append(fillAbs, c.AbsVal)
+				}
+				reply := FillCandidates{Round: m, ShardID: assign.ShardID, Client: fillClient, Idx: fillIdx, AbsVal: fillAbs}
+				if err := ctl.send(reply); err != nil {
+					return fmt.Errorf("transport: shard %d round %d fill send: %w", assign.ShardID, m, err)
+				}
+				continue
+			}
+			seal, ok := msg.(RoundSeal)
+			if !ok {
+				return fmt.Errorf("transport: shard %d round %d: expected FillQuery or RoundSeal, got %T", assign.ShardID, m, msg)
+			}
+			if seal.Round < m {
+				continue
+			}
+			if seal.Round != m {
+				return fmt.Errorf("transport: shard %d round %d: seal for round %d", assign.ShardID, m, seal.Round)
+			}
+			if seal.Bits != assign.QuantBits {
+				return fmt.Errorf("transport: shard %d round %d: seal at %d-bit quantization, run uses %d",
+					assign.ShardID, m, seal.Bits, assign.QuantBits)
+			}
+			if math.IsNaN(seal.Scale) || math.IsInf(seal.Scale, 0) || seal.Scale < 0 {
+				return fmt.Errorf("transport: shard %d round %d: seal scale %v is not a finite non-negative real",
+					assign.ShardID, m, seal.Scale)
+			}
+			sealIdx, sealVal, err = gs.BuildDownlinkSlice(sealIdx[:0], sealVal[:0], seal.Members, red, lo, hi)
+			if err != nil {
+				return fmt.Errorf("transport: shard %d round %d seal: %w", assign.ShardID, m, err)
+			}
+			if seal.Bits > 0 {
+				sparse.QuantizeToScale(sealVal, seal.Bits, seal.Scale)
+			}
+			sealBits, sealScale = seal.Bits, seal.Scale
+			break
+		}
+		ctl.lastSeal = m
+		// The downlink serve, with re-seating: a client whose fetch link
+		// broke redials and replays slice + fetch; the stale slice dies
+		// in recvData and the fetch is served on the new connection.
+		for ci := range conns {
+			for {
+				msg, err := recvData(ci, m, true)
+				if err != nil {
+					return err
+				}
+				f, ok := msg.(SliceFetch)
+				if !ok {
+					return fmt.Errorf("transport: shard %d round %d: client %d sent %T, want SliceFetch", assign.ShardID, m, ci, msg)
+				}
+				if f.Round != m {
+					return fmt.Errorf("transport: shard %d round %d: fetch from client %d for round %d", assign.ShardID, m, ci, f.Round)
+				}
+				if f.ClientID != ci {
+					return fmt.Errorf("transport: shard %d round %d: fetch on client %d's connection claims client %d",
+						assign.ShardID, m, ci, f.ClientID)
+				}
+				sb := SliceBroadcast{Round: m, ShardID: assign.ShardID, Idx: sealIdx, Val: sealVal, Bits: sealBits, Scale: sealScale}
+				if err := conns[ci].Send(sb); err != nil {
+					// The client redialed mid-fetch: discard the link and
+					// serve its replayed fetch on the replacement.
+					conns[ci].Close()
+					conns[ci] = nil
+					continue
+				}
+				break
+			}
+		}
+		if cfg.killAfter > 0 && m == cfg.killAfter {
+			ctl.conn.Close()
+			ctl.conn = nil
+			for _, c := range conns {
+				if c != nil {
+					c.Close()
+				}
+			}
+			return fmt.Errorf("transport: shard %d killed by test hook after round %d", assign.ShardID, m)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Seeded fault injection for the protocol and recovery test suites.
+// FaultConn generalizes the earlier FlakyConn (which only failed sends
+// after a count) into the failure modes a real deployment meets:
+// send/recv errors, clean closes, TCP hard resets, byte-level frame
+// corruption, and jittered delivery delays — all driven by a
+// deterministic seeded rng so a failing chaos run reproduces exactly.
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the failure produced by FaultConn's error modes.
+var ErrInjected = errors.New("transport: injected failure")
+
+// FaultMode selects what a FaultConn does once its operation counter
+// passes the configured threshold.
+type FaultMode int
+
+const (
+	// FaultFailSend fails every Send past the threshold with
+	// ErrInjected, leaving the connection open (the legacy FlakyConn
+	// behavior: the caller sees the error first).
+	FaultFailSend FaultMode = iota
+	// FaultFailRecv fails every Recv past the threshold.
+	FaultFailRecv
+	// FaultClose closes the underlying connection on the first Send
+	// past the threshold — the peer observes a clean EOF.
+	FaultClose
+	// FaultRST hard-resets the raw TCP connection (SO_LINGER 0) on the
+	// first Send past the threshold — the peer observes ECONNRESET.
+	// Without a raw conn it degrades to FaultClose.
+	FaultRST
+	// FaultCorrupt writes a garbage frame to the raw connection on the
+	// first Send past the threshold, then closes — the peer's codec
+	// observes a malformed frame, not a clean EOF. Without a raw conn
+	// it degrades to FaultClose.
+	FaultCorrupt
+	// FaultDelay never fails: every operation is delayed by a seeded
+	// random duration up to the configured maximum.
+	FaultDelay
+)
+
+// FaultConn wraps a Conn with one seeded failure mode. After counts
+// successful Sends (Recvs for FaultFailRecv) before the fault fires.
+type FaultConn struct {
+	Inner Conn
+	// Raw, when set, exposes the byte-level connection beneath Inner so
+	// FaultRST and FaultCorrupt can misbehave below the codec.
+	Raw net.Conn
+
+	mode     FaultMode
+	after    int
+	maxDelay time.Duration
+
+	mu           sync.Mutex
+	rng          *rand.Rand
+	sends, recvs int
+	fired        bool
+}
+
+// NewFaultConn wraps inner with the given mode, firing after `after`
+// successful operations, with all randomness drawn from seed.
+func NewFaultConn(inner Conn, mode FaultMode, after int, seed int64) *FaultConn {
+	return &FaultConn{
+		Inner:    inner,
+		mode:     mode,
+		after:    after,
+		maxDelay: 2 * time.Millisecond,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// WithRaw attaches the byte-level conn used by FaultRST/FaultCorrupt.
+func (f *FaultConn) WithRaw(raw net.Conn) *FaultConn {
+	f.Raw = raw
+	return f
+}
+
+// WithMaxDelay sets FaultDelay's per-operation delay bound.
+func (f *FaultConn) WithMaxDelay(d time.Duration) *FaultConn {
+	f.maxDelay = d
+	return f
+}
+
+// fire executes the connection-killing modes, once.
+func (f *FaultConn) fire() {
+	if f.fired {
+		return
+	}
+	f.fired = true
+	switch f.mode {
+	case FaultRST:
+		if tcp, ok := f.Raw.(*net.TCPConn); ok {
+			tcp.SetLinger(0)
+			tcp.Close()
+			return
+		}
+		f.Inner.Close()
+	case FaultCorrupt:
+		if f.Raw != nil {
+			// A frame header claiming far more bytes than maxFrame
+			// allows: the peer's codec rejects it as corruption rather
+			// than seeing EOF.
+			f.Raw.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xee, 0xdd})
+			f.Raw.Close()
+			return
+		}
+		f.Inner.Close()
+	default: // FaultClose
+		f.Inner.Close()
+	}
+}
+
+func (f *FaultConn) Send(msg any) error {
+	f.mu.Lock()
+	f.sends++
+	past := f.sends > f.after
+	var sleep time.Duration
+	if f.mode == FaultDelay && f.maxDelay > 0 {
+		sleep = time.Duration(f.rng.Int63n(int64(f.maxDelay)))
+	}
+	var fireNow bool
+	switch f.mode {
+	case FaultFailSend:
+		if past {
+			f.mu.Unlock()
+			return ErrInjected
+		}
+	case FaultClose, FaultRST, FaultCorrupt:
+		if past {
+			fireNow = true
+		}
+	}
+	if fireNow {
+		f.fire()
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	f.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return f.Inner.Send(msg)
+}
+
+func (f *FaultConn) Recv() (any, error) {
+	f.mu.Lock()
+	f.recvs++
+	past := f.recvs > f.after
+	var sleep time.Duration
+	if f.mode == FaultDelay && f.maxDelay > 0 {
+		sleep = time.Duration(f.rng.Int63n(int64(f.maxDelay)))
+	}
+	if f.mode == FaultFailRecv && past {
+		f.mu.Unlock()
+		return nil, ErrInjected
+	}
+	f.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return f.Inner.Recv()
+}
+
+func (f *FaultConn) Close() error { return f.Inner.Close() }

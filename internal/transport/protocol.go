@@ -66,15 +66,21 @@ type ServerConfig struct {
 // shard's ingest plane) is non-nil. AcceptPeer lets one listener serve
 // every role.
 type Peer struct {
-	Conn  Conn
-	Hello *Hello
-	Shard *ShardHello
-	Data  *DataHello
+	Conn   Conn
+	Hello  *Hello
+	Shard  *ShardHello
+	Data   *DataHello
+	Rejoin *Rejoin
 }
+
+// handshakeTimeout bounds the first Recv of every handshake: a peer
+// that connects and then says nothing must not park an accept loop
+// forever. Deadline expiry surfaces as ErrClosed via closedConnErr.
+var handshakeTimeout = 30 * time.Second
 
 // AcceptPeer reads a connection's first message and classifies the peer.
 func AcceptPeer(conn Conn) (Peer, error) {
-	msg, err := conn.Recv()
+	msg, err := recvDeadline(conn, handshakeTimeout)
 	if err != nil {
 		return Peer{}, fmt.Errorf("transport: peer handshake recv: %w", err)
 	}
@@ -85,8 +91,10 @@ func AcceptPeer(conn Conn) (Peer, error) {
 		return Peer{Conn: conn, Shard: &h}, nil
 	case DataHello:
 		return Peer{Conn: conn, Data: &h}, nil
+	case Rejoin:
+		return Peer{Conn: conn, Rejoin: &h}, nil
 	default:
-		return Peer{}, fmt.Errorf("transport: expected Hello, ShardHello, or DataHello, got %T", msg)
+		return Peer{}, fmt.Errorf("transport: expected Hello, ShardHello, DataHello, or Rejoin, got %T", msg)
 	}
 }
 
@@ -104,6 +112,44 @@ func SplitShardPeers(shards []Peer) ([]Conn, []string) {
 		}
 	}
 	return conns, addrs
+}
+
+// SeatShardPeers orders classified shard peers by declared identity: a
+// peer whose ShardHello carries HasID is seated at index ID, and peers
+// without one fill the remaining slots in arrival order. Real processes
+// enroll in whatever order the network delivers them, so a durable
+// shard started with a stable `-id` must be seated by declaration — by
+// arrival it could receive (and refuse) another shard's assignment.
+// Duplicate or out-of-range declared identities error.
+func SeatShardPeers(shards []Peer) ([]Peer, error) {
+	n := len(shards)
+	seated := make([]Peer, n)
+	taken := make([]bool, n)
+	var undeclared []Peer
+	for _, p := range shards {
+		if p.Shard == nil || !p.Shard.HasID {
+			undeclared = append(undeclared, p)
+			continue
+		}
+		id := p.Shard.ID
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("transport: shard declared id %d outside [0, %d)", id, n)
+		}
+		if taken[id] {
+			return nil, fmt.Errorf("transport: two shards declared id %d", id)
+		}
+		seated[id] = p
+		taken[id] = true
+	}
+	next := 0
+	for _, p := range undeclared {
+		for taken[next] {
+			next++
+		}
+		seated[next] = p
+		taken[next] = true
+	}
+	return seated, nil
 }
 
 // AcceptPeers accepts connections from ln and classifies each by its

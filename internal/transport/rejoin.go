@@ -1,0 +1,151 @@
+// Rejoin handshake of the durable control plane (durable.go): when a
+// link to the coordinator dies — because the coordinator restarted from
+// its WAL or because the connection itself dropped — the surviving peer
+// redials and re-identifies with a Rejoin instead of a fresh Hello.
+// The coordinator answers with a RejoinAck carrying the round it is in
+// and the round from which the peer must resend its buffered messages,
+// which is all the state the two sides need to splice the new
+// connection into the middle of a run. Redo is the one coordinator-
+// initiated recovery message: it tells every client that a shard
+// restarted empty and must be re-fed the current round's slices.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Rejoin sender kinds.
+const (
+	// RejoinClient re-identifies a training client on the coordinator's
+	// control plane.
+	RejoinClient = 1
+	// RejoinShard re-identifies an aggregation shard on the
+	// coordinator's control plane.
+	RejoinShard = 2
+)
+
+type (
+	// Rejoin is the first message on a redialed control-plane
+	// connection: who the peer is (Kind, ID), which run it belongs to
+	// (RunID — a stale peer from a previous run fails loudly), where it
+	// is in the protocol (Round is the round it is currently acting in,
+	// LastSeal the last round whose broadcast/release — for a client —
+	// or seal — for a shard — it holds), and whether it restarted with
+	// no in-memory state (Fresh). A fresh shard also advertises its new
+	// ingest address in Addr so the coordinator can point the clients
+	// at it.
+	Rejoin struct {
+		RunID    uint64
+		Kind     int
+		ID       int
+		Round    int
+		LastSeal int
+		Fresh    bool
+		Addr     string
+	}
+
+	// RejoinAck accepts a Rejoin: Round is the coordinator's current
+	// round, and NeedFrom directs the resend — the peer must resend
+	// every buffered message whose round is >= NeedFrom (receivers
+	// discard anything staler than what they are waiting for, so a
+	// conservative resend is always safe).
+	RejoinAck struct {
+		RunID    uint64
+		Round    int
+		NeedFrom int
+	}
+
+	// Redo is the coordinator's client-directed recovery message in the
+	// direct data plane: shard ShardID restarted with no state and now
+	// listens at Addr; re-dial it and resend your round slices from
+	// Round on. It arrives on the control connection while the client
+	// waits for the round's release.
+	Redo struct {
+		Round   int
+		ShardID int
+		Addr    string
+	}
+)
+
+// rejoinArrival is one classified rejoin connection.
+type rejoinArrival struct {
+	conn Conn
+	rj   Rejoin
+}
+
+// RejoinDesk turns an accept source (a TCP listener, or a channel-fed
+// hook in tests) into a stream of classified Rejoin connections. It
+// accepts continuously in the background so a coordinator parked in its
+// round loop never races a redialing peer, classifies each connection
+// on its own goroutine (a silent dialer cannot stall the desk), and
+// closes everything that is not a Rejoin — mid-run enrollment of new
+// peers is not a thing the protocol supports.
+type RejoinDesk struct {
+	ch   chan rejoinArrival
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRejoinDesk starts a desk over accept. The desk owns no listener:
+// closing the underlying accept source (so accept returns an error)
+// plus Close releases everything.
+func NewRejoinDesk(accept func() (Conn, error)) *RejoinDesk {
+	d := &RejoinDesk{
+		ch:   make(chan rejoinArrival),
+		done: make(chan struct{}),
+	}
+	go func() {
+		for {
+			conn, err := accept()
+			if err != nil {
+				return
+			}
+			select {
+			case <-d.done:
+				conn.Close()
+				return
+			default:
+			}
+			go func(conn Conn) {
+				p, err := AcceptPeer(conn)
+				if err != nil || p.Rejoin == nil {
+					conn.Close()
+					return
+				}
+				select {
+				case d.ch <- rejoinArrival{conn: conn, rj: *p.Rejoin}:
+				case <-d.done:
+					conn.Close()
+				}
+			}(conn)
+		}
+	}()
+	return d
+}
+
+// Next returns the next rejoin connection, waiting at most timeout
+// (<= 0 waits forever).
+func (d *RejoinDesk) Next(timeout time.Duration) (Conn, Rejoin, error) {
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case a := <-d.ch:
+		return a.conn, a.rj, nil
+	case <-timeoutCh:
+		return nil, Rejoin{}, fmt.Errorf("transport: timed out after %v waiting for a rejoining peer", timeout)
+	case <-d.done:
+		return nil, Rejoin{}, fmt.Errorf("transport: rejoin desk closed")
+	}
+}
+
+// Close stops the desk. Connections already accepted but not yet
+// returned by Next are closed.
+func (d *RejoinDesk) Close() {
+	d.once.Do(func() { close(d.done) })
+}

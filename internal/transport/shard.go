@@ -24,9 +24,18 @@ type (
 	// ShardHello identifies a connection as an aggregation shard on a
 	// shared coordinator listener (clients send Hello instead). Addr is
 	// the shard's own client-facing ingest listener for the direct data
-	// plane (direct.go); empty for a routed-only shard.
+	// plane (direct.go); empty for a routed-only shard. A durable shard
+	// declares its stable identity in ID (HasID set): the coordinator
+	// seats it at that index (SeatShardPeers) instead of by arrival
+	// order, which is racy across real processes — without the
+	// declaration two shards enrolling out of order would each receive
+	// the other's assignment and refuse it. Non-durable shards leave
+	// both fields zero and take whatever index arrival order gives them
+	// (their ShardAssign tells them who they are).
 	ShardHello struct {
-		Addr string
+		Addr  string
+		ID    int
+		HasID bool
 	}
 
 	// ShardAssign is the coordinator's handshake reply to a shard: its
@@ -49,6 +58,11 @@ type (
 		Weights   []float64
 		Direct    bool
 		QuantBits int
+		// StartRound is the first round this shard runs (0 means 1 —
+		// fresh assigns leave it zero). A durable coordinator re-seating
+		// a shard that restarted mid-run sets it to the round in
+		// progress so the shard's barrier starts there.
+		StartRound int
 	}
 
 	// ShardUpload is one round's routed pairs for one shard, all clients

@@ -571,3 +571,40 @@ func TestRunServerPeersRejectsShardAsClient(t *testing.T) {
 		t.Fatalf("shard peer accepted as client: %v", err)
 	}
 }
+
+// Durable shards declare a stable identity in their hello; the
+// coordinator must seat them by declaration, not by the (racy, across
+// real processes) order their connections happened to arrive in.
+func TestSeatShardPeers(t *testing.T) {
+	declared := func(id int) Peer {
+		return Peer{Shard: &ShardHello{Addr: "x", ID: id, HasID: true}}
+	}
+	anon := Peer{Shard: &ShardHello{Addr: "y"}}
+
+	// Reverse arrival order: every declared peer lands on its own index.
+	seated, err := SeatShardPeers([]Peer{declared(2), declared(1), declared(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range seated {
+		if p.Shard.ID != i {
+			t.Fatalf("slot %d seated shard %d", i, p.Shard.ID)
+		}
+	}
+
+	// Undeclared peers fill the unclaimed slots in arrival order.
+	seated, err = SeatShardPeers([]Peer{anon, declared(1), anon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seated[1].Shard.ID != 1 || seated[0].Shard.HasID || seated[2].Shard.HasID {
+		t.Fatalf("mixed seating wrong: %+v", seated)
+	}
+
+	if _, err := SeatShardPeers([]Peer{declared(0), declared(0)}); err == nil {
+		t.Fatal("duplicate declared id not rejected")
+	}
+	if _, err := SeatShardPeers([]Peer{declared(3), declared(0)}); err == nil {
+		t.Fatal("out-of-range declared id not rejected")
+	}
+}

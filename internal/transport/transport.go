@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"syscall"
+	"time"
 )
 
 // Message types of the protocol.
@@ -56,7 +58,12 @@ type (
 		K         int
 		Rounds    int
 		QuantBits int
-		Shards    []string
+		// RunID identifies the run for the durable control plane: a
+		// client that later rejoins a restarted coordinator presents it
+		// so a stale peer from a different run fails loudly. 0 for
+		// non-durable runs.
+		RunID  uint64
+		Shards []string
 	}
 	// Upload is A_i: one client's top-k accumulated-gradient pairs for a
 	// round, plus its minibatch loss (the server's global-loss input).
@@ -99,13 +106,18 @@ type Conn interface {
 var ErrClosed = errors.New("transport: connection closed")
 
 // memConn is one endpoint of an in-memory pair. Close on either endpoint
-// tears the whole connection down, matching net.Conn semantics.
+// tears the whole connection down, matching net.Conn semantics — as does
+// SetReadDeadline, so the handshake deadline paths behave identically
+// over memory and TCP.
 type memConn struct {
 	in  <-chan any
 	out chan<- any
 
 	done      chan struct{} // shared by both endpoints
 	closeOnce *sync.Once    // shared by both endpoints
+
+	dlMu      sync.Mutex
+	rDeadline time.Time
 }
 
 // NewMemPair returns two connected in-memory endpoints.
@@ -134,9 +146,20 @@ func (c *memConn) Send(msg any) error {
 }
 
 func (c *memConn) Recv() (any, error) {
+	c.dlMu.Lock()
+	deadline := c.rDeadline
+	c.dlMu.Unlock()
+	var timeoutCh <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
 	select {
 	case msg := <-c.in:
 		return msg, nil
+	case <-timeoutCh:
+		return nil, fmt.Errorf("transport: recv: %w", os.ErrDeadlineExceeded)
 	case <-c.done:
 		// Drain anything already queued before reporting EOF.
 		select {
@@ -146,6 +169,16 @@ func (c *memConn) Recv() (any, error) {
 			return nil, io.EOF
 		}
 	}
+}
+
+// SetReadDeadline bounds Recv like a socket deadline: a Recv that is
+// entered while t is set and not yet reached fails once t passes. The
+// zero time clears it.
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.rDeadline = t
+	c.dlMu.Unlock()
+	return nil
 }
 
 func (c *memConn) Close() error {
@@ -175,6 +208,9 @@ func registerTypes() {
 		gob.Register(SliceFetch{})
 		gob.Register(SliceBroadcast{})
 		gob.Register(RoundRelease{})
+		gob.Register(Rejoin{})
+		gob.Register(RejoinAck{})
+		gob.Register(Redo{})
 	})
 }
 
@@ -221,9 +257,14 @@ func NewGobConn(conn net.Conn) Conn {
 // writes — the remote analogues of the same condition, mapped to the
 // same memConn-symmetric sentinels (io.EOF from Recv, ErrClosed from
 // Send) instead of leaking platform errno wrappers to the protocol.
+// An expired read/write deadline (os.ErrDeadlineExceeded) maps the
+// same way: the handshake paths bound their reads with deadlines, and
+// a peer that went silent is handled exactly like a peer that vanished
+// — the connection is abandoned, not retried on a poisoned stream.
 func closedConnErr(err error) bool {
 	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) ||
-		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, os.ErrDeadlineExceeded)
 }
 
 func (c *gobConn) Send(msg any) error {
@@ -268,6 +309,9 @@ func (c *gobConn) Close() error {
 	})
 	return err
 }
+
+// SetReadDeadline delegates to the underlying socket.
+func (c *gobConn) SetReadDeadline(t time.Time) error { return c.conn.SetReadDeadline(t) }
 
 // Dial connects to a coordinator's TCP listener and returns a Conn
 // using the default binary frame codec (NewBinConn — use NewGobConn
@@ -336,30 +380,29 @@ func (l *Listener) Accept() (Conn, error) {
 // Close stops the listener (established Conns stay open).
 func (l *Listener) Close() error { return l.ln.Close() }
 
-// FlakyConn wraps a Conn and fails after a fixed number of sends —
-// failure-injection instrumentation for the protocol tests.
-type FlakyConn struct {
-	Inner Conn
-	// FailAfter is how many Sends succeed before errors start.
-	FailAfter int
-
-	mu    sync.Mutex
-	sends int
+// readDeadliner is the optional Conn facet that bounds blocking reads.
+// All three built-in conns implement it (memConn with a timer, the
+// wire conns by delegating to the socket); wrappers that do not are
+// simply never deadline-bounded.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
 }
 
-// ErrInjected is the failure produced by FlakyConn.
-var ErrInjected = errors.New("transport: injected failure")
-
-func (f *FlakyConn) Send(msg any) error {
-	f.mu.Lock()
-	f.sends++
-	failed := f.sends > f.FailAfter
-	f.mu.Unlock()
-	if failed {
-		return ErrInjected
+// recvDeadline performs one Recv bounded by d when the conn supports
+// read deadlines (and unbounded otherwise). The deadline is cleared
+// again before returning, so it never leaks into later reads. An
+// expired deadline surfaces through closedConnErr like any other
+// dead-peer condition: the handshake paths that use this treat a
+// silent peer and a vanished peer identically.
+func recvDeadline(c Conn, d time.Duration) (any, error) {
+	rd, ok := c.(readDeadliner)
+	if !ok || d <= 0 {
+		return c.Recv()
 	}
-	return f.Inner.Send(msg)
+	if err := rd.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return c.Recv()
+	}
+	msg, err := c.Recv()
+	rd.SetReadDeadline(time.Time{})
+	return msg, err
 }
-
-func (f *FlakyConn) Recv() (any, error) { return f.Inner.Recv() }
-func (f *FlakyConn) Close() error       { return f.Inner.Close() }

@@ -328,7 +328,7 @@ func TestServerRejectsDuplicateIDs(t *testing.T) {
 	}
 }
 
-func TestFlakyConnInjectsFailure(t *testing.T) {
+func TestFaultConnInjectsFailure(t *testing.T) {
 	fed, model, initParams := buildWorkload()
 	n := fed.NumClients()
 	serverConns := make([]Conn, n)
@@ -337,7 +337,7 @@ func TestFlakyConnInjectsFailure(t *testing.T) {
 		s, c := NewMemPair()
 		if i == 0 {
 			// Client 0's link dies after a few messages.
-			c = &FlakyConn{Inner: c, FailAfter: 3}
+			c = NewFaultConn(c, FaultFailSend, 3, 1)
 		}
 		serverConns[i], clientConns[i] = s, c
 	}

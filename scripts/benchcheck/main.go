@@ -45,7 +45,11 @@ import (
 
 // tracked is the benchmark set the gate runs: the engine grid plus the
 // selection/aggregation micro-benchmarks BENCH_fl.json has always
-// tracked, and the sharded-aggregation tier added with the shard work.
+// tracked, the sharded-aggregation tier added with the shard work, and
+// the WAL append path added with the durable control plane (its 0
+// allocs/op baseline is the gate that journaling stays off the round
+// loop's allocation budget; its ns/op is one write(2) and noisy, so
+// the baseline records the high end of the measured spread).
 var tracked = []struct {
 	pkg       string
 	pattern   string
@@ -54,6 +58,7 @@ var tracked = []struct {
 	{"./internal/sparse/", "BenchmarkTopKInto", "50x"},
 	{"./internal/gs/", "BenchmarkAggregate$|BenchmarkShardedAggregate", "10x"},
 	{"./internal/transport/", "BenchmarkSliceCodec|BenchmarkWireRoundBytes", "20x"},
+	{"./internal/wal/", "BenchmarkWALAppend", "2000x"},
 	{".", "BenchmarkRunGSParallel", "3x"},
 }
 

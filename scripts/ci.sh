@@ -21,8 +21,17 @@ go build ./...
 go test ./...
 # cmd/flsim is in the race list for its loopback-TCP end-to-end runs of
 # both multi-process topologies (routed and client-direct, including the
-# shard-served downlink fan-out).
-go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/... ./cmd/flsim/...
+# shard-served downlink fan-out); internal/wal for the durable control
+# plane's log/snapshot machinery.
+go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/... ./internal/wal/... ./cmd/flsim/...
+# Chaos step: the crash-recovery and fault-injection matrices re-run
+# under the race detector with -count=1 — an uncached execution on every
+# push, so the recovery paths (coordinator killed at each WAL boundary,
+# shard kill + fresh rejoin, seeded FaultConn modes, halt/resume) are
+# actually exercised rather than replayed from the test cache.
+go test -race -count=1 \
+  -run 'Crash|Rejoin|Resume|Retry|Fault|Flaky|Durable|Halt|Deadline|Torn|Corrupt' \
+  ./internal/wal/... ./internal/transport/... ./internal/fl/... ./cmd/flsim/...
 # Bench smoke, one iteration each: keeps the benchmark code compiling
 # AND executing without paying for real timings. The -bench patterns
 # live once, in scripts/benchcheck's tracked table, and the run is
