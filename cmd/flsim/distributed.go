@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -45,7 +46,7 @@ func buildWorkload(datasetName, scale string) (*fedsparse.Workload, error) {
 // to the clients in Init.
 func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, seed int64,
 	listenAddr string, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration,
-	walDir string, resume bool) error {
+	walDir string, resume bool, adminAddr string) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -76,7 +77,7 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 		fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d %s shards (k=%d, %d rounds)\n",
 			ln.Addr(), nClients, nShards, plane, k, rounds)
 	}
-	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, acceptTimeout, walDir, resume)
+	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, acceptTimeout, walDir, resume, adminAddr)
 }
 
 // coordinate is the listener-driven core of the coordinator role,
@@ -87,7 +88,7 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 // fresh enrollment (every peer reconnects via the Rejoin handshake).
 func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 	k, rounds int, seed int64, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration,
-	walDir string, resume bool) error {
+	walDir string, resume bool, adminAddr string) error {
 
 	// Synchronized initial weights: the same construction as the
 	// reference engine with this seed.
@@ -102,15 +103,40 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 		Direct:        direct,
 	}
 
-	var records []fedsparse.RoundRecord
+	// The per-round CSV streams from the coordinator's event stream; a
+	// resumed run replays the already-logged rounds through it first, so
+	// the output matches an uninterrupted run.
+	var adm *fedsparse.AdminServer
+	if adminAddr != "" {
+		var err error
+		adm, err = fedsparse.ServeAdmin(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		adm.SetExpected(nClients, nShards)
+		adm.SetResumed(resume)
+		log.Printf("flsim: admin endpoints on http://%s", adm.Addr())
+	}
+	fmt.Fprintln(out, "round,loss,downlink_elems")
+	cfg.Observer = fedsparse.MultiObserver(coordCSV{out}, observerOrNil(adm))
+
 	var err error
 	if resume {
-		records, err = resumeCoordinator(ln, cfg, walDir, seed, nClients, nShards)
+		// Peers re-enter through the rejoin desk as the resume needs
+		// them, not through an enrollment barrier.
+		if adm != nil {
+			adm.SetEnrolled(nClients, nShards)
+		}
+		_, err = resumeCoordinator(ln, cfg, walDir, seed, nClients, nShards)
 	} else {
 		var clients, shardPeers []fedsparse.Peer
 		clients, shardPeers, err = fedsparse.AcceptPeers(ln, nClients, nShards, acceptTimeout)
 		if err != nil {
 			return err
+		}
+		if adm != nil {
+			adm.SetEnrolled(nClients, nShards)
 		}
 		// Durable shards declare a stable -id in their hello; seat them
 		// by declaration, not arrival order (racy across processes).
@@ -129,19 +155,22 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 			cfg.ShardAddrs = shardAddrs
 		}
 		if walDir == "" {
-			records, err = fedsparse.RunServerPeers(clients, cfg)
+			_, err = fedsparse.RunServerPeers(clients, cfg)
 		} else {
-			records, err = startDurableCoordinator(ln, clients, cfg, walDir, seed)
+			_, err = startDurableCoordinator(ln, clients, cfg, walDir, seed)
 		}
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "round,loss,downlink_elems")
-	for _, r := range records {
-		fmt.Fprintf(out, "%d,%.6f,%d\n", r.Round, r.Loss, r.DownlinkElems)
-	}
-	return nil
+	return err
+}
+
+// coordCSV streams the coordinator's per-round CSV rows from the
+// transport event stream.
+type coordCSV struct{ w io.Writer }
+
+func (c coordCSV) OnRoundStart(int) {}
+func (c coordCSV) OnRunEnd(error)   {}
+func (c coordCSV) OnRoundEnd(ev fedsparse.RoundEvent) {
+	fmt.Fprintf(c.w, "%d,%.6f,%d\n", ev.Round, ev.Loss, ev.DownlinkElems)
 }
 
 // startDurableCoordinator drives a fresh WAL-backed run: the already

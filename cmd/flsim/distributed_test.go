@@ -17,14 +17,14 @@ import (
 // shards serve their own ingest listeners and the clients upload straight
 // to them.
 func runRolesEndToEnd(t *testing.T, direct bool, quantBits int) string {
-	return runRolesDurable(t, direct, quantBits, "", 2)
+	return runRolesDurable(t, direct, quantBits, "", 2, "")
 }
 
 // runRolesDurable is runRolesEndToEnd with an optional -wal-dir: a
 // non-empty walDir runs the durable coordinator and makes every shard
 // and client speak the recovery protocol, exactly as the CLI wires
 // -wal-dir / -durable.
-func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nShards int) string {
+func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nShards int, adminAddr string) string {
 	t.Helper()
 	const (
 		dataset = "femnist"
@@ -50,7 +50,7 @@ func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nS
 	var out bytes.Buffer
 	coordDone := make(chan error, 1)
 	go func() {
-		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, time.Minute, walDir, false)
+		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, time.Minute, walDir, false, adminAddr)
 	}()
 
 	var wg sync.WaitGroup
@@ -158,15 +158,15 @@ func TestDurableRolesEndToEnd(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	t.Run("routed", func(t *testing.T) {
-		durable := runRolesDurable(t, false, 0, t.TempDir(), 0)
-		plain := runRolesDurable(t, false, 0, "", 0)
+		durable := runRolesDurable(t, false, 0, t.TempDir(), 0, "")
+		plain := runRolesDurable(t, false, 0, "", 0, "")
 		if durable != plain {
 			t.Fatalf("durable CSV differs from plain CSV:\n--- durable ---\n%s--- plain ---\n%s", durable, plain)
 		}
 	})
 	t.Run("direct", func(t *testing.T) {
-		durable := runRolesDurable(t, true, 0, t.TempDir(), 2)
-		plain := runRolesDurable(t, true, 0, "", 2)
+		durable := runRolesDurable(t, true, 0, t.TempDir(), 2, "")
+		plain := runRolesDurable(t, true, 0, "", 2, "")
 		if durable != plain {
 			t.Fatalf("durable CSV differs from plain CSV:\n--- durable ---\n%s--- plain ---\n%s", durable, plain)
 		}
@@ -224,6 +224,7 @@ func TestValidateFlags(t *testing.T) {
 		{"sim resume", "sim", mk("wal-dir", "resume"), 0, false, false, true, "d", "", ""},
 		{"sim resume without wal-dir", "sim", mk("resume"), 0, false, false, true, "", "", "-wal-dir"},
 		{"sim with durable", "sim", mk("durable"), 0, false, true, false, "", "", "-durable"},
+		{"sim with admin-addr", "sim", mk("admin-addr"), 0, false, false, false, "", "", ""},
 		{"coordinator routed", "coordinator", mk("listen", "shards"), 2, false, false, false, "", "", ""},
 		{"coordinator direct", "coordinator", mk("listen", "shards", "direct"), 2, true, false, false, "", "", ""},
 		{"coordinator direct without shards", "coordinator", mk("listen", "direct"), 0, true, false, false, "", "", "-shards"},
@@ -236,6 +237,7 @@ func TestValidateFlags(t *testing.T) {
 		{"coordinator resume", "coordinator", mk("listen", "wal-dir", "resume"), 0, false, false, true, "d", "", ""},
 		{"coordinator resume without wal-dir", "coordinator", mk("listen", "resume"), 0, false, false, true, "", "", "-wal-dir"},
 		{"coordinator with durable", "coordinator", mk("listen", "durable"), 0, false, true, false, "", "", "-durable"},
+		{"coordinator with admin-addr", "coordinator", mk("listen", "admin-addr"), 0, false, false, false, "", "", ""},
 		{"shard routed", "shard", mk("connect"), 0, false, false, false, "", "x", ""},
 		{"shard without connect", "shard", mk(), 0, false, false, false, "", "", "-connect"},
 		{"shard with shards", "shard", mk("connect", "shards"), 2, false, false, false, "", "x", "-shards"},
@@ -251,6 +253,7 @@ func TestValidateFlags(t *testing.T) {
 		{"shard durable without id", "shard", mk("connect", "direct", "listen", "durable"), 0, true, true, false, "", "x", "-id"},
 		{"shard resume without durable", "shard", mk("connect", "direct", "listen", "resume"), 0, true, false, true, "", "x", "-durable"},
 		{"shard with wal-dir", "shard", mk("connect", "wal-dir"), 0, false, false, false, "d", "x", "-wal-dir"},
+		{"shard with admin-addr", "shard", mk("connect", "admin-addr"), 0, false, false, false, "", "x", "-admin-addr"},
 		{"client", "client", mk("connect", "id"), 0, false, false, false, "", "x", ""},
 		{"client without connect", "client", mk("id"), 0, false, false, false, "", "", "-connect"},
 		{"client with shards", "client", mk("connect", "shards"), 2, false, false, false, "", "x", "-shards"},
@@ -261,6 +264,7 @@ func TestValidateFlags(t *testing.T) {
 		{"client durable", "client", mk("connect", "id", "durable"), 0, false, true, false, "", "x", ""},
 		{"client with wal-dir", "client", mk("connect", "wal-dir"), 0, false, false, false, "d", "x", "-durable"},
 		{"client with resume", "client", mk("connect", "resume"), 0, false, false, true, "", "x", "-durable"},
+		{"client with admin-addr", "client", mk("connect", "admin-addr"), 0, false, false, false, "", "x", "-admin-addr"},
 		{"unknown role", "proxy", mk(), 0, false, false, false, "", "", "unknown role"},
 	}
 	for _, tc := range cases {
@@ -279,5 +283,19 @@ func TestValidateFlags(t *testing.T) {
 				t.Fatalf("error is not one line: %q", err.Error())
 			}
 		})
+	}
+}
+
+// TestAdminCoordinatorDoesNotMoveCSV is TestAdminDoesNotMoveCSV for
+// the coordinator role: the admin observer must not move a byte of the
+// distributed per-round CSV.
+func TestAdminCoordinatorDoesNotMoveCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	withAdmin := runRolesDurable(t, false, 0, "", 0, "127.0.0.1:0")
+	plain := runRolesDurable(t, false, 0, "", 0, "")
+	if withAdmin != plain {
+		t.Fatalf("-admin-addr moved the coordinator CSV:\n--- admin ---\n%s--- plain ---\n%s", withAdmin, plain)
 	}
 }

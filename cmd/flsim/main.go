@@ -85,6 +85,7 @@ func main() {
 		walDir      = flag.String("wal-dir", "", "durability: journal control-plane decisions (and, for sim, periodic snapshots) into this directory; required for -resume (sim and coordinator roles)")
 		resume      = flag.Bool("resume", false, "sim/coordinator: resume a halted or crashed run from the -wal-dir log; durable shard: rejoin an in-progress run as a fresh (state-less) restart")
 		durable     = flag.Bool("durable", false, "shard/client: speak the crash-recovery protocol — redial with backoff and rejoin a -wal-dir coordinator after link or process failures")
+		adminAddr   = flag.String("admin-addr", "", "serve the HTTP admin endpoints (/metrics, /healthz, /readyz, /rounds, /debug/pprof) on this address while the run is live (sim and coordinator roles; port 0 = ephemeral, printed to stderr)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -97,7 +98,7 @@ func main() {
 		switch *role {
 		case "sim":
 			err = withProfiles(*cpuProfile, *memProfile, func() error {
-				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *walDir, *resume)
+				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *walDir, *resume, *adminAddr)
 			})
 		case "coordinator":
 			// The distributed protocol is fixed-k FAB-top-k; reject flags
@@ -106,7 +107,7 @@ func main() {
 				err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
 				break
 			}
-			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *acceptWait, *walDir, *resume)
+			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *acceptWait, *walDir, *resume, *adminAddr)
 		case "shard":
 			err = runShardRole(*connectAddr, *direct, *listenAddr, *acceptWait, *durable, *resume, *clientID, *seed)
 		case "client":
@@ -171,6 +172,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct, durable
 			return errors.New("flsim: -quantbits is the coordinator's flag; shards learn the width from their assignment")
 		case set["wal-dir"]:
 			return errors.New("flsim: -wal-dir applies to -role sim|coordinator; a shard's durability is -durable")
+		case set["admin-addr"]:
+			return errors.New("flsim: -admin-addr applies to -role sim|coordinator (only the round-driving process observes the run)")
 		case set["id"] && !durable:
 			return errors.New("flsim: -id on a shard requires -durable (the rejoin identity); plain shards learn theirs from the assignment")
 		case durable && !direct:
@@ -200,6 +203,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct, durable
 			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
 		case set["wal-dir"] || set["resume"]:
 			return errors.New("flsim: -wal-dir/-resume apply to -role sim|coordinator; a client's durability is -durable (it rejoins mid-run, it has no log)")
+		case set["admin-addr"]:
+			return errors.New("flsim: -admin-addr applies to -role sim|coordinator (only the round-driving process observes the run)")
 		}
 	default:
 		return fmt.Errorf("flsim: unknown role %q (sim, coordinator, shard, client)", role)
@@ -248,7 +253,7 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
 	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits int,
-	walDir string, resume bool) error {
+	walDir string, resume bool, adminAddr string) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
@@ -330,20 +335,49 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		}
 	}
 
-	res, err := fedsparse.Run(cfg)
-	if err != nil {
-		return err
-	}
-
+	// The CSV writer is an observer on the round-event stream, so rows
+	// appear as rounds complete instead of after the run; a resumed run
+	// replays its logged prefix through the same stream, keeping the
+	// output byte-identical to an uninterrupted one.
 	fmt.Fprintf(out, "# %s/%s strategy=%s adaptive=%s D=%d N=%d beta=%g\n",
 		datasetName, scale, strategy, adaptive, w.D, w.Data.NumClients(), beta)
 	fmt.Fprintln(out, "round,k,time,round_time,loss,downlink_elems,test_acc,test_loss")
-	for _, st := range res.Stats {
-		fmt.Fprintf(out, "%d,%d,%.4f,%.4f,%.6f,%d,%s,%s\n",
-			st.Round, st.K, st.Time, st.RoundTime, st.Loss, st.DownlinkElems,
-			csvFloat(st.TestAcc), csvFloat(st.TestLoss))
+	var adm *fedsparse.AdminServer
+	if adminAddr != "" {
+		adm, err = fedsparse.ServeAdmin(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		adm.SetExpected(w.Data.NumClients(), shards)
+		adm.SetEnrolled(w.Data.NumClients(), shards)
+		adm.SetResumed(resume)
+		log.Printf("flsim: admin endpoints on http://%s", adm.Addr())
 	}
-	return nil
+	cfg.Observer = fedsparse.MultiObserver(simCSV{out}, observerOrNil(adm))
+
+	_, err = fedsparse.Run(cfg)
+	return err
+}
+
+// simCSV streams the sim-mode per-round CSV rows from the event stream.
+type simCSV struct{ w io.Writer }
+
+func (c simCSV) OnRoundStart(int) {}
+func (c simCSV) OnRunEnd(error)   {}
+func (c simCSV) OnRoundEnd(ev fedsparse.RoundEvent) {
+	fmt.Fprintf(c.w, "%d,%d,%.4f,%.4f,%.6f,%d,%s,%s\n",
+		ev.Round, ev.K, ev.Time, ev.RoundTime, ev.Loss, ev.DownlinkElems,
+		csvFloat(ev.TestAcc), csvFloat(ev.TestLoss))
+}
+
+// observerOrNil keeps a nil *AdminServer out of the observer fan-out (a
+// typed nil would pass MultiObserver's nil filter).
+func observerOrNil(adm *fedsparse.AdminServer) fedsparse.Observer {
+	if adm == nil {
+		return nil
+	}
+	return adm
 }
 
 func csvFloat(v float64) string {

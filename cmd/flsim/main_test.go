@@ -18,21 +18,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{
 			name: "bad dataset",
 			call: func() error {
-				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false)
+				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false, "")
 			},
 			want: "unknown dataset",
 		},
 		{
 			name: "bad strategy",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false)
+				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false, "")
 			},
 			want: "unknown strategy",
 		},
 		{
 			name: "bad controller",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false)
+				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false, "")
 			},
 			want: "unknown adaptive controller",
 		},
@@ -63,26 +63,26 @@ func TestRunEmitsCSV(t *testing.T) {
 		if strat == "fedavg" {
 			shards = 0
 		}
-		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0, "", false); err != nil {
+		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0, "", false, ""); err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
 		if shards > 0 {
-			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0, "", false); err != nil {
+			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0, "", false, ""); err != nil {
 				t.Fatalf("%s direct: %v", strat, err)
 			}
 		}
 	}
 	// Adaptive controllers over the CLI.
 	for _, ctrl := range []string{"alg2", "alg3", "value", "exp3", "bandit"} {
-		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0, "", false); err != nil {
+		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0, "", false, ""); err != nil {
 			t.Fatalf("%s: %v", ctrl, err)
 		}
 	}
 	// Quantized uploads over the CLI, unsharded and sharded.
-	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8, "", false); err != nil {
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8, "", false, ""); err != nil {
 		t.Fatalf("quantbits=8: %v", err)
 	}
-	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8, "", false); err != nil {
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8, "", false, ""); err != nil {
 		t.Fatalf("quantbits=8 direct: %v", err)
 	}
 }
@@ -98,11 +98,11 @@ func TestRunDurableSim(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	var plain, durable, resumed strings.Builder
-	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, "", false); err != nil {
+	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := run(&durable, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, dir, false); err != nil {
+	if err := run(&durable, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, dir, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != durable.String() {
@@ -110,13 +110,13 @@ func TestRunDurableSim(t *testing.T) {
 	}
 	// Resuming a run whose log is already complete replays it to the
 	// same bytes without recomputing.
-	if err := run(&resumed, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, dir, true); err != nil {
+	if err := run(&resumed, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, dir, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != resumed.String() {
 		t.Fatalf("-resume moved the CSV:\n--- plain ---\n%s--- resumed ---\n%s", plain.String(), resumed.String())
 	}
-	err := run(io.Discard, "femnist", "tiny", "fab", "exp3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, t.TempDir(), false)
+	err := run(io.Discard, "femnist", "tiny", "fab", "exp3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, t.TempDir(), false, "")
 	if err == nil || !strings.Contains(err.Error(), "self-randomizing") {
 		t.Fatalf("exp3 with -wal-dir: %v", err)
 	}
@@ -166,5 +166,24 @@ func TestWithProfilesWritesFiles(t *testing.T) {
 	wantErr := errors.New("boom")
 	if err := withProfiles("", "", func() error { return wantErr }); !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+}
+
+// TestAdminDoesNotMoveCSV pins the observer-passivity contract at the
+// CLI surface: running with -admin-addr (sim and coordinator roles)
+// must emit a CSV byte-identical to the run without it.
+func TestAdminDoesNotMoveCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	var plain, admin strings.Builder
+	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&admin, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, "", false, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != admin.String() {
+		t.Fatalf("-admin-addr moved the sim CSV:\n--- plain ---\n%s--- admin ---\n%s", plain.String(), admin.String())
 	}
 }

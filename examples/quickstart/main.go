@@ -23,6 +23,11 @@ func run() error {
 	fmt.Printf("workload: %d clients, %d training samples, D = %d weights\n",
 		w.Data.NumClients(), w.Data.TotalTrain(), w.D)
 
+	// Tail the run live: every run publishes its rounds to an Observer
+	// as they complete, so progress prints here while training runs —
+	// the same stream Result.Stats, the flsim CSVs, and the HTTP admin
+	// server (fedsparse.ServeAdmin) are built from.
+	fmt.Println("\nround  time     loss   test-acc")
 	res, err := fedsparse.Run(fedsparse.Config{
 		Data:         w.Data,
 		Model:        w.Model,
@@ -34,16 +39,10 @@ func run() error {
 		Controller:   fedsparse.NewFixedK(float64(w.KFixed)), // fixed sparsity
 		Beta:         10,                                     // communication time of a full exchange
 		EvalEvery:    25,
+		Observer:     progressPrinter{},
 	})
 	if err != nil {
 		return err
-	}
-
-	fmt.Println("\nround  time     loss   test-acc")
-	for _, st := range res.Stats {
-		if st.Round%25 == 0 || st.Round == 1 {
-			fmt.Printf("%5d  %7.1f  %5.3f  %7.3f\n", st.Round, st.Time, st.Loss, st.TestAcc)
-		}
 	}
 
 	xs, ys := w.Data.Test.XY()
@@ -51,3 +50,17 @@ func run() error {
 		res.Final.Accuracy(xs, ys), 1.0/float64(w.Data.NumClasses))
 	return nil
 }
+
+// progressPrinter is a fedsparse.Observer: Run calls OnRoundEnd
+// synchronously after each round, so rows appear as training advances.
+type progressPrinter struct{}
+
+func (progressPrinter) OnRoundStart(int) {}
+
+func (progressPrinter) OnRoundEnd(ev fedsparse.RoundEvent) {
+	if ev.Round%25 == 0 || ev.Round == 1 {
+		fmt.Printf("%5d  %7.1f  %5.3f  %7.3f\n", ev.Round, ev.Time, ev.Loss, ev.TestAcc)
+	}
+}
+
+func (progressPrinter) OnRunEnd(error) {}

@@ -193,6 +193,7 @@
 package fedsparse
 
 import (
+	"fedsparse/internal/admin"
 	"fedsparse/internal/core"
 	"fedsparse/internal/dataset"
 	"fedsparse/internal/experiments"
@@ -214,7 +215,19 @@ type (
 	Result = fl.Result
 	// RoundStats captures one training round.
 	RoundStats = fl.RoundStats
+	// RoundEvent is the canonical per-round record published to
+	// observers (RoundStats is an alias of it).
+	RoundEvent = fl.RoundEvent
+	// Observer receives the round-event stream of a run, synchronously
+	// at round boundaries (Config.Observer, ServerConfig.Observer).
+	Observer = fl.Observer
+	// Collector is an Observer that accumulates every RoundEvent.
+	Collector = fl.Collector
 )
+
+// MultiObserver fans the event stream out to several observers in
+// order, skipping nils.
+var MultiObserver = fl.MultiObserver
 
 // Run executes a federated training run (Algorithm 1 in GS mode, or the
 // FedAvg comparison mode).
@@ -434,10 +447,23 @@ type (
 	Series = metrics.Series
 	// Table is a text table for experiment output.
 	Table = metrics.Table
+	// RoundObserver folds a round-event stream into figure series; an
+	// Observer, attachable live or replayable over a finished Result.
+	RoundObserver = metrics.RoundObserver
 )
 
 // CDF computes an empirical distribution series.
 var CDF = metrics.CDF
+
+// Admin/metrics HTTP server (internal/admin).
+type (
+	// AdminServer is the embedded observability endpoint: an Observer
+	// serving /metrics, /healthz, /readyz, /rounds, and /debug/pprof.
+	AdminServer = admin.Server
+)
+
+// ServeAdmin starts an AdminServer on addr (port 0 for ephemeral).
+var ServeAdmin = admin.Serve
 
 // Distributed transport (internal/transport).
 type (

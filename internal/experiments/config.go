@@ -191,40 +191,32 @@ func (r *FigureResult) Render() string {
 	return b.String()
 }
 
+// observe replays a finished run's stats through the shared
+// round-event consumer; the figure helpers below are views of it.
+func observe(stats []fl.RoundStats) *metrics.RoundObserver {
+	var o metrics.RoundObserver
+	o.Replay(stats)
+	return &o
+}
+
 // lossSeries extracts (time, loss).
 func lossSeries(stats []fl.RoundStats) metrics.Series {
-	var s metrics.Series
-	for _, st := range stats {
-		s.Append(st.Time, st.Loss)
-	}
-	return s
+	return observe(stats).LossByTime
 }
 
 // lossByRound extracts (round, loss) — Fig. 1's x-axis.
 func lossByRound(stats []fl.RoundStats) metrics.Series {
-	var s metrics.Series
-	for _, st := range stats {
-		s.Append(float64(st.Round), st.Loss)
-	}
-	return s
+	return observe(stats).LossByRound
 }
 
 // accSeries extracts (time, test accuracy) at evaluation rounds.
 func accSeries(stats []fl.RoundStats) metrics.Series {
-	var s metrics.Series
-	for _, st := range stats {
-		s.Append(st.Time, st.TestAcc)
-	}
-	return s.DropNaN()
+	return observe(stats).AccByTime
 }
 
 // kSeries extracts (round, realized k).
 func kSeries(stats []fl.RoundStats) metrics.Series {
-	var s metrics.Series
-	for _, st := range stats {
-		s.Append(float64(st.Round), float64(st.K))
-	}
-	return s
+	return observe(stats).KByRound
 }
 
 // perClientMeanContributions averages each client's |J ∩ J_i| over the

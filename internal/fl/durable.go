@@ -48,6 +48,12 @@ type engineWAL struct {
 	snapRound int
 	clock0    float64
 	restored  bool
+
+	// appends/snaps count the Finish appends and snapshot writes this
+	// process performed — the cumulative counters stamped onto each
+	// round's event for the operational surface. Replay verification
+	// appends nothing, so resumed runs restart both at zero.
+	appends, snaps uint64
 }
 
 // finishFloats is the number of Floats a KindEngine Finish carries.
@@ -266,11 +272,13 @@ func (dw *engineWAL) commit(st *RoundStats, clients []*client) error {
 		if err := dw.log.Sync(); err != nil {
 			return fmt.Errorf("fl: round %d: %w", m, err)
 		}
+		dw.appends++
 	}
 	if m%dw.every == 0 && m > dw.snapRound {
 		if err := dw.snapshot(st, clients); err != nil {
 			return fmt.Errorf("fl: round %d snapshot: %w", m, err)
 		}
+		dw.snaps++
 	}
 	return nil
 }

@@ -154,6 +154,15 @@ type Config struct {
 	// with Resume set picks up from the log. Requires WALDir.
 	HaltAfter int
 
+	// Observer receives the run's round events synchronously at round
+	// boundaries (OnRoundStart/OnRoundEnd, plus OnRunEnd when Run
+	// returns) — the hook the CSV writers, metric collectors, and the
+	// admin server attach through. nil disables. Observers are passive:
+	// attaching one changes no rng draw, no round result, and no
+	// durable-log byte. A resumed run replays the logged prefix through
+	// the observer too, so the stream always covers every round.
+	Observer Observer
+
 	// Direct switches the sharded tier (Shards > 0 required) from the
 	// routed topology — every upload flows through the coordinator, which
 	// re-routes range slices to shards — to the client-direct one: each
@@ -172,33 +181,9 @@ type Config struct {
 	Direct bool
 }
 
-// RoundStats captures one round of training.
-type RoundStats struct {
-	// Round is m (1-based).
-	Round int
-	// K is the realized integer sparsity degree; KCont the controller's
-	// continuous decision.
-	K     int
-	KCont float64
-	// RoundTime is this round's normalized time; Time is cumulative.
-	RoundTime float64
-	Time      float64
-	// Loss is the C_i/C-weighted minibatch loss at w(m−1) — the global
-	// loss estimate the figures plot.
-	Loss float64
-	// DownlinkElems is |J|.
-	DownlinkElems int
-	// Participants is how many clients computed and uploaded this round.
-	Participants int
-	// TestAcc/TestLoss/TrainLoss are NaN unless evaluated this round.
-	TestAcc   float64
-	TestLoss  float64
-	TrainLoss float64
-	// PerClientUsed is |J ∩ J_i| per client (nil unless recorded).
-	PerClientUsed []int
-}
-
-// Result is a completed training run.
+// Result is a completed training run. Stats is rebuilt from the run's
+// round-event stream by a built-in Collector (see observer.go), so it
+// is identical to what an attached Config.Observer saw.
 type Result struct {
 	Stats []RoundStats
 	// Final is the trained global model (the synchronized weights).
@@ -226,6 +211,16 @@ type client struct {
 
 // Run executes the configured training and returns per-round statistics.
 func Run(cfg Config) (*Result, error) {
+	res, err := run(cfg)
+	if cfg.Observer != nil {
+		cfg.Observer.OnRunEnd(err)
+	}
+	return res, err
+}
+
+// run is Run without the OnRunEnd notification (which must fire on
+// every exit path, including validation failures).
+func run(cfg Config) (*Result, error) {
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
@@ -445,6 +440,12 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	ctrl core.Controller, engineRng *rand.Rand, d int, dur *engineWAL) (*Result, error) {
 
 	res := &Result{}
+	// The run's event stream: a built-in Collector rebuilds Result.Stats
+	// from it, and the caller's observer (if any) rides along — the
+	// engine's own bookkeeping and external consumers see the same
+	// events in the same order.
+	coll := &Collector{}
+	sink := MultiObserver(coll, cfg.Observer)
 	var clock simtime.Clock
 	nClients := len(clients)
 	// Per-scalar wire cost of a sparse element: index + (possibly
@@ -488,11 +489,19 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	// round verified bit-exactly against its logged record in commit.
 	start := 1
 	if dur != nil {
-		res.Stats = append(res.Stats, dur.logged[:dur.snapRound]...)
+		// The pre-snapshot prefix flows through the event stream too —
+		// replayed from the log, so WAL counters stay zero — which keeps
+		// a resumed run's stream (and the Stats the Collector rebuilds)
+		// covering every round exactly once.
+		for _, ev := range dur.logged[:dur.snapRound] {
+			sink.OnRoundStart(ev.Round)
+			sink.OnRoundEnd(ev)
+		}
 		clock.Advance(dur.clock0)
 		start = dur.snapRound + 1
 	}
 	for m := start; m <= cfg.Rounds; m++ {
+		sink.OnRoundStart(m)
 		dec := ctrl.Decide(m)
 		kCont := core.Project(dec.K, 1, float64(d))
 		kInt := sparse.StochasticRound(kCont, engineRng)
@@ -719,8 +728,9 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 			if err := dur.commit(&stats, clients); err != nil {
 				return nil, err
 			}
+			stats.WALAppends, stats.WALSnapshots = dur.appends, dur.snaps
 		}
-		res.Stats = append(res.Stats, stats)
+		sink.OnRoundEnd(stats)
 
 		if cfg.MaxTime > 0 && clock.Now() >= cfg.MaxTime {
 			break
@@ -729,6 +739,7 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 			break
 		}
 	}
+	res.Stats = coll.Events
 	res.Final = clients[0].net
 	return res, nil
 }
@@ -812,6 +823,8 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 	d := clients[0].net.D()
 	period := simtime.FedAvgPeriod(d, cfg.FedAvgKEquiv)
 	res := &Result{}
+	coll := &Collector{}
+	sink := MultiObserver(coll, cfg.Observer)
 	var clock simtime.Clock
 	avg := make([]float64, d)
 	globalNet := cfg.Model()
@@ -839,6 +852,7 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 	// before the first round and after each aggregation.
 	replicasStale := true
 	for m := 1; m <= cfg.Rounds; m++ {
+		sink.OnRoundStart(m)
 		if replicasStale {
 			for _, en := range evalNets[1:] {
 				en.SetParams(globalNet.Params())
@@ -892,12 +906,13 @@ func runFedAvg(cfg Config, clients []*client, totalWeight float64,
 			stats.DownlinkElems = d
 		}
 		maybeEval(&cfg, &stats, globalNet, clients, totalWeight, m)
-		res.Stats = append(res.Stats, stats)
+		sink.OnRoundEnd(stats)
 
 		if cfg.MaxTime > 0 && clock.Now() >= cfg.MaxTime {
 			break
 		}
 	}
+	res.Stats = coll.Events
 	res.Final = globalNet
 	return res, nil
 }

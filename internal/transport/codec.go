@@ -844,7 +844,27 @@ type binConn struct {
 	sendMu    sync.Mutex
 	closeOnce sync.Once
 	closed    atomic.Bool
+
+	// Cumulative wire bytes (frame headers included), maintained
+	// atomically so the coordinator's metrics layer can sample them
+	// from another goroutine (see ByteCounter).
+	sent, received atomic.Uint64
 }
+
+// ByteCounter reports a connection's cumulative wire traffic. The
+// binary codec's connections implement it; the transport round loops
+// sample the counters at round boundaries to fill RoundEvent.BytesUp/
+// BytesDown. Connections without wire framing (in-memory pairs) do
+// not implement it and contribute nothing.
+type ByteCounter interface {
+	// BytesSent/BytesReceived are monotone cumulative byte counts,
+	// safe to call concurrently with Send/Recv.
+	BytesSent() uint64
+	BytesReceived() uint64
+}
+
+func (c *binConn) BytesSent() uint64     { return c.sent.Load() }
+func (c *binConn) BytesReceived() uint64 { return c.received.Load() }
 
 // NewBinConn wraps a network connection with the binary frame codec.
 func NewBinConn(conn net.Conn) Conn {
@@ -868,6 +888,7 @@ func (c *binConn) Send(msg any) error {
 		}
 		return fmt.Errorf("transport: send: %w", err)
 	}
+	c.sent.Add(uint64(len(b)))
 	return nil
 }
 
@@ -898,6 +919,7 @@ func (c *binConn) recvMsg() (any, error) {
 	if _, err := io.ReadFull(c.br, buf); err != nil {
 		return nil, c.recvIOErr(err, false)
 	}
+	c.received.Add(uint64(4 + n))
 	msg, err := decodeFrame(buf, &c.sc)
 	if err != nil {
 		return nil, fmt.Errorf("transport: recv: %w", err)

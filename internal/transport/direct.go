@@ -422,6 +422,11 @@ type DirectGroup struct {
 	candGen  int
 
 	spans [][]int // per-shard member spans of the round's seal
+
+	// reduceSecs[s] is the wall-clock wait for shard s's ShardResult in
+	// the last gather (Aggregate here, or the durable round body) — the
+	// per-shard reduce time the operational surface reports.
+	reduceSecs []float64
 }
 
 // NewDirectGroup sends every shard its direct-mode ShardAssign and
@@ -462,13 +467,14 @@ func newDirectGroupState(conns []Conn, dim int, weights []float64, quantBits int
 		return nil, fmt.Errorf("transport: quantization width must be 0 (off) or in [2, 64], got %d", quantBits)
 	}
 	g := &DirectGroup{
-		conns:     conns,
-		dim:       dim,
-		nClients:  len(weights),
-		quantBits: quantBits,
-		bounds:    make([]int, len(conns)+1),
-		sel:       gs.NewAggScratch(0),
-		candSeen:  make([]int, len(weights)),
+		conns:      conns,
+		dim:        dim,
+		nClients:   len(weights),
+		quantBits:  quantBits,
+		bounds:     make([]int, len(conns)+1),
+		sel:        gs.NewAggScratch(0),
+		candSeen:   make([]int, len(weights)),
+		reduceSecs: make([]float64, len(conns)),
 	}
 	g.sel.Reserve(dim)
 	for s := range conns {
@@ -495,7 +501,9 @@ func (g *DirectGroup) Aggregate(strat gs.DirectSelector, round, k, maxLen int) (
 	g.mergedSum = g.mergedSum[:0]
 	g.mergedRank = g.mergedRank[:0]
 	for s, conn := range g.conns {
+		t0 := time.Now()
 		msg, err := conn.Recv()
+		g.reduceSecs[s] = time.Since(t0).Seconds()
 		if err != nil {
 			return gs.Aggregate{}, fmt.Errorf("transport: round %d recv from shard %d: %w", round, s, err)
 		}
@@ -661,8 +669,20 @@ func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg
 	}
 
 	strategy := &gs.FABTopK{}
+	// Byte meter over the control plane (clients' RoundMeta/RoundRelease
+	// and the shard conns): in direct mode the gradient payloads flow
+	// client↔shard and never cross the coordinator, so these deltas are
+	// the control plane's cost — which is the point of the topology.
+	var bm *byteMeter
+	if cfg.Observer != nil {
+		bm = newByteMeter(ordered, cfg.ShardConns)
+		bm.delta()
+	}
 	records := make([]RoundRecord, 0, cfg.Rounds)
 	for m := 1; m <= cfg.Rounds; m++ {
+		if cfg.Observer != nil {
+			cfg.Observer.OnRoundStart(m)
+		}
 		var weightedLoss float64
 		maxLen := 0
 		for id, conn := range ordered {
@@ -700,7 +720,11 @@ func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg
 				return records, fmt.Errorf("transport: round %d release to client %d: %w", m, id, err)
 			}
 		}
-		records = append(records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)})
+		rec := RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)}
+		records = append(records, rec)
+		if cfg.Observer != nil {
+			cfg.Observer.OnRoundEnd(roundEvent(rec, cfg.K, len(ordered), bm, group.reduceSecs))
+		}
 	}
 	return records, nil
 }

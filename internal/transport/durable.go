@@ -128,6 +128,50 @@ type durServer struct {
 	pendingShards  map[int]rejoinArrival
 
 	spanOffs []int // reusable Seal.Spans offsets buffer
+
+	// Observation state: bm samples wire bytes at round boundaries
+	// (nil without an observer) and walAppends counts this process's
+	// log appends for the event stream's cumulative counter.
+	bm         *byteMeter
+	walAppends uint64
+}
+
+// startMeter builds the byte meter over the live connection slices
+// (rejoins swap entries in place; the meter clamps the resulting
+// counter regressions) and baselines it past the handshake traffic.
+// No-op without an observer.
+func (s *durServer) startMeter() {
+	if s.cfg.Observer == nil {
+		return
+	}
+	if s.group != nil {
+		s.bm = newByteMeter(s.clients, s.group.conns)
+	} else {
+		s.bm = newByteMeter(s.clients)
+	}
+	s.bm.delta()
+}
+
+// startRound publishes a round boundary to the observer, if any.
+func (s *durServer) startRound(m int) {
+	if obs := s.cfg.Observer; obs != nil {
+		obs.OnRoundStart(m)
+	}
+}
+
+// finishRound records one completed round and publishes its event,
+// stamped with the durable log's cumulative append count.
+func (s *durServer) finishRound(rec RoundRecord) {
+	s.records = append(s.records, rec)
+	if obs := s.cfg.Observer; obs != nil {
+		var reduce []float64
+		if s.group != nil {
+			reduce = s.group.reduceSecs
+		}
+		ev := roundEvent(rec, s.cfg.K, len(s.clients), s.bm, reduce)
+		ev.WALAppends = s.walAppends
+		obs.OnRoundEnd(ev)
+	}
 }
 
 // RunDurableServerPeers is RunServerPeers with a write-ahead log: it
@@ -137,7 +181,10 @@ type durServer struct {
 // decision boundary and rejoin-based recovery on every link failure.
 // Shard connections ride in cfg.ShardConns exactly as in
 // RunServerPeers; direct mode is required for a durable shard tier.
-func RunDurableServerPeers(clients []Peer, cfg ServerConfig, dur DurableServerConfig) ([]RoundRecord, error) {
+func RunDurableServerPeers(clients []Peer, cfg ServerConfig, dur DurableServerConfig) (records []RoundRecord, err error) {
+	if cfg.Observer != nil {
+		defer func() { cfg.Observer.OnRunEnd(err) }()
+	}
 	s, err := newDurServer(cfg, dur, len(clients), len(cfg.ShardConns), false)
 	if err != nil {
 		return nil, err
@@ -183,6 +230,7 @@ func RunDurableServerPeers(clients []Peer, cfg ServerConfig, dur DurableServerCo
 			return nil, fmt.Errorf("transport: send init to client %d: %w", id, err)
 		}
 	}
+	s.startMeter()
 	s.round = 1
 	return s.run()
 }
@@ -197,8 +245,11 @@ func RunDurableServerPeers(clients []Peer, cfg ServerConfig, dur DurableServerCo
 // and the loop then continues to cfg.Rounds. The caller owns log's
 // lifetime.
 func ResumeDurableServer(cfg ServerConfig, dur DurableServerConfig, log *wal.Log,
-	replayed []wal.Record, nClients, nShards int) ([]RoundRecord, error) {
+	replayed []wal.Record, nClients, nShards int) (records []RoundRecord, err error) {
 
+	if cfg.Observer != nil {
+		defer func() { cfg.Observer.OnRunEnd(err) }()
+	}
 	s, err := newDurServer(cfg, dur, nClients, nShards, true)
 	if err != nil {
 		return nil, err
@@ -240,6 +291,15 @@ func ResumeDurableServer(cfg ServerConfig, dur DurableServerConfig, log *wal.Log
 		return nil, err
 	}
 	s.records = records
+	// The replayed prefix flows through the event stream too (no byte
+	// meter and no reduce times — those rounds moved nothing in this
+	// process), so a follower always sees every round exactly once.
+	if obs := cfg.Observer; obs != nil {
+		for _, rec := range records {
+			obs.OnRoundStart(rec.Round)
+			obs.OnRoundEnd(roundEvent(rec, cfg.K, nClients, nil, nil))
+		}
+	}
 	if cfg.Direct {
 		group, err := newDirectGroupState(make([]Conn, nShards), s.dim, s.weights, cfg.QuantBits)
 		if err != nil {
@@ -247,6 +307,7 @@ func ResumeDurableServer(cfg ServerConfig, dur DurableServerConfig, log *wal.Log
 		}
 		s.group = group
 	}
+	s.startMeter()
 	s.round = len(records) + 1
 	if s.round > cfg.Rounds {
 		if seal != nil {
@@ -359,6 +420,7 @@ func replayRounds(recs []wal.Record) ([]RoundRecord, *wal.Seal, *wal.Release, er
 func (s *durServer) run() ([]RoundRecord, error) {
 	for m := s.round; m <= s.cfg.Rounds; m++ {
 		s.round = m
+		s.startRound(m)
 		var err error
 		if s.cfg.Direct {
 			err = s.directRound(m)
@@ -381,6 +443,7 @@ func (s *durServer) logSync(r wal.Record) error {
 	if err := s.log.Sync(); err != nil {
 		return fmt.Errorf("transport: wal sync: %w", err)
 	}
+	s.walAppends++
 	return nil
 }
 

@@ -7,6 +7,7 @@ package transport
 
 import (
 	"fmt"
+	"time"
 
 	"fedsparse/internal/gs"
 	"fedsparse/internal/sparse"
@@ -46,7 +47,9 @@ func (s *durServer) directRound(m int) error {
 	g.mergedSum = g.mergedSum[:0]
 	g.mergedRank = g.mergedRank[:0]
 	for sid := range g.conns {
+		t0 := time.Now()
 		res, err := s.recvShardResult(sid, m, maxLen)
+		g.reduceSecs[sid] = time.Since(t0).Seconds()
 		if err != nil {
 			return err
 		}
@@ -118,7 +121,7 @@ func (s *durServer) directRound(m int) error {
 	if err := s.crashAt(BoundaryFinishLogged, m); err != nil {
 		return err
 	}
-	s.records = append(s.records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: elems})
+	s.finishRound(RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: elems})
 	return nil
 }
 
@@ -218,7 +221,7 @@ func (s *durServer) routedRound(m int) error {
 	if err := s.crashAt(BoundaryFinishLogged, m); err != nil {
 		return err
 	}
-	s.records = append(s.records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(bc.Idx)})
+	s.finishRound(RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(bc.Idx)})
 	return nil
 }
 
@@ -232,6 +235,7 @@ func (s *durServer) routedRound(m int) error {
 // to drive it there — releasing first makes both orders converge.
 func (s *durServer) resumeDirectSeal(seal *wal.Seal, release *wal.Release) error {
 	p := seal.Round
+	s.startRound(p)
 	elems := len(seal.Members)
 	if len(seal.Spans) != len(s.group.conns)+1 || seal.Spans[0] != 0 || seal.Spans[len(seal.Spans)-1] != elems {
 		return fmt.Errorf("transport: resume: seal for round %d has %d span offsets over %d members, want %d",
@@ -263,7 +267,7 @@ func (s *durServer) resumeDirectSeal(seal *wal.Seal, release *wal.Release) error
 	if err := s.logSync(&wal.Finish{Round: p, Ints: []int64{int64(elems)}, Floats: []float64{seal.Loss}}); err != nil {
 		return err
 	}
-	s.records = append(s.records, RoundRecord{Round: p, Loss: seal.Loss, DownlinkElems: elems})
+	s.finishRound(RoundRecord{Round: p, Loss: seal.Loss, DownlinkElems: elems})
 	s.round = p + 1
 	return nil
 }
@@ -278,6 +282,7 @@ func (s *durServer) resumeDirectSeal(seal *wal.Seal, release *wal.Release) error
 // continue.
 func (s *durServer) resumeRoutedSeal(seal *wal.Seal, release *wal.Release) error {
 	p := seal.Round
+	s.startRound(p)
 	weightedLoss, err := s.gatherUploads(p)
 	if err != nil {
 		return err
@@ -314,7 +319,7 @@ func (s *durServer) resumeRoutedSeal(seal *wal.Seal, release *wal.Release) error
 	if err := s.logSync(&wal.Finish{Round: p, Ints: []int64{int64(len(bc.Idx))}, Floats: []float64{weightedLoss}}); err != nil {
 		return err
 	}
-	s.records = append(s.records, RoundRecord{Round: p, Loss: weightedLoss, DownlinkElems: len(bc.Idx)})
+	s.finishRound(RoundRecord{Round: p, Loss: weightedLoss, DownlinkElems: len(bc.Idx)})
 	s.round = p + 1
 	return nil
 }

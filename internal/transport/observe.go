@@ -1,0 +1,83 @@
+// Round-event publication for the transport coordinators: the routed
+// and direct RunServerPeers loops and the durable server all emit
+// fl.RoundEvents through ServerConfig.Observer, synchronously at round
+// boundaries. The transport cannot see the engine-side quantities the
+// in-process simulator reports (normalized time, test accuracy), so
+// those fields stay at their not-evaluated values; what it adds is the
+// operational side — wire bytes per round from the binary codec's
+// counters and per-shard reduce wait times.
+package transport
+
+import (
+	"math"
+
+	"fedsparse/internal/fl"
+)
+
+// byteMeter samples cumulative ByteCounter totals across the
+// coordinator's connection groups and yields per-round deltas. The
+// groups are live slices — a durable coordinator swaps connections in
+// place on rejoin, so a sample can observe a *smaller* total than the
+// previous one (a counted connection was replaced); deltas clamp at
+// zero rather than underflow.
+type byteMeter struct {
+	groups             [][]Conn
+	lastSent, lastRecv uint64
+}
+
+func newByteMeter(groups ...[]Conn) *byteMeter {
+	return &byteMeter{groups: groups}
+}
+
+// delta returns the bytes received from and sent to the metered peers
+// since the previous call (server-side: received = uplink, sent =
+// downlink) and advances the baseline.
+func (bm *byteMeter) delta() (recv, sent uint64) {
+	var s, r uint64
+	for _, g := range bm.groups {
+		for _, conn := range g {
+			if bc, ok := conn.(ByteCounter); ok {
+				s += bc.BytesSent()
+				r += bc.BytesReceived()
+			}
+		}
+	}
+	recv = clampedSub(r, bm.lastRecv)
+	sent = clampedSub(s, bm.lastSent)
+	bm.lastSent, bm.lastRecv = s, r
+	return recv, sent
+}
+
+func clampedSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// roundEvent builds the coordinator's view of one finished round.
+// K is the run's fixed sparsity degree; the engine-only metrics
+// (normalized time, evaluations) keep their not-evaluated values.
+// reduce is the per-shard gather wait in seconds (copied; nil for an
+// unsharded run) and bm the byte meter (nil when the caller emits a
+// replayed round, which moved no wire bytes).
+func roundEvent(rec RoundRecord, k, participants int, bm *byteMeter, reduce []float64) fl.RoundEvent {
+	ev := fl.RoundEvent{
+		Round:         rec.Round,
+		K:             k,
+		KCont:         float64(k),
+		Loss:          rec.Loss,
+		DownlinkElems: rec.DownlinkElems,
+		Participants:  participants,
+		TestAcc:       math.NaN(),
+		TestLoss:      math.NaN(),
+		TrainLoss:     math.NaN(),
+	}
+	if bm != nil {
+		ev.BytesUp, ev.BytesDown = bm.delta()
+	}
+	if reduce != nil {
+		ev.ShardReduceSeconds = append([]float64(nil), reduce...)
+	}
+	return ev
+}

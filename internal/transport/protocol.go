@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fedsparse/internal/dataset"
+	"fedsparse/internal/fl"
 	"fedsparse/internal/gs"
 	"fedsparse/internal/nn"
 	"fedsparse/internal/sparse"
@@ -57,6 +58,13 @@ type ServerConfig struct {
 	// ~8× fewer value bytes per round at b=8. Trajectories remain
 	// bit-identical to fl.Run with the same QuantBits.
 	QuantBits int
+	// Observer receives the run's round events synchronously at round
+	// boundaries, with OnRunEnd fired exactly once when the server
+	// returns — the same contract as fl.Config.Observer, plus the
+	// transport-only fields: wire bytes per round from the binary
+	// codec's counters and per-shard reduce wait times. nil disables.
+	// Observers are passive; attaching one moves no trajectory bit.
+	Observer fl.Observer
 }
 
 // Peer is one incoming connection classified by its first message:
@@ -309,7 +317,10 @@ func RunServer(conns []Conn, cfg ServerConfig) ([]RoundRecord, error) {
 // Hello was already consumed (the shared-listener path: AcceptPeer sorts
 // incoming connections into clients and shards, clients go here, shard
 // connections go into cfg.ShardConns).
-func RunServerPeers(clients []Peer, cfg ServerConfig) ([]RoundRecord, error) {
+func RunServerPeers(clients []Peer, cfg ServerConfig) (records []RoundRecord, err error) {
+	if cfg.Observer != nil {
+		defer func() { cfg.Observer.OnRunEnd(err) }()
+	}
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("transport: server needs at least one client")
 	}
@@ -373,8 +384,19 @@ func RunServerPeers(clients []Peer, cfg ServerConfig) ([]RoundRecord, error) {
 	// currently being checked. An int token never wraps in practice.
 	seen := make([]int, len(cfg.InitialParams))
 	seenToken := 0
-	records := make([]RoundRecord, 0, cfg.Rounds)
+	// The byte meter baselines after the handshake/init exchange, so
+	// round 1's delta covers round 1 only. Built only when someone is
+	// listening — the hot path stays untouched without an observer.
+	var bm *byteMeter
+	if cfg.Observer != nil {
+		bm = newByteMeter(ordered, cfg.ShardConns)
+		bm.delta()
+	}
+	records = make([]RoundRecord, 0, cfg.Rounds)
 	for m := 1; m <= cfg.Rounds; m++ {
+		if cfg.Observer != nil {
+			cfg.Observer.OnRoundStart(m)
+		}
 		var weightedLoss float64
 		for id, conn := range ordered {
 			msg, err := conn.Recv()
@@ -447,7 +469,15 @@ func RunServerPeers(clients []Peer, cfg ServerConfig) ([]RoundRecord, error) {
 				return records, fmt.Errorf("transport: round %d send to client %d: %w", m, id, err)
 			}
 		}
-		records = append(records, RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)})
+		rec := RoundRecord{Round: m, Loss: weightedLoss, DownlinkElems: len(agg.Indices)}
+		records = append(records, rec)
+		if cfg.Observer != nil {
+			var reduce []float64
+			if shards != nil {
+				reduce = shards.reduceSecs
+			}
+			cfg.Observer.OnRoundEnd(roundEvent(rec, cfg.K, len(ordered), bm, reduce))
+		}
 	}
 	return records, nil
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"fedsparse/internal/gs"
 	"fedsparse/internal/sparse"
@@ -200,6 +201,11 @@ type ShardGroup struct {
 	mergedIdx  []int
 	mergedSum  []float64
 	mergedRank []int
+
+	// reduceSecs[s] is the wall-clock wait for shard s's ShardResult in
+	// the last Aggregate — the per-shard reduce time the operational
+	// surface reports. Overwritten every round; copied on emission.
+	reduceSecs []float64
 }
 
 // NewShardGroup sends every shard its ShardAssign and returns the group.
@@ -214,15 +220,16 @@ func NewShardGroup(conns []Conn, dim, rounds int, weights []float64) (*ShardGrou
 		return nil, fmt.Errorf("transport: bad shard group geometry (dim=%d clients=%d)", dim, len(weights))
 	}
 	g := &ShardGroup{
-		conns:   conns,
-		dim:     dim,
-		weights: append([]float64(nil), weights...),
-		bounds:  make([]int, len(conns)+1),
-		sel:     gs.NewAggScratch(0),
-		offs:    make([][]int, len(conns)),
-		idxs:    make([][]int, len(conns)),
-		vals:    make([][]float64, len(conns)),
-		rnks:    make([][]int, len(conns)),
+		conns:      conns,
+		dim:        dim,
+		weights:    append([]float64(nil), weights...),
+		bounds:     make([]int, len(conns)+1),
+		sel:        gs.NewAggScratch(0),
+		offs:       make([][]int, len(conns)),
+		idxs:       make([][]int, len(conns)),
+		vals:       make([][]float64, len(conns)),
+		rnks:       make([][]int, len(conns)),
+		reduceSecs: make([]float64, len(conns)),
 	}
 	g.sel.Reserve(dim)
 	for s := range conns {
@@ -298,7 +305,9 @@ func (g *ShardGroup) Aggregate(strat gs.ShardSelector, uploads []gs.ClientUpload
 	g.mergedSum = g.mergedSum[:0]
 	g.mergedRank = g.mergedRank[:0]
 	for s, conn := range g.conns {
+		t0 := time.Now()
 		msg, err := conn.Recv()
+		g.reduceSecs[s] = time.Since(t0).Seconds()
 		if err != nil {
 			return main, probe, fmt.Errorf("transport: round %d recv from shard %d: %w", round, s, err)
 		}

@@ -22,8 +22,9 @@ go test ./...
 # cmd/flsim is in the race list for its loopback-TCP end-to-end runs of
 # both multi-process topologies (routed and client-direct, including the
 # shard-served downlink fan-out); internal/wal for the durable control
-# plane's log/snapshot machinery.
-go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/... ./internal/wal/... ./cmd/flsim/...
+# plane's log/snapshot machinery; internal/admin because its HTTP
+# handlers run concurrently with the observer callbacks feeding them.
+go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./internal/par/... ./internal/transport/... ./internal/wal/... ./internal/admin/... ./cmd/flsim/...
 # Chaos step: the crash-recovery and fault-injection matrices re-run
 # under the race detector with -count=1 — an uncached execution on every
 # push, so the recovery paths (coordinator killed at each WAL boundary,
