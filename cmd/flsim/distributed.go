@@ -45,7 +45,7 @@ func buildWorkload(datasetName, scale string) (*fedsparse.Workload, error) {
 // have advertised their ingest addresses, and the directory is published
 // to the clients in Init.
 func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, seed int64,
-	listenAddr string, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration,
+	listenAddr string, nClients, nShards int, direct bool, quantBits, staleness int, acceptTimeout time.Duration,
 	walDir string, resume bool, adminAddr string) error {
 
 	w, err := buildWorkload(datasetName, scale)
@@ -77,7 +77,7 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 		fmt.Fprintf(out, "# coordinator on %s: waiting for %d clients and %d %s shards (k=%d, %d rounds)\n",
 			ln.Addr(), nClients, nShards, plane, k, rounds)
 	}
-	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, acceptTimeout, walDir, resume, adminAddr)
+	return coordinate(out, ln, w, k, rounds, seed, nClients, nShards, direct, quantBits, staleness, acceptTimeout, walDir, resume, adminAddr)
 }
 
 // coordinate is the listener-driven core of the coordinator role,
@@ -87,7 +87,7 @@ func runCoordinator(out io.Writer, datasetName, scale string, k, rounds int, see
 // listener; with resume the log is replayed instead of accepting a
 // fresh enrollment (every peer reconnects via the Rejoin handshake).
 func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
-	k, rounds int, seed int64, nClients, nShards int, direct bool, quantBits int, acceptTimeout time.Duration,
+	k, rounds int, seed int64, nClients, nShards int, direct bool, quantBits, staleness int, acceptTimeout time.Duration,
 	walDir string, resume bool, adminAddr string) error {
 
 	// Synchronized initial weights: the same construction as the
@@ -100,6 +100,7 @@ func coordinate(out io.Writer, ln *fedsparse.Listener, w *fedsparse.Workload,
 		Rounds:        rounds,
 		InitialParams: ref.Params(),
 		QuantBits:     quantBits,
+		Staleness:     staleness,
 		Direct:        direct,
 	}
 

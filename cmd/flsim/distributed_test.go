@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -17,14 +19,14 @@ import (
 // shards serve their own ingest listeners and the clients upload straight
 // to them.
 func runRolesEndToEnd(t *testing.T, direct bool, quantBits int) string {
-	return runRolesDurable(t, direct, quantBits, "", 2, "")
+	return runRolesDurable(t, direct, quantBits, 0, "", 2, "")
 }
 
 // runRolesDurable is runRolesEndToEnd with an optional -wal-dir: a
 // non-empty walDir runs the durable coordinator and makes every shard
 // and client speak the recovery protocol, exactly as the CLI wires
 // -wal-dir / -durable.
-func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nShards int, adminAddr string) string {
+func runRolesDurable(t *testing.T, direct bool, quantBits, staleness int, walDir string, nShards int, adminAddr string) string {
 	t.Helper()
 	const (
 		dataset = "femnist"
@@ -50,7 +52,7 @@ func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nS
 	var out bytes.Buffer
 	coordDone := make(chan error, 1)
 	go func() {
-		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, time.Minute, walDir, false, adminAddr)
+		coordDone <- coordinate(&out, ln, w, k, rounds, seed, n, nShards, direct, quantBits, staleness, time.Minute, walDir, false, adminAddr)
 	}()
 
 	var wg sync.WaitGroup
@@ -88,6 +90,12 @@ func runRolesDurable(t *testing.T, direct bool, quantBits int, walDir string, nS
 	}
 	for id, err := range clientErrs {
 		if err != nil {
+			// A windowed run may legitimately evict a client that fell
+			// more than the staleness window behind the sealed front;
+			// anything else is a failure.
+			if staleness > 0 && errors.Is(err, fedsparse.ErrStaleClient) {
+				continue
+			}
 			t.Fatalf("client %d: %v", id, err)
 		}
 	}
@@ -148,6 +156,28 @@ func TestQuantizedRolesEndToEnd(t *testing.T) {
 	}
 }
 
+// TestWindowedRolesEndToEnd is the multi-process face of bounded
+// staleness: a -direct -staleness 1 deployment over real loopback TCP
+// must seal every round and emit a well-formed CSV. Loopback timing
+// decides which uploads miss a seal, so the trajectory itself is not
+// pinned (the deterministic differentials live in the transport and
+// engine suites); what this pins is the CLI plumbing — the window
+// reaches ServerConfig, the run completes instead of deadlocking on a
+// relaxed barrier, and a client that falls behind is evicted with
+// ErrStaleClient rather than hung.
+func TestWindowedRolesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	out := runRolesDurable(t, true, 0, 1, "", 2, "")
+	for i, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 || fields[0] != fmt.Sprint(i+1) {
+			t.Fatalf("windowed CSV row %d malformed: %q", i, line)
+		}
+	}
+}
+
 // TestDurableRolesEndToEnd is the CLI face of the durable control
 // plane: a -wal-dir coordinator with -durable shards and clients must
 // complete and emit the exact CSV of the plain deployment — journaling
@@ -158,15 +188,15 @@ func TestDurableRolesEndToEnd(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	t.Run("routed", func(t *testing.T) {
-		durable := runRolesDurable(t, false, 0, t.TempDir(), 0, "")
-		plain := runRolesDurable(t, false, 0, "", 0, "")
+		durable := runRolesDurable(t, false, 0, 0, t.TempDir(), 0, "")
+		plain := runRolesDurable(t, false, 0, 0, "", 0, "")
 		if durable != plain {
 			t.Fatalf("durable CSV differs from plain CSV:\n--- durable ---\n%s--- plain ---\n%s", durable, plain)
 		}
 	})
 	t.Run("direct", func(t *testing.T) {
-		durable := runRolesDurable(t, true, 0, t.TempDir(), 2, "")
-		plain := runRolesDurable(t, true, 0, "", 2, "")
+		durable := runRolesDurable(t, true, 0, 0, t.TempDir(), 2, "")
+		plain := runRolesDurable(t, true, 0, 0, "", 2, "")
 		if durable != plain {
 			t.Fatalf("durable CSV differs from plain CSV:\n--- durable ---\n%s--- plain ---\n%s", durable, plain)
 		}
@@ -201,75 +231,85 @@ func TestValidateFlags(t *testing.T) {
 		return m
 	}
 	cases := []struct {
-		name    string
-		role    string
-		set     map[string]bool
-		shards  int
-		direct  bool
-		durable bool
-		resume  bool
-		walDir  string
-		connect string
-		wantErr string // "" = valid
+		name      string
+		role      string
+		set       map[string]bool
+		shards    int
+		staleness int
+		direct    bool
+		durable   bool
+		resume    bool
+		walDir    string
+		connect   string
+		wantErr   string // "" = valid
 	}{
-		{"sim default", "sim", mk(), 0, false, false, false, "", "", ""},
-		{"sim sharded", "sim", mk("shards"), 4, false, false, false, "", "", ""},
-		{"sim direct sharded", "sim", mk("shards", "direct"), 2, true, false, false, "", "", ""},
-		{"sim direct without shards", "sim", mk("direct"), 0, true, false, false, "", "", "-shards"},
-		{"sim with connect", "sim", mk("connect"), 0, false, false, false, "", "x", "-connect"},
-		{"sim with id", "sim", mk("id"), 0, false, false, false, "", "", "-id"},
-		{"sim with clients", "sim", mk("clients"), 0, false, false, false, "", "", "-clients"},
-		{"sim with listen", "sim", mk("listen"), 0, false, false, false, "", "", "-listen"},
-		{"sim durable", "sim", mk("wal-dir"), 0, false, false, false, "d", "", ""},
-		{"sim resume", "sim", mk("wal-dir", "resume"), 0, false, false, true, "d", "", ""},
-		{"sim resume without wal-dir", "sim", mk("resume"), 0, false, false, true, "", "", "-wal-dir"},
-		{"sim with durable", "sim", mk("durable"), 0, false, true, false, "", "", "-durable"},
-		{"sim with admin-addr", "sim", mk("admin-addr"), 0, false, false, false, "", "", ""},
-		{"coordinator routed", "coordinator", mk("listen", "shards"), 2, false, false, false, "", "", ""},
-		{"coordinator direct", "coordinator", mk("listen", "shards", "direct"), 2, true, false, false, "", "", ""},
-		{"coordinator direct without shards", "coordinator", mk("listen", "direct"), 0, true, false, false, "", "", "-shards"},
-		{"coordinator with connect", "coordinator", mk("connect"), 0, false, false, false, "", "x", "-connect"},
-		{"coordinator with id", "coordinator", mk("id"), 0, false, false, false, "", "", "-id"},
-		{"coordinator with workers", "coordinator", mk("workers"), 0, false, false, false, "", "", "-workers"},
-		{"coordinator durable unsharded", "coordinator", mk("listen", "wal-dir"), 0, false, false, false, "d", "", ""},
-		{"coordinator durable direct", "coordinator", mk("listen", "shards", "direct", "wal-dir"), 2, true, false, false, "d", "", ""},
-		{"coordinator durable routed shards", "coordinator", mk("listen", "shards", "wal-dir"), 2, false, false, false, "d", "", "-direct"},
-		{"coordinator resume", "coordinator", mk("listen", "wal-dir", "resume"), 0, false, false, true, "d", "", ""},
-		{"coordinator resume without wal-dir", "coordinator", mk("listen", "resume"), 0, false, false, true, "", "", "-wal-dir"},
-		{"coordinator with durable", "coordinator", mk("listen", "durable"), 0, false, true, false, "", "", "-durable"},
-		{"coordinator with admin-addr", "coordinator", mk("listen", "admin-addr"), 0, false, false, false, "", "", ""},
-		{"shard routed", "shard", mk("connect"), 0, false, false, false, "", "x", ""},
-		{"shard without connect", "shard", mk(), 0, false, false, false, "", "", "-connect"},
-		{"shard with shards", "shard", mk("connect", "shards"), 2, false, false, false, "", "x", "-shards"},
-		{"shard with clients", "shard", mk("connect", "clients"), 0, false, false, false, "", "x", "-clients"},
-		{"shard with id", "shard", mk("connect", "id"), 0, false, false, false, "", "x", "-id"},
-		{"shard direct", "shard", mk("connect", "direct", "listen"), 0, true, false, false, "", "x", ""},
-		{"shard with quantbits", "shard", mk("connect", "quantbits"), 0, false, false, false, "", "x", "-quantbits"},
-		{"shard direct without listen", "shard", mk("connect", "direct"), 0, true, false, false, "", "x", "-listen"},
-		{"shard routed with listen", "shard", mk("connect", "listen"), 0, false, false, false, "", "x", "-direct"},
-		{"shard durable", "shard", mk("connect", "direct", "listen", "durable", "id"), 0, true, true, false, "", "x", ""},
-		{"shard durable fresh restart", "shard", mk("connect", "direct", "listen", "durable", "id", "resume"), 0, true, true, true, "", "x", ""},
-		{"shard durable routed", "shard", mk("connect", "durable", "id"), 0, false, true, false, "", "x", "-direct"},
-		{"shard durable without id", "shard", mk("connect", "direct", "listen", "durable"), 0, true, true, false, "", "x", "-id"},
-		{"shard resume without durable", "shard", mk("connect", "direct", "listen", "resume"), 0, true, false, true, "", "x", "-durable"},
-		{"shard with wal-dir", "shard", mk("connect", "wal-dir"), 0, false, false, false, "d", "x", "-wal-dir"},
-		{"shard with admin-addr", "shard", mk("connect", "admin-addr"), 0, false, false, false, "", "x", "-admin-addr"},
-		{"client", "client", mk("connect", "id"), 0, false, false, false, "", "x", ""},
-		{"client without connect", "client", mk("id"), 0, false, false, false, "", "", "-connect"},
-		{"client with shards", "client", mk("connect", "shards"), 2, false, false, false, "", "x", "-shards"},
-		{"client with clients", "client", mk("connect", "clients"), 0, false, false, false, "", "x", "-clients"},
-		{"client with direct", "client", mk("connect", "direct"), 0, true, false, false, "", "x", "Init"},
-		{"client with quantbits", "client", mk("connect", "quantbits"), 0, false, false, false, "", "x", "-quantbits"},
-		{"client with listen", "client", mk("connect", "listen"), 0, false, false, false, "", "x", "-listen"},
-		{"client durable", "client", mk("connect", "id", "durable"), 0, false, true, false, "", "x", ""},
-		{"client with wal-dir", "client", mk("connect", "wal-dir"), 0, false, false, false, "d", "x", "-durable"},
-		{"client with resume", "client", mk("connect", "resume"), 0, false, false, true, "", "x", "-durable"},
-		{"client with admin-addr", "client", mk("connect", "admin-addr"), 0, false, false, false, "", "x", "-admin-addr"},
-		{"unknown role", "proxy", mk(), 0, false, false, false, "", "", "unknown role"},
+		{"sim default", "sim", mk(), 0, 0, false, false, false, "", "", ""},
+		{"sim sharded", "sim", mk("shards"), 4, 0, false, false, false, "", "", ""},
+		{"sim direct sharded", "sim", mk("shards", "direct"), 2, 0, true, false, false, "", "", ""},
+		{"sim direct without shards", "sim", mk("direct"), 0, 0, true, false, false, "", "", "-shards"},
+		{"sim with connect", "sim", mk("connect"), 0, 0, false, false, false, "", "x", "-connect"},
+		{"sim with id", "sim", mk("id"), 0, 0, false, false, false, "", "", "-id"},
+		{"sim with clients", "sim", mk("clients"), 0, 0, false, false, false, "", "", "-clients"},
+		{"sim with listen", "sim", mk("listen"), 0, 0, false, false, false, "", "", "-listen"},
+		{"sim durable", "sim", mk("wal-dir"), 0, 0, false, false, false, "d", "", ""},
+		{"sim resume", "sim", mk("wal-dir", "resume"), 0, 0, false, false, true, "d", "", ""},
+		{"sim resume without wal-dir", "sim", mk("resume"), 0, 0, false, false, true, "", "", "-wal-dir"},
+		{"sim with durable", "sim", mk("durable"), 0, 0, false, true, false, "", "", "-durable"},
+		{"sim with admin-addr", "sim", mk("admin-addr"), 0, 0, false, false, false, "", "", ""},
+		{"coordinator routed", "coordinator", mk("listen", "shards"), 2, 0, false, false, false, "", "", ""},
+		{"coordinator direct", "coordinator", mk("listen", "shards", "direct"), 2, 0, true, false, false, "", "", ""},
+		{"coordinator direct without shards", "coordinator", mk("listen", "direct"), 0, 0, true, false, false, "", "", "-shards"},
+		{"coordinator with connect", "coordinator", mk("connect"), 0, 0, false, false, false, "", "x", "-connect"},
+		{"coordinator with id", "coordinator", mk("id"), 0, 0, false, false, false, "", "", "-id"},
+		{"coordinator with workers", "coordinator", mk("workers"), 0, 0, false, false, false, "", "", "-workers"},
+		{"coordinator durable unsharded", "coordinator", mk("listen", "wal-dir"), 0, 0, false, false, false, "d", "", ""},
+		{"coordinator durable direct", "coordinator", mk("listen", "shards", "direct", "wal-dir"), 2, 0, true, false, false, "d", "", ""},
+		{"coordinator durable routed shards", "coordinator", mk("listen", "shards", "wal-dir"), 2, 0, false, false, false, "d", "", "-direct"},
+		{"coordinator resume", "coordinator", mk("listen", "wal-dir", "resume"), 0, 0, false, false, true, "d", "", ""},
+		{"coordinator resume without wal-dir", "coordinator", mk("listen", "resume"), 0, 0, false, false, true, "", "", "-wal-dir"},
+		{"coordinator with durable", "coordinator", mk("listen", "durable"), 0, 0, false, true, false, "", "", "-durable"},
+		{"coordinator with admin-addr", "coordinator", mk("listen", "admin-addr"), 0, 0, false, false, false, "", "", ""},
+		{"shard routed", "shard", mk("connect"), 0, 0, false, false, false, "", "x", ""},
+		{"shard without connect", "shard", mk(), 0, 0, false, false, false, "", "", "-connect"},
+		{"shard with shards", "shard", mk("connect", "shards"), 2, 0, false, false, false, "", "x", "-shards"},
+		{"shard with clients", "shard", mk("connect", "clients"), 0, 0, false, false, false, "", "x", "-clients"},
+		{"shard with id", "shard", mk("connect", "id"), 0, 0, false, false, false, "", "x", "-id"},
+		{"shard direct", "shard", mk("connect", "direct", "listen"), 0, 0, true, false, false, "", "x", ""},
+		{"shard with quantbits", "shard", mk("connect", "quantbits"), 0, 0, false, false, false, "", "x", "-quantbits"},
+		{"shard direct without listen", "shard", mk("connect", "direct"), 0, 0, true, false, false, "", "x", "-listen"},
+		{"shard routed with listen", "shard", mk("connect", "listen"), 0, 0, false, false, false, "", "x", "-direct"},
+		{"shard durable", "shard", mk("connect", "direct", "listen", "durable", "id"), 0, 0, true, true, false, "", "x", ""},
+		{"shard durable fresh restart", "shard", mk("connect", "direct", "listen", "durable", "id", "resume"), 0, 0, true, true, true, "", "x", ""},
+		{"shard durable routed", "shard", mk("connect", "durable", "id"), 0, 0, false, true, false, "", "x", "-direct"},
+		{"shard durable without id", "shard", mk("connect", "direct", "listen", "durable"), 0, 0, true, true, false, "", "x", "-id"},
+		{"shard resume without durable", "shard", mk("connect", "direct", "listen", "resume"), 0, 0, true, false, true, "", "x", "-durable"},
+		{"shard with wal-dir", "shard", mk("connect", "wal-dir"), 0, 0, false, false, false, "d", "x", "-wal-dir"},
+		{"shard with admin-addr", "shard", mk("connect", "admin-addr"), 0, 0, false, false, false, "", "x", "-admin-addr"},
+		{"client", "client", mk("connect", "id"), 0, 0, false, false, false, "", "x", ""},
+		{"client without connect", "client", mk("id"), 0, 0, false, false, false, "", "", "-connect"},
+		{"client with shards", "client", mk("connect", "shards"), 2, 0, false, false, false, "", "x", "-shards"},
+		{"client with clients", "client", mk("connect", "clients"), 0, 0, false, false, false, "", "x", "-clients"},
+		{"client with direct", "client", mk("connect", "direct"), 0, 0, true, false, false, "", "x", "Init"},
+		{"client with quantbits", "client", mk("connect", "quantbits"), 0, 0, false, false, false, "", "x", "-quantbits"},
+		{"client with listen", "client", mk("connect", "listen"), 0, 0, false, false, false, "", "x", "-listen"},
+		{"client durable", "client", mk("connect", "id", "durable"), 0, 0, false, true, false, "", "x", ""},
+		{"client with wal-dir", "client", mk("connect", "wal-dir"), 0, 0, false, false, false, "d", "x", "-durable"},
+		{"client with resume", "client", mk("connect", "resume"), 0, 0, false, false, true, "", "x", "-durable"},
+		{"client with admin-addr", "client", mk("connect", "admin-addr"), 0, 0, false, false, false, "", "x", "-admin-addr"},
+		{"sim staleness", "sim", mk("staleness"), 0, 2, false, false, false, "", "", ""},
+		{"sim negative staleness", "sim", mk("staleness"), 0, -1, false, false, false, "", "", "-staleness"},
+		{"sim staleness with wal-dir", "sim", mk("staleness", "wal-dir"), 0, 1, false, false, false, "d", "", "-wal-dir"},
+		{"coordinator staleness direct", "coordinator", mk("listen", "shards", "direct", "staleness"), 2, 1, true, false, false, "", "", ""},
+		{"coordinator staleness routed", "coordinator", mk("listen", "shards", "staleness"), 2, 1, false, false, false, "", "", "-direct"},
+		{"coordinator negative staleness", "coordinator", mk("listen", "staleness"), 0, -1, false, false, false, "", "", "-staleness"},
+		{"coordinator staleness with wal-dir", "coordinator", mk("listen", "shards", "direct", "staleness", "wal-dir"), 2, 1, true, false, false, "d", "", "-wal-dir"},
+		{"shard with staleness", "shard", mk("connect", "staleness"), 0, 1, false, false, false, "", "x", "-staleness"},
+		{"client with staleness", "client", mk("connect", "staleness"), 0, 1, false, false, false, "", "x", "-staleness"},
+		{"unknown role", "proxy", mk(), 0, 0, false, false, false, "", "", "unknown role"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.role, tc.set, tc.shards, tc.direct, tc.durable, tc.resume, tc.walDir, tc.connect)
+			err := validateFlags(tc.role, tc.set, tc.shards, tc.staleness, tc.direct, tc.durable, tc.resume, tc.walDir, tc.connect)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("valid combination rejected: %v", err)
@@ -293,8 +333,8 @@ func TestAdminCoordinatorDoesNotMoveCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training run in -short mode")
 	}
-	withAdmin := runRolesDurable(t, false, 0, "", 0, "127.0.0.1:0")
-	plain := runRolesDurable(t, false, 0, "", 0, "")
+	withAdmin := runRolesDurable(t, false, 0, 0, "", 0, "127.0.0.1:0")
+	plain := runRolesDurable(t, false, 0, 0, "", 0, "")
 	if withAdmin != plain {
 		t.Fatalf("-admin-addr moved the coordinator CSV:\n--- admin ---\n%s--- plain ---\n%s", withAdmin, plain)
 	}

@@ -26,6 +26,14 @@
 //	flsim -role client -connect 127.0.0.1:7000 -id 0    (unchanged: the
 //	    client learns the shard directory from the coordinator's Init)
 //
+// With -staleness W (sim, or a -direct coordinator) the per-round
+// barrier relaxes to a sliding window: clients run up to W rounds
+// ahead of the slowest shard reduction, and an upload that misses its
+// round's seal folds back into the sender's error-feedback residual
+// instead of stalling the fleet:
+//
+//	flsim -role coordinator -direct -staleness 1 -listen 127.0.0.1:7000 -shards 2 -k 100
+//
 // Durability: -wal-dir journals the run's control-plane decisions so a
 // crashed process restarts instead of killing the run (see README
 // "Durability and recovery"). In sim mode it also writes periodic model
@@ -71,6 +79,7 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		evalEvery   = flag.Int("eval-every", 0, "test-set evaluation cadence in rounds (0 = off)")
 		quantBits   = flag.Int("quantbits", 0, "quantize uploaded and broadcast gradient values to this many bits (0 = full precision; sim and coordinator roles)")
+		staleness   = flag.Int("staleness", 0, "bounded-staleness window W: overlap up to W rounds of client compute with shard reduction (0 = synchronous lockstep; sim and coordinator roles; a distributed coordinator requires -direct)")
 		workers     = flag.Int("workers", 0, "per-client worker pool size, -1 = all CPUs (results are bit-identical at any value; 0 = sequential)")
 		shards      = flag.Int("shards", 0, "sim: run the server aggregation through that many in-process coordinate shards (bit-identical at any value; 0 = unsharded); coordinator: shard processes to wait for")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -93,12 +102,12 @@ func main() {
 	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	err := validateFlags(*role, set, *shards, *direct, *durable, *resume, *walDir, *connectAddr)
+	err := validateFlags(*role, set, *shards, *staleness, *direct, *durable, *resume, *walDir, *connectAddr)
 	if err == nil {
 		switch *role {
 		case "sim":
 			err = withProfiles(*cpuProfile, *memProfile, func() error {
-				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *walDir, *resume, *adminAddr)
+				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *staleness, *walDir, *resume, *adminAddr)
 			})
 		case "coordinator":
 			// The distributed protocol is fixed-k FAB-top-k; reject flags
@@ -107,7 +116,7 @@ func main() {
 				err = fmt.Errorf("the coordinator role runs fixed-k fab-top-k; -strategy/-adaptive apply to -role sim only")
 				break
 			}
-			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *acceptWait, *walDir, *resume, *adminAddr)
+			err = runCoordinator(os.Stdout, *datasetName, *scale, *k, *rounds, *seed, *listenAddr, *clients, *shards, *direct, *quantBits, *staleness, *acceptWait, *walDir, *resume, *adminAddr)
 		case "shard":
 			err = runShardRole(*connectAddr, *direct, *listenAddr, *acceptWait, *durable, *resume, *clientID, *seed)
 		case "client":
@@ -124,10 +133,14 @@ func main() {
 // error — a wrong pairing must fail before any process starts waiting on
 // a peer that will never behave as expected (a mid-round hang is the
 // alternative). set records which flags were given explicitly.
-func validateFlags(role string, set map[string]bool, shards int, direct, durable, resume bool, walDir, connect string) error {
+func validateFlags(role string, set map[string]bool, shards, staleness int, direct, durable, resume bool, walDir, connect string) error {
 	switch role {
 	case "sim":
 		switch {
+		case staleness < 0:
+			return errors.New("flsim: -staleness must be >= 0 (0 = synchronous lockstep)")
+		case staleness > 0 && walDir != "":
+			return errors.New("flsim: -staleness is incompatible with -wal-dir (the asynchronous admission schedule cannot be journaled)")
 		case set["connect"]:
 			return errors.New("flsim: -connect applies to -role shard|client; sim runs in-process")
 		case set["id"]:
@@ -145,6 +158,12 @@ func validateFlags(role string, set map[string]bool, shards int, direct, durable
 		}
 	case "coordinator":
 		switch {
+		case staleness < 0:
+			return errors.New("flsim: -staleness must be >= 0 (0 = synchronous lockstep)")
+		case staleness > 0 && !direct:
+			return errors.New("flsim: -staleness requires -direct (the windowed data plane is client-direct; routed shards run in lockstep)")
+		case staleness > 0 && walDir != "":
+			return errors.New("flsim: -staleness is incompatible with -wal-dir (the asynchronous admission schedule cannot be journaled)")
 		case set["connect"]:
 			return errors.New("flsim: -connect applies to -role shard|client; the coordinator listens on -listen")
 		case set["id"]:
@@ -170,6 +189,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct, durable
 			return errors.New("flsim: -clients applies to -role coordinator")
 		case set["quantbits"]:
 			return errors.New("flsim: -quantbits is the coordinator's flag; shards learn the width from their assignment")
+		case set["staleness"]:
+			return errors.New("flsim: -staleness is the coordinator's flag; shards learn the window from their assignment")
 		case set["wal-dir"]:
 			return errors.New("flsim: -wal-dir applies to -role sim|coordinator; a shard's durability is -durable")
 		case set["admin-addr"]:
@@ -199,6 +220,8 @@ func validateFlags(role string, set map[string]bool, shards int, direct, durable
 			return errors.New("flsim: clients learn the topology from the coordinator's Init; -direct applies to sim, coordinator, and shard roles")
 		case set["quantbits"]:
 			return errors.New("flsim: clients learn the quantization width from the coordinator's Init; -quantbits applies to sim and coordinator roles")
+		case set["staleness"]:
+			return errors.New("flsim: clients learn the staleness window from the coordinator's Init; -staleness applies to sim and coordinator roles")
 		case set["listen"]:
 			return errors.New("flsim: -listen applies to -role coordinator or a direct -role shard")
 		case set["wal-dir"] || set["resume"]:
@@ -252,7 +275,7 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 }
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
-	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits int,
+	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits, staleness int,
 	walDir string, resume bool, adminAddr string) error {
 
 	w, err := buildWorkload(datasetName, scale)
@@ -285,6 +308,7 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		Shards:       shards,
 		Direct:       direct,
 		QuantBits:    quantBits,
+		Staleness:    staleness,
 		WALDir:       walDir,
 		Resume:       resume,
 	}

@@ -18,21 +18,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{
 			name: "bad dataset",
 			call: func() error {
-				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false, "")
+				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "")
 			},
 			want: "unknown dataset",
 		},
 		{
 			name: "bad strategy",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false, "")
+				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "")
 			},
 			want: "unknown strategy",
 		},
 		{
 			name: "bad controller",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, "", false, "")
+				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "")
 			},
 			want: "unknown adaptive controller",
 		},
@@ -63,26 +63,26 @@ func TestRunEmitsCSV(t *testing.T) {
 		if strat == "fedavg" {
 			shards = 0
 		}
-		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0, "", false, ""); err != nil {
+		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0, 0, "", false, ""); err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
 		if shards > 0 {
-			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0, "", false, ""); err != nil {
+			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0, 0, "", false, ""); err != nil {
 				t.Fatalf("%s direct: %v", strat, err)
 			}
 		}
 	}
 	// Adaptive controllers over the CLI.
 	for _, ctrl := range []string{"alg2", "alg3", "value", "exp3", "bandit"} {
-		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0, "", false, ""); err != nil {
+		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0, 0, "", false, ""); err != nil {
 			t.Fatalf("%s: %v", ctrl, err)
 		}
 	}
 	// Quantized uploads over the CLI, unsharded and sharded.
-	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8, "", false, ""); err != nil {
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8, 0, "", false, ""); err != nil {
 		t.Fatalf("quantbits=8: %v", err)
 	}
-	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8, "", false, ""); err != nil {
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8, 0, "", false, ""); err != nil {
 		t.Fatalf("quantbits=8 direct: %v", err)
 	}
 }
@@ -98,11 +98,11 @@ func TestRunDurableSim(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	var plain, durable, resumed strings.Builder
-	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, "", false, ""); err != nil {
+	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := run(&durable, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, dir, false, ""); err != nil {
+	if err := run(&durable, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, dir, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != durable.String() {
@@ -110,15 +110,43 @@ func TestRunDurableSim(t *testing.T) {
 	}
 	// Resuming a run whose log is already complete replays it to the
 	// same bytes without recomputing.
-	if err := run(&resumed, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, dir, true, ""); err != nil {
+	if err := run(&resumed, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, dir, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != resumed.String() {
 		t.Fatalf("-resume moved the CSV:\n--- plain ---\n%s--- resumed ---\n%s", plain.String(), resumed.String())
 	}
-	err := run(io.Discard, "femnist", "tiny", "fab", "exp3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, t.TempDir(), false, "")
+	err := run(io.Discard, "femnist", "tiny", "fab", "exp3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, t.TempDir(), false, "")
 	if err == nil || !strings.Contains(err.Error(), "self-randomizing") {
 		t.Fatalf("exp3 with -wal-dir: %v", err)
+	}
+}
+
+// TestRunStalenessSim is the CLI face of the bounded-staleness
+// engine: -staleness selects the asynchronous round loop, whose
+// trajectory is deterministic (two windowed runs are byte-identical)
+// but diverges from the synchronous run — the pipelined clients
+// compute against a model up to W rounds old, so a moved CSV is the
+// proof the window actually reached the engine. The sharded tier
+// rides along to cover the async dispatch over -shards.
+func TestRunStalenessSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	var sync, win1, win2 strings.Builder
+	if err := run(&sync, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, false, 0, 0, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []*strings.Builder{&win1, &win2} {
+		if err := run(out, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, false, 0, 2, "", false, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if win1.String() != win2.String() {
+		t.Fatalf("windowed sim is nondeterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", win1.String(), win2.String())
+	}
+	if win1.String() == sync.String() {
+		t.Fatal("-staleness 2 CSV identical to the synchronous CSV — the window did not reach the engine")
 	}
 }
 
@@ -177,10 +205,10 @@ func TestAdminDoesNotMoveCSV(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	var plain, admin strings.Builder
-	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, "", false, ""); err != nil {
+	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, 0, "", false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&admin, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, "", false, "127.0.0.1:0"); err != nil {
+	if err := run(&admin, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, 0, "", false, "127.0.0.1:0"); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != admin.String() {

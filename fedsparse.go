@@ -132,6 +132,23 @@
 // model, downlink fan-out included; the differential suites pin direct
 // == routed == unsharded over mem and TCP).
 //
+// # Bounded staleness (asynchronous rounds)
+//
+// Config.Staleness (the window W) or a Config.Delays schedule selects
+// the asynchronous engine loop: an upload at most W rounds late is
+// still admitted into its round's aggregation, a later one folds back
+// into the sender's error-feedback residual and rides the next
+// admitted upload. ServerConfig.Staleness deploys the same contract
+// over the wire on the direct data plane — per-shard round barriers
+// relax to sliding windows, a slice that misses its round's seal is
+// refused with a SliceNack (the client folds it into its residual),
+// and a client more than W rounds behind the sealed front is evicted
+// with ErrStaleClient instead of stalling the fleet. W = 0 (the
+// default) is bit-identical to the synchronous engine; W >= 1 is
+// deterministic given the same delay schedule; W is capped at
+// MaxStaleness. Staleness is GS-only and incompatible with the WAL.
+// See README.md ("Asynchronous rounds and bounded staleness").
+//
 // # Durability and recovery
 //
 // Both round engines can journal their control-plane decisions to a
@@ -522,6 +539,16 @@ var (
 	// repairTail flag truncates a torn final record instead of erroring.
 	OpenWAL = wal.Open
 )
+
+// ErrStaleClient is returned (wrapped) by RunClient when a windowed
+// run (ServerConfig.Staleness > 0) evicts a client that fell more
+// than the staleness window behind the sealed aggregation front.
+var ErrStaleClient = transport.ErrStaleClient
+
+// MaxStaleness caps ServerConfig.Staleness / Config.Staleness: a
+// window that wide stops overlapping compute with reduction and
+// starts hiding dead clients.
+const MaxStaleness = transport.MaxStaleness
 
 // Transport constructors and drivers.
 var (

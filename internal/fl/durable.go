@@ -121,7 +121,7 @@ func engineConf(cfg *Config, d, nClients int, ctrlName string) []int64 {
 	}
 	return []int64{
 		int64(d), int64(cfg.Rounds), int64(cfg.BatchSize), int64(cfg.QuantBits),
-		int64(nClients), direct,
+		int64(nClients), direct, int64(cfg.Staleness),
 		bits(cfg.LearningRate), bits(cfg.Participation), bits(cfg.Beta), bits(cfg.MaxTime),
 		int64(cfg.EvalEvery), int64(cfg.TrainLossEvery),
 		hash(cfg.Strategy.Name()), hash(ctrlName),

@@ -163,6 +163,33 @@ type Config struct {
 	// the observer too, so the stream always covers every round.
 	Observer Observer
 
+	// Staleness is the bounded-staleness window W of the asynchronous
+	// round pipeline (0 = fully synchronous). With W > 0 the engine
+	// overlaps client compute with aggregation: round m+1's phase-A
+	// local gradients are computed while rounds m−W+1..m are still
+	// unsealed, so every phase A runs at the weights of the last sealed
+	// round W steps back — the in-process model of the transport tier's
+	// sliding-window shard barriers. Uploads that miss a round's seal
+	// cutoff (see Delays) are folded back into the client's
+	// error-feedback residual instead of being dropped. W=0 with a nil
+	// Delays runs today's synchronous loop; W=0 with a non-nil Delays
+	// runs the async machinery and is bit-identical to it (the
+	// differential tests pin this across the full topology grid).
+	// GS mode only; incompatible with WALDir (the admission schedule is
+	// a function value and cannot be fingerprinted into the log).
+	Staleness int
+	// Delays models client lateness for the bounded-staleness engine:
+	// Delays(ci, m) is how many rounds late client ci's round-m upload
+	// arrives at its seal. An upload is admitted iff its delay is at
+	// most Staleness; otherwise it misses the cutoff, the aggregation
+	// sees a counted-but-empty contribution (the client's weight still
+	// divides the round), and the mass stays in the client's residual —
+	// re-extracted by the next top-k, so nothing is silently lost.
+	// nil means every upload is on time. Runs are deterministic given
+	// the same delay schedule. Setting Delays (even all-zero) selects
+	// the asynchronous engine; Staleness alone does too when > 0.
+	Delays func(client, round int) int
+
 	// Direct switches the sharded tier (Shards > 0 required) from the
 	// routed topology — every upload flows through the coordinator, which
 	// re-routes range slices to shards — to the client-direct one: each
@@ -284,6 +311,11 @@ func run(cfg Config) (*Result, error) {
 	if cfg.FedAvg {
 		return runFedAvg(cfg, clients, totalWeight, cost, engineRng)
 	}
+	if cfg.Staleness > 0 || cfg.Delays != nil {
+		// The bounded-staleness pipeline (async.go). validate ruled out
+		// WALDir, so dur is nil on this path by construction.
+		return runGSAsync(cfg, clients, totalWeight, cost, ctrl, engineRng, d)
+	}
 	if dur != nil {
 		rc, ok := ctrl.(core.Resumable)
 		if !ok {
@@ -332,6 +364,12 @@ func validate(cfg *Config) error {
 		return errors.New("fl: Workers must be non-negative (0 = sequential)")
 	case cfg.Shards < 0:
 		return errors.New("fl: Shards must be non-negative (0 = unsharded)")
+	case cfg.Staleness < 0:
+		return errors.New("fl: Staleness must be non-negative (0 = synchronous)")
+	case (cfg.Staleness > 0 || cfg.Delays != nil) && cfg.FedAvg:
+		return errors.New("fl: Staleness/Delays apply to GS mode only (FedAvg has no per-round upload to admit)")
+	case (cfg.Staleness > 0 || cfg.Delays != nil) && cfg.WALDir != "":
+		return errors.New("fl: Staleness/Delays are incompatible with WALDir (the admission schedule is a function value and cannot be fingerprinted into the log)")
 	case cfg.Shards > 0 && cfg.FedAvg:
 		return errors.New("fl: Shards applies to GS mode only (FedAvg has no sparse aggregation)")
 	case cfg.Direct && cfg.FedAvg:

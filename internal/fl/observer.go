@@ -33,6 +33,20 @@ type RoundEvent struct {
 	// PerClientUsed is |J ∩ J_i| per client (nil unless recorded).
 	PerClientUsed []int
 
+	// StaleSlices counts the contributions that missed this round's seal
+	// cutoff in a bounded-staleness run and were folded back into their
+	// clients' error-feedback residuals (0 when synchronous).
+	StaleSlices int
+	// ResidualNorm is the l2 norm of the folded-back upload mass — the
+	// gradient weight re-entering the residual accumulators this round.
+	// 0 when nothing was folded; NaN when the publisher cannot see the
+	// payloads (the transport coordinator, which only counts misses).
+	ResidualNorm float64
+	// WindowDepth is how many later rounds had already entered phase-A
+	// compute when this round sealed — the realized pipeline overlap
+	// (0 when synchronous).
+	WindowDepth int
+
 	// BytesUp/BytesDown are the wire bytes the coordinator received
 	// from and sent to its peers during this round. Only transport
 	// rounds over byte-counting connections (the binary codec) fill

@@ -78,13 +78,14 @@ func requireBitIdentical(t *testing.T, label string, want, got *Result) {
 	for i := range want.Stats {
 		a, b := want.Stats[i], got.Stats[i]
 		if a.Round != b.Round || a.K != b.K || a.DownlinkElems != b.DownlinkElems ||
-			a.Participants != b.Participants {
+			a.Participants != b.Participants || a.StaleSlices != b.StaleSlices ||
+			a.WindowDepth != b.WindowDepth {
 			t.Fatalf("%s round %d: int fields diverged: %+v vs %+v", label, a.Round, a, b)
 		}
 		floats := [][2]float64{
 			{a.KCont, b.KCont}, {a.RoundTime, b.RoundTime}, {a.Time, b.Time},
 			{a.Loss, b.Loss}, {a.TestAcc, b.TestAcc}, {a.TestLoss, b.TestLoss},
-			{a.TrainLoss, b.TrainLoss},
+			{a.TrainLoss, b.TrainLoss}, {a.ResidualNorm, b.ResidualNorm},
 		}
 		for fi, p := range floats {
 			if bits(p[0]) != bits(p[1]) {

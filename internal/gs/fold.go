@@ -1,0 +1,45 @@
+package gs
+
+import (
+	"math"
+
+	"fedsparse/internal/sparse"
+)
+
+// FoldStale applies the error-feedback fold-in of a bounded-staleness
+// seal: every participant whose upload missed the round's cutoff
+// (admitted[pi] == false) has its upload masked to an empty slice —
+// the aggregation then sees a counted-but-empty contribution, exactly
+// what a forced shard seal reduces on the wire — and the masked mass
+// stays in the client's residual accumulator, because the residual
+// subtraction after the broadcast only runs for admitted uploads. The
+// weight is retained: the client still divides the round's total C, so
+// a missed cutoff dilutes the aggregate rather than reweighting it,
+// matching the distributed barrier's counted-but-empty semantics.
+//
+// It returns how many uploads were folded and the l2 norm of the
+// folded values (the mass re-entering the error-feedback residuals —
+// the observability signal RoundEvent.ResidualNorm reports). The pair
+// storage belongs to the caller and is left untouched; masking only
+// clears the upload's view of it. The hot path allocates nothing
+// (bench-gated by BenchmarkFoldStale).
+func FoldStale(uploads []ClientUpload, admitted []bool) (stale int, residualNorm float64) {
+	if admitted == nil {
+		return 0, 0
+	}
+	var sq float64
+	for pi := range uploads {
+		if admitted[pi] {
+			continue
+		}
+		u := &uploads[pi]
+		if u.Pairs.Len() > 0 {
+			stale++
+			for _, v := range u.Pairs.Val {
+				sq += v * v
+			}
+		}
+		u.Pairs = sparse.Vec{}
+	}
+	return stale, math.Sqrt(sq)
+}

@@ -76,6 +76,7 @@ const (
 	tagRejoin
 	tagRejoinAck
 	tagRedo
+	tagSliceNack
 )
 
 // wireWriter appends wire-encoded primitives to a buffer, latching the
@@ -567,6 +568,7 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.K)
 		w.putNum(m.Rounds)
 		w.putNum(m.QuantBits)
+		w.putNum(m.Window)
 		w.putU64(m.RunID)
 		w.putF64s(m.Params)
 		w.putStrs(m.Shards)
@@ -599,6 +601,7 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.Rounds)
 		w.putNum(m.QuantBits)
 		w.putNum(m.StartRound)
+		w.putNum(m.Window)
 		w.putBool(m.Direct)
 		w.putF64s(m.Weights)
 	case ShardUpload:
@@ -688,6 +691,12 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.Round)
 		w.putNum(m.ShardID)
 		w.putStr(m.Addr)
+	case SliceNack:
+		w.putU8(tagSliceNack)
+		w.putNum(m.ClientID)
+		w.putNum(m.Round)
+		w.putNum(m.Sealed)
+		w.putBool(m.Evicted)
 	default:
 		return b, fmt.Errorf("transport: binary codec: unsupported message type %T", msg)
 	}
@@ -725,6 +734,7 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.K = r.num()
 		m.Rounds = r.num()
 		m.QuantBits = r.num()
+		m.Window = r.num()
 		m.RunID = r.u64()
 		m.Params = r.f64s(nil)
 		m.Shards = r.strs(nil)
@@ -747,6 +757,7 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.Rounds = r.num()
 		m.QuantBits = r.num()
 		m.StartRound = r.num()
+		m.Window = r.num()
 		m.Direct = r.bool_()
 		m.Weights = r.f64s(nil)
 		msg = m
@@ -812,6 +823,13 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.Round = r.num()
 		m.ShardID = r.num()
 		m.Addr = r.str()
+		msg = m
+	case tagSliceNack:
+		var m SliceNack
+		m.ClientID = r.num()
+		m.Round = r.num()
+		m.Sealed = r.num()
+		m.Evicted = r.bool_()
 		msg = m
 	default:
 		return nil, fmt.Errorf("transport: binary codec: unknown message type tag %d", tag)

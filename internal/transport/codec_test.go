@@ -38,6 +38,7 @@ func codecFixtures() []any {
 	return []any{
 		Hello{ClientID: 7, Weight: 2.5},
 		Init{Params: []float64{0.5, -1, 2}, K: 3, Rounds: 9, QuantBits: 8, RunID: 0xdeadbeefcafe0123, Shards: []string{"a:1", "b:2"}},
+		Init{Params: []float64{1.5}, K: 1, Rounds: 4, Window: 3, Shards: []string{"c:3"}},
 		// A non-finite VALUE is a legal raw payload (only a non-finite
 		// quantization SCALE is a protocol error).
 		Upload{ClientID: 1, Round: 2, Idx: []int{3, 9}, Val: []float64{1.5, math.Inf(-1)}, BatchLoss: 0.75},
@@ -47,6 +48,7 @@ func codecFixtures() []any {
 		ShardHello{Addr: "127.0.0.1:9"},
 		ShardHello{Addr: "127.0.0.1:10", ID: 1, HasID: true},
 		ShardAssign{ShardID: 1, NumShards: 2, Dim: 32, Rounds: 5, Weights: []float64{1, 2, 3, 4}, Direct: true, QuantBits: 8, StartRound: 3},
+		ShardAssign{ShardID: 0, NumShards: 1, Dim: 8, Rounds: 6, Weights: []float64{2}, Direct: true, StartRound: 1, Window: 2},
 		ShardUpload{Round: 1, Off: []int{0, 1, 2}, Idx: []int{4, 8}, Val: []float64{0.5, -0.5}, Rank: []int{0, 3}},
 		ShardResult{Round: 1, ShardID: 0, Idx: []int{2, 5}, Sum: []float64{1.25, -3}, MinRank: []int{1, 0}},
 		DataHello{ClientID: 2, ShardID: 1, NumShards: 2, Dim: 32},
@@ -64,6 +66,8 @@ func codecFixtures() []any {
 		Rejoin{RunID: 1, Kind: RejoinClient, ID: 2, Round: 5, LastSeal: 5},
 		RejoinAck{RunID: 0xdeadbeefcafe0123, Round: 4, NeedFrom: 4},
 		Redo{Round: 4, ShardID: 1, Addr: "127.0.0.1:10"},
+		SliceNack{ClientID: 2, Round: 7, Sealed: 9},
+		SliceNack{ClientID: 0, Round: 1, Sealed: 4, Evicted: true},
 	}
 }
 
@@ -177,6 +181,7 @@ func TestBinaryCodecCorruptedFrames(t *testing.T) {
 		w.putNum(3)           // K
 		w.putNum(5)           // Rounds
 		w.putNum(0)           // QuantBits
+		w.putNum(0)           // Window
 		w.putU64(7)           // RunID
 		w.putU32(1 << 28)     // Params count: 2 GiB worth of floats...
 		w.b = append(w.b, 42) // ...backed by one byte

@@ -161,6 +161,23 @@ type (
 		Round int
 		Elems int
 	}
+
+	// SliceNack is a windowed shard's refusal on the direct data plane
+	// (bounded staleness only; the synchronous protocol never sends one).
+	// Round echoes the refused message's round tag and Sealed the shard's
+	// seal cutoff at refusal time. Evicted false: the client's
+	// SliceUpload for Round missed the seal cutoff — the slice was not
+	// aggregated, and the client must fold it back into its
+	// error-feedback residual. Evicted true: the client fell more than
+	// the window behind on its downlink fetches and the broadcast it
+	// needs has been evicted from the shard's ring; the shard closes the
+	// connection and the client exits with ErrStaleClient.
+	SliceNack struct {
+		ClientID int
+		Round    int
+		Sealed   int
+		Evicted  bool
+	}
 )
 
 // RunDirectShard executes one aggregation shard of the direct data
@@ -200,6 +217,10 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 	if !assign.Direct {
 		return fmt.Errorf("transport: routed assignment sent to a direct shard (coordinator not in direct mode?)")
 	}
+	if assign.Window < 0 || assign.Window > MaxStaleness {
+		return fmt.Errorf("transport: shard %d assigned staleness window %d outside [0, %d]",
+			assign.ShardID, assign.Window, MaxStaleness)
+	}
 	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
 	n := len(assign.Weights)
 
@@ -234,6 +255,12 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 		if conn == nil {
 			return fmt.Errorf("transport: shard %d: no ingest connection from client %d", assign.ShardID, ci)
 		}
+	}
+	if assign.Window > 0 {
+		// Bounded staleness: the per-round barrier below relaxes to a
+		// sliding admission window with concurrent per-client readers.
+		// The synchronous path stays byte-for-byte untouched.
+		return runDirectShardWindowed(coord, assign, conns, lo, hi)
 	}
 
 	scratch := gs.NewAggScratch(0)
@@ -437,11 +464,18 @@ type DirectGroup struct {
 // onto its global b-bit grid and seals the shards with that grid, so
 // the shard-served downlink is the engine's quantized aggregate.
 func NewDirectGroup(conns []Conn, dim, rounds int, weights []float64, quantBits int) (*DirectGroup, error) {
+	return newWindowedDirectGroup(conns, dim, rounds, weights, quantBits, 0)
+}
+
+// newWindowedDirectGroup is NewDirectGroup with a bounded-staleness
+// window in the assignments — the windowed coordinator's constructor
+// (window 0 is the synchronous group).
+func newWindowedDirectGroup(conns []Conn, dim, rounds int, weights []float64, quantBits, window int) (*DirectGroup, error) {
 	g, err := newDirectGroupState(conns, dim, weights, quantBits)
 	if err != nil {
 		return nil, err
 	}
-	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true, QuantBits: quantBits}
+	assign := ShardAssign{NumShards: len(conns), Dim: dim, Rounds: rounds, Weights: append([]float64(nil), weights...), Direct: true, QuantBits: quantBits, Window: window}
 	for s, conn := range conns {
 		assign.ShardID = s
 		if err := conn.Send(assign); err != nil {
@@ -657,15 +691,18 @@ func runServerDirect(ordered []Conn, weights []float64, totalWeight float64, cfg
 			return nil, fmt.Errorf("transport: direct mode: shard %d advertised no ingest address", s)
 		}
 	}
-	group, err := NewDirectGroup(cfg.ShardConns, dim, cfg.Rounds, weights, cfg.QuantBits)
+	group, err := newWindowedDirectGroup(cfg.ShardConns, dim, cfg.Rounds, weights, cfg.QuantBits, cfg.Staleness)
 	if err != nil {
 		return nil, err
 	}
-	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds, QuantBits: cfg.QuantBits, Shards: cfg.ShardAddrs}
+	init := Init{Params: cfg.InitialParams, K: cfg.K, Rounds: cfg.Rounds, QuantBits: cfg.QuantBits, Window: cfg.Staleness, Shards: cfg.ShardAddrs}
 	for _, conn := range ordered {
 		if err := conn.Send(init); err != nil {
 			return nil, fmt.Errorf("transport: send init: %w", err)
 		}
+	}
+	if cfg.Staleness > 0 {
+		return runServerDirectWindowed(ordered, weights, totalWeight, cfg, group)
 	}
 
 	strategy := &gs.FABTopK{}
@@ -771,6 +808,9 @@ func runClientDirect(coord Conn, cfg ClientConfig, init Init) error {
 		}
 	}
 	shardOf := func(j int) int { return sort.SearchInts(bounds, j+1) - 1 }
+	if init.Window > 0 {
+		return runClientDirectWindowed(coord, cfg, init, shardConns, bounds, shardOf)
+	}
 
 	// Per-shard slice buffers and the downlink reassembly buffers,
 	// reused across rounds under the lockstep argument documented on

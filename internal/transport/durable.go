@@ -185,6 +185,12 @@ func RunDurableServerPeers(clients []Peer, cfg ServerConfig, dur DurableServerCo
 	if cfg.Observer != nil {
 		defer func() { cfg.Observer.OnRunEnd(err) }()
 	}
+	if cfg.Staleness > 0 {
+		// The WAL's replay protocol assumes lockstep rounds: every round's
+		// uploads are complete before the seal is logged. Bounded
+		// staleness would need windowed redo semantics it does not have.
+		return nil, fmt.Errorf("transport: durable coordinator does not support bounded staleness (Staleness=%d)", cfg.Staleness)
+	}
 	s, err := newDurServer(cfg, dur, len(clients), len(cfg.ShardConns), false)
 	if err != nil {
 		return nil, err

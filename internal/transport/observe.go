@@ -72,6 +72,10 @@ func roundEvent(rec RoundRecord, k, participants int, bm *byteMeter, reduce []fl
 		TestAcc:       math.NaN(),
 		TestLoss:      math.NaN(),
 		TrainLoss:     math.NaN(),
+		// Residual mass lives in the clients' error-feedback state; the
+		// coordinator cannot observe it, so the field stays not-evaluated
+		// (the engine's in-process observer reports the real norm).
+		ResidualNorm: math.NaN(),
 	}
 	if bm != nil {
 		ev.BytesUp, ev.BytesDown = bm.delta()

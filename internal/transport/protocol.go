@@ -65,7 +65,24 @@ type ServerConfig struct {
 	// codec's counters and per-shard reduce wait times. nil disables.
 	// Observers are passive; attaching one moves no trajectory bit.
 	Observer fl.Observer
+	// Staleness is the bounded-staleness window W, mirroring
+	// fl.Config.Staleness: 0 runs the synchronous lockstep protocol
+	// unchanged; W > 0 pipelines the rounds — clients start round m+1's
+	// local compute before round m's broadcast lands, shards admit
+	// slices for rounds in a sliding window of width W+1, and a client
+	// that misses a shard's seal cutoff gets a SliceNack and folds the
+	// unsent slice back into its error-feedback residual. Direct mode
+	// only (the routed plane stays lockstep), and capped at
+	// MaxStaleness — see RunServerPeers.
+	Staleness int
 }
+
+// MaxStaleness caps ServerConfig.Staleness. Each in-flight window round
+// holds buffered messages per connection (slices, releases, unsolicited
+// NACKs); the cap keeps that bounded well inside every conn
+// implementation's buffering so the pipeline can never deadlock on its
+// own backpressure.
+const MaxStaleness = 8
 
 // Peer is one incoming connection classified by its first message:
 // exactly one of Hello (a client on the coordinator's control plane),
@@ -326,6 +343,12 @@ func RunServerPeers(clients []Peer, cfg ServerConfig) (records []RoundRecord, er
 	}
 	if cfg.QuantBits != 0 && (cfg.QuantBits < 2 || cfg.QuantBits > 64) {
 		return nil, fmt.Errorf("transport: QuantBits must be 0 (off) or in [2, 64], got %d", cfg.QuantBits)
+	}
+	if cfg.Staleness < 0 || cfg.Staleness > MaxStaleness {
+		return nil, fmt.Errorf("transport: Staleness must be in [0, %d], got %d", MaxStaleness, cfg.Staleness)
+	}
+	if cfg.Staleness > 0 && !cfg.Direct {
+		return nil, fmt.Errorf("transport: Staleness requires the direct data plane (the routed topology is lockstep)")
 	}
 	// Order connections by client ID.
 	ordered := make([]Conn, len(clients))

@@ -64,6 +64,14 @@ type (
 		// a shard that restarted mid-run sets it to the round in
 		// progress so the shard's barrier starts there.
 		StartRound int
+		// Window is the bounded-staleness window W (0 = synchronous).
+		// A direct shard with W > 0 relaxes its per-round barrier to a
+		// sliding admission window: with round cut sealed for reduction,
+		// it admits SliceUploads tagged for rounds in [cut+1, cut+1+W]
+		// and NACKs anything at or below the cut. Direct plane only —
+		// routed shards are driven by the coordinator's lockstep round
+		// loop and reject a windowed assignment.
+		Window int
 	}
 
 	// ShardUpload is one round's routed pairs for one shard, all clients
@@ -124,6 +132,9 @@ func RunShard(conn Conn) error {
 	if assign.Direct {
 		return fmt.Errorf("transport: direct assignment sent to a routed shard (run the shard with a direct ingest listener)")
 	}
+	if assign.Window != 0 {
+		return fmt.Errorf("transport: routed shard given staleness window %d: bounded staleness rides the direct data plane (routed shards follow the coordinator's lockstep round loop)", assign.Window)
+	}
 	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
 	n := len(assign.Weights)
 
@@ -147,8 +158,13 @@ func RunShard(conn Conn) error {
 		if !ok {
 			return fmt.Errorf("transport: shard %d round %d: expected ShardUpload, got %T", assign.ShardID, m, msg)
 		}
-		if up.Round != m {
-			return fmt.Errorf("transport: shard %d: stale upload (round %d, want %d)", assign.ShardID, up.Round, m)
+		// Window-form admission guard. Routed assignments always carry
+		// Window == 0, so this degenerates to the strict up.Round == m
+		// lockstep check; the window form keeps the guard shape shared
+		// with the direct plane's sliding admission.
+		if up.Round < m || up.Round > m+assign.Window {
+			return fmt.Errorf("transport: shard %d: stale upload (round %d outside admission window [%d, %d])",
+				assign.ShardID, up.Round, m, m+assign.Window)
 		}
 		if len(up.Off) != n+1 || up.Off[0] != 0 || up.Off[n] != len(up.Idx) ||
 			len(up.Idx) != len(up.Val) || len(up.Idx) != len(up.Rank) {

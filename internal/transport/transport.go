@@ -64,6 +64,13 @@ type (
 		// non-durable runs.
 		RunID  uint64
 		Shards []string
+		// Window is the run's bounded-staleness window W (0 =
+		// synchronous), mirroring fl.Config.Staleness the way QuantBits
+		// mirrors its engine knob: the coordinator announces it here and
+		// in ShardAssign, and a client with Window > 0 switches to the
+		// pipelined round body (upload round m, then fetch and apply the
+		// broadcast of round m−W). Direct topology only.
+		Window int
 	}
 	// Upload is A_i: one client's top-k accumulated-gradient pairs for a
 	// round, plus its minibatch loss (the server's global-loss input).
@@ -211,6 +218,7 @@ func registerTypes() {
 		gob.Register(Rejoin{})
 		gob.Register(RejoinAck{})
 		gob.Register(Redo{})
+		gob.Register(SliceNack{})
 	})
 }
 
