@@ -309,7 +309,7 @@ func TestValidateFlags(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.role, tc.set, tc.shards, tc.staleness, tc.direct, tc.durable, tc.resume, tc.walDir, tc.connect)
+			err := validateFlags(tc.role, tc.set, tc.shards, tc.staleness, tc.direct, tc.durable, tc.resume, tc.walDir, tc.connect, 0, 0, 0, 0)
 			if tc.wantErr == "" {
 				if err != nil {
 					t.Fatalf("valid combination rejected: %v", err)
@@ -323,6 +323,115 @@ func TestValidateFlags(t *testing.T) {
 				t.Fatalf("error is not one line: %q", err.Error())
 			}
 		})
+	}
+}
+
+// TestValidateFlagsPopulation is the table over the population-tier
+// flags (-population/-cohort/-churn/-noniid): sim-only, and mutually
+// constrained so a misconfiguration dies before any training starts.
+func TestValidateFlagsPopulation(t *testing.T) {
+	mk := func(names ...string) map[string]bool {
+		m := map[string]bool{}
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name       string
+		role       string
+		set        map[string]bool
+		staleness  int
+		walDir     string
+		population int
+		cohort     int
+		churn      float64
+		noniid     float64
+		wantErr    string // "" = valid
+	}{
+		{"cohort alone", "sim", mk("cohort"), 0, "", 0, 4, 0, 0, ""},
+		{"population with cohort", "sim", mk("population", "cohort"), 0, "", 100000, 32, 0, 0, ""},
+		{"churn with cohort", "sim", mk("cohort", "churn"), 0, "", 0, 2, 0.25, 0, ""},
+		{"full stack", "sim", mk("population", "cohort", "churn"), 0, "", 100000, 32, 0.1, 0, ""},
+		{"noniid alone", "sim", mk("noniid"), 0, "", 0, 0, 0, 0.5, ""},
+		{"negative population", "sim", mk("population"), 0, "", -1, 0, 0, 0, "-population"},
+		{"negative cohort", "sim", mk("cohort"), 0, "", 0, -1, 0, 0, "-cohort"},
+		{"population without cohort", "sim", mk("population"), 0, "", 100000, 0, 0, 0, "-cohort"},
+		{"churn over half", "sim", mk("churn"), 0, "", 0, 0, 0.6, 0, "-churn"},
+		{"negative churn", "sim", mk("churn"), 0, "", 0, 0, -0.1, 0, "-churn"},
+		{"zero noniid", "sim", mk("noniid"), 0, "", 0, 0, 0, 0, "-noniid"},
+		{"noniid with population", "sim", mk("population", "cohort", "noniid"), 0, "", 1000, 8, 0, 0.5, "-noniid"},
+		{"cohort with staleness", "sim", mk("cohort", "staleness"), 1, "", 0, 4, 0, 0, "-staleness"},
+		{"churn with wal-dir", "sim", mk("churn", "wal-dir"), 0, "d", 0, 0, 0.25, 0, "-wal-dir"},
+		{"coordinator with population", "coordinator", mk("listen", "population"), 0, "", 1000, 0, 0, 0, "-role sim"},
+		{"shard with cohort", "shard", mk("connect", "cohort"), 0, "", 0, 4, 0, 0, "-role sim"},
+		{"client with churn", "client", mk("connect", "churn"), 0, "", 0, 0, 0.1, 0, "-role sim"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			connect := ""
+			if tc.role == "shard" || tc.role == "client" {
+				connect = "x"
+			}
+			err := validateFlags(tc.role, tc.set, 0, tc.staleness, false, false, false, tc.walDir, connect,
+				tc.population, tc.cohort, tc.churn, tc.noniid)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid combination rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestChurnSchedule pins the rotating-block schedule's contract: no
+// churn before round 2, a leave-only round 2, disjoint join/leave
+// blocks from round 3 on, and validation of degenerate fractions.
+func TestChurnSchedule(t *testing.T) {
+	churn, err := churnSchedule(0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, l := churn(1); j != nil || l != nil {
+		t.Fatalf("round 1 churned: join %v leave %v", j, l)
+	}
+	if j, l := churn(2); j != nil || len(l) != 2 {
+		t.Fatalf("round 2: join %v leave %v, want leave-only block of 2", j, l)
+	}
+	active := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true, 6: true, 7: true}
+	for round := 2; round <= 20; round++ {
+		join, leave := churn(round)
+		for _, id := range join {
+			if active[id] {
+				t.Fatalf("round %d: %d rejoined while active", round, id)
+			}
+			active[id] = true
+		}
+		for _, id := range leave {
+			if !active[id] {
+				t.Fatalf("round %d: %d left while inactive", round, id)
+			}
+			active[id] = false
+		}
+		n := 0
+		for _, a := range active {
+			if a {
+				n++
+			}
+		}
+		if n != 6 {
+			t.Fatalf("round %d: %d active, want 6 (one block of 2 out at a time)", round, n)
+		}
+	}
+	if _, err := churnSchedule(0.01, 8); err == nil {
+		t.Fatal("accepted a fraction that churns no one")
+	}
+	if _, err := churnSchedule(0.7, 3); err == nil {
+		t.Fatal("accepted a fraction with no stable block")
 	}
 }
 

@@ -95,6 +95,10 @@ func main() {
 		resume      = flag.Bool("resume", false, "sim/coordinator: resume a halted or crashed run from the -wal-dir log; durable shard: rejoin an in-progress run as a fresh (state-less) restart")
 		durable     = flag.Bool("durable", false, "shard/client: speak the crash-recovery protocol — redial with backoff and rejoin a -wal-dir coordinator after link or process failures")
 		adminAddr   = flag.String("admin-addr", "", "serve the HTTP admin endpoints (/metrics, /healthz, /readyz, /rounds, /debug/pprof) on this address while the run is live (sim and coordinator roles; port 0 = ephemeral, printed to stderr)")
+		population  = flag.Int("population", 0, "sim: scale the workload to this many virtual clients — each member gets a non-i.i.d. zero-copy window over the pooled training samples, so 100k–1M fit in the base dataset's memory; requires -cohort (sampling is what makes the scale tractable)")
+		cohort      = flag.Int("cohort", 0, "sim: draw this many participants per round instead of running everyone (0 = full participation; the draw matches the engine's Fisher–Yates, so -cohort N over N clients is bit-identical to the default)")
+		churn       = flag.Float64("churn", 0, "sim: per-round population churn fraction in (0, 0.5] — each round a rotating block of churn*N members leaves the drawable population and the block that left the previous round rejoins")
+		noniid      = flag.Float64("noniid", 0, "sim: re-partition the pooled training samples across the workload's clients with Dirichlet(alpha) label skew (smaller alpha = more skewed; incompatible with -population, whose member shards are non-i.i.d. by construction)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -102,12 +106,14 @@ func main() {
 	}
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	err := validateFlags(*role, set, *shards, *staleness, *direct, *durable, *resume, *walDir, *connectAddr)
+	err := validateFlags(*role, set, *shards, *staleness, *direct, *durable, *resume, *walDir, *connectAddr,
+		*population, *cohort, *churn, *noniid)
 	if err == nil {
 		switch *role {
 		case "sim":
 			err = withProfiles(*cpuProfile, *memProfile, func() error {
-				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *staleness, *walDir, *resume, *adminAddr)
+				return run(os.Stdout, *datasetName, *scale, *strategy, *adaptive, *k, *beta, *rounds, *lr, *batch, *seed, *evalEvery, *workers, *shards, *direct, *quantBits, *staleness, *walDir, *resume, *adminAddr,
+					*population, *cohort, *churn, *noniid)
 			})
 		case "coordinator":
 			// The distributed protocol is fixed-k FAB-top-k; reject flags
@@ -133,10 +139,33 @@ func main() {
 // error — a wrong pairing must fail before any process starts waiting on
 // a peer that will never behave as expected (a mid-round hang is the
 // alternative). set records which flags were given explicitly.
-func validateFlags(role string, set map[string]bool, shards, staleness int, direct, durable, resume bool, walDir, connect string) error {
+func validateFlags(role string, set map[string]bool, shards, staleness int, direct, durable, resume bool, walDir, connect string,
+	population, cohort int, churn, noniid float64) error {
+
+	if role != "sim" && (set["population"] || set["cohort"] || set["churn"] || set["noniid"]) {
+		return errors.New("flsim: -population/-cohort/-churn/-noniid apply to -role sim (the distributed form of the population tier is the library's RunPopulationServer/RunVirtualHost API)")
+	}
 	switch role {
 	case "sim":
 		switch {
+		case population < 0:
+			return errors.New("flsim: -population must be >= 0 (0 = the workload's native client count)")
+		case cohort < 0:
+			return errors.New("flsim: -cohort must be >= 0 (0 = full participation)")
+		case population > 0 && cohort < 1:
+			return errors.New("flsim: -population requires -cohort >= 1 (materializing every member of a scaled population per round is exactly what sampling avoids)")
+		case churn < 0 || churn > 0.5:
+			return errors.New("flsim: -churn must be in [0, 0.5] (each round one churn*N block is out while the rest stay drawable)")
+		case noniid < 0:
+			return errors.New("flsim: -noniid must be > 0 (a Dirichlet concentration)")
+		case set["noniid"] && noniid == 0:
+			return errors.New("flsim: -noniid must be > 0 (a Dirichlet concentration)")
+		case noniid > 0 && population > 0:
+			return errors.New("flsim: -noniid is incompatible with -population (population member shards are non-i.i.d. by construction)")
+		case (population > 0 || cohort > 0 || churn > 0) && staleness > 0:
+			return errors.New("flsim: -population/-cohort/-churn require the synchronous engine; drop -staleness")
+		case churn > 0 && walDir != "":
+			return errors.New("flsim: -churn is incompatible with -wal-dir (a churn schedule cannot be journaled)")
 		case staleness < 0:
 			return errors.New("flsim: -staleness must be >= 0 (0 = synchronous lockstep)")
 		case staleness > 0 && walDir != "":
@@ -276,11 +305,19 @@ func withProfiles(cpuPath, memPath string, fn func() error) error {
 
 func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, beta float64,
 	rounds int, lr float64, batch int, seed int64, evalEvery, workers, shards int, direct bool, quantBits, staleness int,
-	walDir string, resume bool, adminAddr string) error {
+	walDir string, resume bool, adminAddr string, population, cohort int, churn, noniid float64) error {
 
 	w, err := buildWorkload(datasetName, scale)
 	if err != nil {
 		return err
+	}
+	if population > 0 {
+		if err := scaleToPopulation(w, population, seed); err != nil {
+			return err
+		}
+	}
+	if noniid > 0 {
+		repartitionDirichlet(w, noniid, seed)
 	}
 	if k == 0 {
 		k = w.KFixed
@@ -311,6 +348,13 @@ func run(out io.Writer, datasetName, scale, strategy, adaptive string, k int, be
 		Staleness:    staleness,
 		WALDir:       walDir,
 		Resume:       resume,
+		Cohort:       cohort,
+	}
+	if churn > 0 {
+		cfg.Churn, err = churnSchedule(churn, w.Data.NumClients())
+		if err != nil {
+			return err
+		}
 	}
 	if walDir != "" {
 		if err := os.MkdirAll(walDir, 0o755); err != nil {
@@ -409,4 +453,84 @@ func csvFloat(v float64) string {
 		return ""
 	}
 	return fmt.Sprintf("%.6f", v)
+}
+
+// poolSamples flattens the workload's per-client partitions back into
+// one dataset (shared sample storage; nothing is copied but the slice
+// headers) so it can be re-partitioned a different way.
+func poolSamples(w *fedsparse.Workload) fedsparse.Dataset {
+	base := fedsparse.Dataset{Dim: w.Data.Dim, NumClasses: w.Data.NumClasses}
+	for i := range w.Data.Clients {
+		base.Samples = append(base.Samples, w.Data.Clients[i].Samples...)
+	}
+	return base
+}
+
+// scaleToPopulation replaces the workload's native clients with n
+// virtual members, each a zero-copy non-i.i.d. window over the pooled
+// samples — memory stays that of the base dataset no matter how large
+// n grows, which is what makes 100k–1M clients runnable at all.
+func scaleToPopulation(w *fedsparse.Workload, n int, seed int64) error {
+	base := poolSamples(w)
+	// Keep roughly the native per-client shard size, bounded so huge
+	// scales do not make each member's local epoch slower than the base
+	// workload's.
+	perMember := base.Len() / w.Data.NumClients()
+	if perMember > 64 {
+		perMember = 64
+	}
+	if perMember < 1 {
+		perMember = 1
+	}
+	view, err := fedsparse.NewPopulationView(base, perMember, seed)
+	if err != nil {
+		return err
+	}
+	clients := make([]fedsparse.Dataset, n)
+	for m := range clients {
+		clients[m] = *view.Member(m)
+	}
+	w.Data.Clients = clients
+	return nil
+}
+
+// repartitionDirichlet redeals the pooled samples across the workload's
+// native client count with Dirichlet(alpha) label skew, for studying GS
+// under non-i.i.d. data without changing the population size.
+func repartitionDirichlet(w *fedsparse.Workload, alpha float64, seed int64) {
+	w.Data.Clients = fedsparse.PartitionDirichlet(poolSamples(w), w.Data.NumClients(), alpha, newRand(seed+3))
+}
+
+// churnSchedule builds the -churn rotating-block schedule over n
+// clients: from round 2 on, block b = (round-2) mod nBlocks (of size
+// floor(frac*n)) leaves the drawable population, and from round 3 on
+// the previously-left block rejoins — a steady join+leave stream whose
+// event counts are exactly reproducible. frac <= 0.5 guarantees the
+// two blocks are disjoint and the population is never emptied.
+func churnSchedule(frac float64, n int) (func(round int) (join, leave []int), error) {
+	block := int(frac * float64(n))
+	if block < 1 {
+		return nil, fmt.Errorf("flsim: -churn %g of %d clients churns no one; raise the fraction or the population", frac, n)
+	}
+	nBlocks := n / block
+	if nBlocks < 2 {
+		return nil, fmt.Errorf("flsim: -churn %g of %d clients leaves no stable block; lower the fraction", frac, n)
+	}
+	members := func(b int) []int {
+		ids := make([]int, block)
+		for i := range ids {
+			ids[i] = b*block + i
+		}
+		return ids
+	}
+	return func(round int) (join, leave []int) {
+		if round < 2 {
+			return nil, nil
+		}
+		leave = members((round - 2) % nBlocks)
+		if round > 2 {
+			join = members((round - 3 + nBlocks) % nBlocks)
+		}
+		return join, leave
+	}, nil
 }

@@ -18,21 +18,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{
 			name: "bad dataset",
 			call: func() error {
-				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "")
+				return run(io.Discard, "imagenet", "tiny", "fab", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "", 0, 0, 0, 0)
 			},
 			want: "unknown dataset",
 		},
 		{
 			name: "bad strategy",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "")
+				return run(io.Discard, "femnist", "tiny", "topsecret", "none", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "", 0, 0, 0, 0)
 			},
 			want: "unknown strategy",
 		},
 		{
 			name: "bad controller",
 			call: func() error {
-				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "")
+				return run(io.Discard, "femnist", "tiny", "fab", "oracle", 0, 10, 5, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "", 0, 0, 0, 0)
 			},
 			want: "unknown adaptive controller",
 		},
@@ -63,26 +63,26 @@ func TestRunEmitsCSV(t *testing.T) {
 		if strat == "fedavg" {
 			shards = 0
 		}
-		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0, 0, "", false, ""); err != nil {
+		if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, false, 0, 0, "", false, "", 0, 0, 0, 0); err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
 		if shards > 0 {
-			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0, 0, "", false, ""); err != nil {
+			if err := run(io.Discard, "femnist", "tiny", strat, "none", 20, 10, 5, 0, 0, 1, 0, 2, shards, true, 0, 0, "", false, "", 0, 0, 0, 0); err != nil {
 				t.Fatalf("%s direct: %v", strat, err)
 			}
 		}
 	}
 	// Adaptive controllers over the CLI.
 	for _, ctrl := range []string{"alg2", "alg3", "value", "exp3", "bandit"} {
-		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0, 0, "", false, ""); err != nil {
+		if err := run(io.Discard, "cifar", "tiny", "fab", ctrl, 0, 10, 5, 0, 0, 1, 0, 2, 0, false, 0, 0, "", false, "", 0, 0, 0, 0); err != nil {
 			t.Fatalf("%s: %v", ctrl, err)
 		}
 	}
 	// Quantized uploads over the CLI, unsharded and sharded.
-	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8, 0, "", false, ""); err != nil {
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 0, false, 8, 0, "", false, "", 0, 0, 0, 0); err != nil {
 		t.Fatalf("quantbits=8: %v", err)
 	}
-	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8, 0, "", false, ""); err != nil {
+	if err := run(io.Discard, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, true, 8, 0, "", false, "", 0, 0, 0, 0); err != nil {
 		t.Fatalf("quantbits=8 direct: %v", err)
 	}
 }
@@ -98,11 +98,11 @@ func TestRunDurableSim(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	var plain, durable, resumed strings.Builder
-	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, ""); err != nil {
+	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "", 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := run(&durable, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, dir, false, ""); err != nil {
+	if err := run(&durable, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, dir, false, "", 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != durable.String() {
@@ -110,13 +110,13 @@ func TestRunDurableSim(t *testing.T) {
 	}
 	// Resuming a run whose log is already complete replays it to the
 	// same bytes without recomputing.
-	if err := run(&resumed, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, dir, true, ""); err != nil {
+	if err := run(&resumed, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, dir, true, "", 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != resumed.String() {
 		t.Fatalf("-resume moved the CSV:\n--- plain ---\n%s--- resumed ---\n%s", plain.String(), resumed.String())
 	}
-	err := run(io.Discard, "femnist", "tiny", "fab", "exp3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, t.TempDir(), false, "")
+	err := run(io.Discard, "femnist", "tiny", "fab", "exp3", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, t.TempDir(), false, "", 0, 0, 0, 0)
 	if err == nil || !strings.Contains(err.Error(), "self-randomizing") {
 		t.Fatalf("exp3 with -wal-dir: %v", err)
 	}
@@ -134,11 +134,11 @@ func TestRunStalenessSim(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	var sync, win1, win2 strings.Builder
-	if err := run(&sync, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, false, 0, 0, "", false, ""); err != nil {
+	if err := run(&sync, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, false, 0, 0, "", false, "", 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, out := range []*strings.Builder{&win1, &win2} {
-		if err := run(out, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, false, 0, 2, "", false, ""); err != nil {
+		if err := run(out, "femnist", "tiny", "fab", "none", 20, 10, 5, 0, 0, 1, 0, 0, 2, false, 0, 2, "", false, "", 0, 0, 0, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -205,13 +205,42 @@ func TestAdminDoesNotMoveCSV(t *testing.T) {
 		t.Skip("training run in -short mode")
 	}
 	var plain, admin strings.Builder
-	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, 0, "", false, ""); err != nil {
+	if err := run(&plain, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, 0, "", false, "", 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&admin, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, 0, "", false, "127.0.0.1:0"); err != nil {
+	if err := run(&admin, "femnist", "tiny", "fab", "alg3", 20, 10, 6, 0, 0, 1, 3, 0, 0, false, 0, 0, "", false, "127.0.0.1:0", 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if plain.String() != admin.String() {
 		t.Fatalf("-admin-addr moved the sim CSV:\n--- plain ---\n%s--- admin ---\n%s", plain.String(), admin.String())
+	}
+}
+
+// TestRunPopulationSim is the CLI face of the population tier. It pins
+// three contracts: a -population/-cohort/-churn run is deterministic
+// (two identical invocations emit byte-identical CSVs), -cohort equal
+// to the native client count is bit-identical to the default full-
+// participation run (the draw consumes no rng at full cohort), and
+// -noniid moves the CSV (the re-partition actually reached the engine).
+func TestRunPopulationSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run in -short mode")
+	}
+	popRun := func(population, cohort int, churn, noniid float64) string {
+		var b strings.Builder
+		if err := run(&b, "femnist", "tiny", "fab", "none", 20, 10, 6, 0, 0, 1, 0, 0, 0, false, 0, 0, "", false, "",
+			population, cohort, churn, noniid); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := popRun(500, 4, 0.1, 0), popRun(500, 4, 0.1, 0); a != b {
+		t.Fatalf("population run is not deterministic:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if full, plain := popRun(0, 6, 0, 0), popRun(0, 0, 0, 0); full != plain {
+		t.Fatalf("-cohort 6 over 6 clients moved the CSV:\n--- cohort ---\n%s--- plain ---\n%s", full, plain)
+	}
+	if skewed, plain := popRun(0, 0, 0, 0.3), popRun(0, 0, 0, 0); skewed == plain {
+		t.Fatal("-noniid 0.3 did not move the CSV (the Dirichlet re-partition never reached the engine)")
 	}
 }

@@ -149,6 +149,31 @@
 // MaxStaleness. Staleness is GS-only and incompatible with the WAL.
 // See README.md ("Asynchronous rounds and bounded staleness").
 //
+// # Population tier (100k–1M virtual clients)
+//
+// Config.Cohort, Config.Churn, and Config.Dropout scale the engine's
+// participation model from "every connected client, every round" to a
+// sampled cohort drawn from a changing population: Cohort draws exactly
+// that many members per round with the engine's Fisher–Yates (rng-
+// sequence-compatible with Participation, so Cohort = N is bit-identical
+// to the plain engine), Churn applies per-round join/leave schedules to
+// the drawable population, and Dropout removes drawn members that miss
+// the round's deadline — after the draw, consuming no rng. Over the
+// wire, the tier scales the connection fabric too: RunVirtualHost
+// simulates a whole member roster over ONE physical connection to the
+// coordinator (plus one per shard in direct mode), enveloping each
+// member's traffic in MuxFrames over a goroutine-free Mux demultiplexer,
+// and RunPopulationServer draws each round's cohort with the same
+// exported sampler (CohortSampler) and materializes only the drawn
+// members. Host-side member state (error-feedback residual, rng stream)
+// materializes lazily at first draw — an undrawn member costs nothing —
+// so populations of 100k–1M virtual clients run over hosts × shards
+// physical connections. NewPopulationView serves per-member non-i.i.d.
+// dataset shards at the same scale: O(1) zero-copy windows over a
+// class-grouped arrangement. Cohort-sampled trajectories are pinned
+// bit-identical between the engine and both wire data planes; see
+// docs/ARCHITECTURE.md for the topology diagrams.
+//
 // # Durability and recovery
 //
 // Both round engines can journal their control-plane decisions to a
@@ -240,7 +265,16 @@ type (
 	Observer = fl.Observer
 	// Collector is an Observer that accumulates every RoundEvent.
 	Collector = fl.Collector
+	// CohortSampler is the engine's population draw (churn → cohort
+	// Fisher–Yates → deadline dropouts) in exported form, shared by the
+	// transport tier's population server so wire draws cannot drift
+	// from engine draws.
+	CohortSampler = fl.CohortSampler
 )
+
+// NewCohortSampler builds the population sampler behind Config.Cohort,
+// Config.Churn, and Config.Dropout.
+var NewCohortSampler = fl.NewCohortSampler
 
 // MultiObserver fans the event stream out to several observers in
 // order, skipping nils.
@@ -382,6 +416,10 @@ type (
 	FEMNISTConfig = dataset.FEMNISTConfig
 	// CIFARConfig parameterizes the CIFAR-like generator.
 	CIFARConfig = dataset.CIFARConfig
+	// PopulationView serves per-member non-i.i.d. dataset shards for
+	// populations far larger than the sample count: O(1) zero-copy
+	// windows over a class-grouped arrangement.
+	PopulationView = dataset.PopulationView
 )
 
 // Dataset generators.
@@ -392,6 +430,7 @@ var (
 	DefaultCIFAR       = dataset.DefaultCIFAR
 	PartitionIID       = dataset.PartitionIID
 	PartitionDirichlet = dataset.PartitionDirichlet
+	NewPopulationView  = dataset.NewPopulationView
 )
 
 // Cost model (internal/simtime).
@@ -499,6 +538,21 @@ type (
 	// DirectGroup its control-plane handle on a client-direct one.
 	ShardGroup  = transport.ShardGroup
 	DirectGroup = transport.DirectGroup
+	// Mux demultiplexes one physical Conn into per-virtual-client Conns
+	// (the population tier's M:N scaling seam); MuxFrame is its wire
+	// envelope.
+	Mux      = transport.Mux
+	MuxFrame = transport.MuxFrame
+	// PopulationConfig switches a coordinator into the population tier
+	// (ServerConfig.Population); HostConfig parameterizes one virtual-
+	// client host.
+	PopulationConfig = transport.PopulationConfig
+	HostConfig       = transport.HostConfig
+	// HostHello / HostData / CohortAssign are the population tier's
+	// handshake and per-round control messages.
+	HostHello    = transport.HostHello
+	HostData     = transport.HostData
+	CohortAssign = transport.CohortAssign
 )
 
 // Durable control plane (internal/transport + internal/wal): see the
@@ -572,4 +626,9 @@ var (
 	AcceptDataPeers  = transport.AcceptDataPeers
 	SplitShardPeers  = transport.SplitShardPeers
 	SeatShardPeers   = transport.SeatShardPeers
+	// Population-tier entry points: the sampling coordinator, the
+	// virtual-client host, and the demultiplexer they share.
+	RunPopulationServer = transport.RunPopulationServer
+	RunVirtualHost      = transport.RunVirtualHost
+	NewMux              = transport.NewMux
 )

@@ -52,6 +52,7 @@ type Server struct {
 
 	bytesUpTotal   uint64
 	bytesDownTotal uint64
+	churnEvents    uint64
 	walAppends     uint64 // high-water marks: per-run counters, keep max
 	walSnapshots   uint64
 
@@ -151,6 +152,7 @@ func (s *Server) OnRoundEnd(ev fl.RoundEvent) {
 	s.haveEvent = true
 	s.bytesUpTotal += ev.BytesUp
 	s.bytesDownTotal += ev.BytesDown
+	s.churnEvents += uint64(ev.ChurnEvents)
 	if ev.WALAppends > s.walAppends {
 		s.walAppends = ev.WALAppends
 	}
@@ -245,6 +247,9 @@ type roundJSON struct {
 	Loss               float64   `json:"loss"`
 	DownlinkElems      int       `json:"downlink_elems"`
 	Participants       int       `json:"participants"`
+	Population         int       `json:"population,omitempty"`
+	CohortSize         int       `json:"cohort_size,omitempty"`
+	ChurnEvents        int       `json:"churn_events,omitempty"`
 	TestAcc            *float64  `json:"test_acc,omitempty"`
 	TestLoss           *float64  `json:"test_loss,omitempty"`
 	TrainLoss          *float64  `json:"train_loss,omitempty"`
@@ -275,6 +280,9 @@ func toRoundJSON(ev fl.RoundEvent) roundJSON {
 		Loss:               ev.Loss,
 		DownlinkElems:      ev.DownlinkElems,
 		Participants:       ev.Participants,
+		Population:         ev.Population,
+		CohortSize:         ev.CohortSize,
+		ChurnEvents:        ev.ChurnEvents,
 		TestAcc:            finitePtr(ev.TestAcc),
 		TestLoss:           finitePtr(ev.TestLoss),
 		TrainLoss:          finitePtr(ev.TrainLoss),
@@ -360,6 +368,9 @@ func (s *Server) metricsSnapshot() string {
 		gauge("fedsparse_train_loss", "Sampled training loss at the last round boundary.", ev.Loss)
 		gauge("fedsparse_downlink_elems", "Gradient elements broadcast on the downlink in the last round.", float64(ev.DownlinkElems))
 		gauge("fedsparse_participants", "Clients that participated in the last round.", float64(ev.Participants))
+		gauge("fedsparse_population", "Drawable population after churn in the last round.", float64(ev.Population))
+		gauge("fedsparse_cohort_size", "Clients the participation draw selected in the last round, before deadline dropouts.", float64(ev.CohortSize))
+		counter("fedsparse_churn_events", "Cumulative population membership changes (joins plus leaves).", float64(s.churnEvents))
 		gauge("fedsparse_round_bytes_up", "Uplink wire bytes received by the server in the last round.", float64(ev.BytesUp))
 		gauge("fedsparse_round_bytes_down", "Downlink wire bytes sent by the server in the last round.", float64(ev.BytesDown))
 		gauge("fedsparse_stale_slices", "Contributions that missed the last round's seal and were folded back into client residuals.", float64(ev.StaleSlices))

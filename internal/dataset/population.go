@@ -1,0 +1,84 @@
+// Population-scale dataset partitioning: per-member shards for
+// populations (100k–1M virtual clients) far larger than the sample
+// count. The classic partitioners (PartitionIID, PartitionDirichlet)
+// hand every client its own sample copy — fine for tens of clients,
+// hopeless for a million. A PopulationView instead arranges the base
+// samples ONCE, grouped by class, and serves each member a contiguous
+// window into that arrangement: O(1) time and zero sample copies per
+// member, deterministic in (seed, member), with non-i.i.d. label skew
+// by construction — a window over a class-grouped arrangement spans
+// only the classes adjacent to its offset, so every member sees a
+// skewed class mix and members with nearby offsets see similar mixes.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PopulationView serves per-member dataset shards over shared sample
+// storage. Safe for concurrent Member calls after construction.
+type PopulationView struct {
+	arranged   []Sample // base samples grouped by class, classes in seeded order
+	dim        int
+	numClasses int
+	perMember  int
+	seed       int64
+}
+
+// NewPopulationView arranges base for population-scale sharding. Each
+// member's shard holds perMember samples (a view — samples are shared,
+// never copied). seed scatters the member→window mapping, so two views
+// with different seeds shard the same base differently but each is
+// fully deterministic.
+func NewPopulationView(base Dataset, perMember int, seed int64) (*PopulationView, error) {
+	if base.Len() == 0 {
+		return nil, fmt.Errorf("dataset: population view over an empty dataset")
+	}
+	if perMember < 1 || perMember > base.Len() {
+		return nil, fmt.Errorf("dataset: population shard size %d outside [1, %d]", perMember, base.Len())
+	}
+	// Group by class, classes in a seeded order so the window→class-mix
+	// mapping differs across seeds.
+	rng := rand.New(rand.NewSource(seed))
+	classes := rng.Perm(base.NumClasses)
+	v := &PopulationView{
+		arranged:   make([]Sample, 0, base.Len()),
+		dim:        base.Dim,
+		numClasses: base.NumClasses,
+		perMember:  perMember,
+		seed:       seed,
+	}
+	for _, c := range classes {
+		for _, s := range base.Samples {
+			if s.Y == c {
+				v.arranged = append(v.arranged, s)
+			}
+		}
+	}
+	return v, nil
+}
+
+// Member returns member m's shard: a perMember-sample window into the
+// shared class-grouped arrangement, at an offset hashed from (seed, m).
+// O(1); the returned dataset shares sample storage with every other
+// member — callers must treat features as read-only (Batch already
+// documents this for all datasets).
+func (v *PopulationView) Member(m int) *Dataset {
+	span := len(v.arranged) - v.perMember + 1
+	off := int(splitmix64(uint64(v.seed)^(uint64(m)*0x9e3779b97f4a7c15)) % uint64(span))
+	return &Dataset{
+		Samples:    v.arranged[off : off+v.perMember],
+		Dim:        v.dim,
+		NumClasses: v.numClasses,
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed integer
+// hash (no per-member rng allocation on the Member hot path).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func populationBase() Dataset {
+	fed := GenerateFEMNIST(FEMNISTConfig{
+		NumClients:       6,
+		NumClasses:       10,
+		Dim:              8,
+		SamplesPerClient: 40,
+		ClassesPerClient: 10,
+		TestSamples:      10,
+		Noise:            0.3,
+		Seed:             3,
+	})
+	var base Dataset
+	base.Dim, base.NumClasses = 8, 10
+	for _, c := range fed.Clients {
+		base.Samples = append(base.Samples, c.Samples...)
+	}
+	return base
+}
+
+func TestPopulationViewDeterministicAndZeroCopy(t *testing.T) {
+	base := populationBase()
+	v, err := NewPopulationView(base, 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{0, 1, 999_999} {
+		a, b := v.Member(m), v.Member(m)
+		if a.Len() != 12 || b.Len() != 12 {
+			t.Fatalf("member %d shard sizes %d/%d, want 12", m, a.Len(), b.Len())
+		}
+		// Same member → the same window over the SAME storage: the
+		// feature slices must be identical pointers, not copies.
+		for i := range a.Samples {
+			if &a.Samples[i].X[0] != &b.Samples[i].X[0] {
+				t.Fatalf("member %d sample %d was copied, want a shared view", m, i)
+			}
+		}
+	}
+	// Different seeds scatter members differently.
+	v2, err := NewPopulationView(base, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for m := 0; m < 50; m++ {
+		if v.Member(m).Samples[0].Y == v2.Member(m).Samples[0].Y {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("seed does not influence the member→window mapping")
+	}
+}
+
+func TestPopulationViewLabelSkew(t *testing.T) {
+	base := populationBase()
+	v, err := NewPopulationView(base, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 20-sample window over a class-grouped arrangement of 10 classes
+	// must span only the classes adjacent to its offset — every member
+	// is non-i.i.d. by construction.
+	for m := 0; m < 200; m++ {
+		d := v.Member(m)
+		classes := map[int]bool{}
+		for _, s := range d.Samples {
+			classes[s.Y] = true
+		}
+		if len(classes) > 3 {
+			t.Fatalf("member %d sees %d classes in a 20-sample shard — the arrangement is not class-grouped", m, len(classes))
+		}
+	}
+	// Batching a shard works with the standard rng discipline.
+	xs, ys := v.Member(3).Batch(rand.New(rand.NewSource(1)), 4)
+	if len(xs) != 4 || len(ys) != 4 {
+		t.Fatalf("batch %d/%d, want 4/4", len(xs), len(ys))
+	}
+}
+
+func TestPopulationViewValidation(t *testing.T) {
+	base := populationBase()
+	if _, err := NewPopulationView(Dataset{}, 1, 0); err == nil {
+		t.Fatal("accepted an empty base")
+	}
+	if _, err := NewPopulationView(base, 0, 0); err == nil {
+		t.Fatal("accepted a zero shard size")
+	}
+	if _, err := NewPopulationView(base, base.Len()+1, 0); err == nil {
+		t.Fatal("accepted a shard larger than the base")
+	}
+}

@@ -341,6 +341,8 @@ steps:
 			Loss:          slot.weightedLoss,
 			DownlinkElems: len(agg.Indices),
 			Participants:  nPart,
+			Population:    nClients,
+			CohortSize:    nPart,
 			TestAcc:       math.NaN(),
 			TestLoss:      math.NaN(),
 			TrainLoss:     math.NaN(),

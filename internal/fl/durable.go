@@ -64,20 +64,22 @@ const finishFloats = 7
 // a resumed run reports replayed rounds from these records alone.
 func finishRecord(st *RoundStats) *wal.Finish {
 	return &wal.Finish{
-		Round:  st.Round,
-		Ints:   []int64{int64(st.K), int64(st.DownlinkElems), int64(st.Participants)},
+		Round: st.Round,
+		Ints: []int64{int64(st.K), int64(st.DownlinkElems), int64(st.Participants),
+			int64(st.Population), int64(st.CohortSize), int64(st.ChurnEvents)},
 		Floats: []float64{st.KCont, st.RoundTime, st.Time, st.Loss, st.TestAcc, st.TestLoss, st.TrainLoss},
 	}
 }
 
 func statsFromFinish(r *wal.Finish) (RoundStats, error) {
-	if len(r.Ints) != 3 || len(r.Floats) != finishFloats {
-		return RoundStats{}, fmt.Errorf("fl: finish for round %d carries %d ints and %d floats, want 3 and %d",
+	if len(r.Ints) != 6 || len(r.Floats) != finishFloats {
+		return RoundStats{}, fmt.Errorf("fl: finish for round %d carries %d ints and %d floats, want 6 and %d",
 			r.Round, len(r.Ints), len(r.Floats), finishFloats)
 	}
 	return RoundStats{
 		Round: r.Round,
 		K:     int(r.Ints[0]), DownlinkElems: int(r.Ints[1]), Participants: int(r.Ints[2]),
+		Population: int(r.Ints[3]), CohortSize: int(r.Ints[4]), ChurnEvents: int(r.Ints[5]),
 		KCont: r.Floats[0], RoundTime: r.Floats[1], Time: r.Floats[2], Loss: r.Floats[3],
 		TestAcc: r.Floats[4], TestLoss: r.Floats[5], TrainLoss: r.Floats[6],
 	}, nil
@@ -89,7 +91,9 @@ func sameStats(got, want *RoundStats) error {
 	same := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
 	switch {
 	case got.Round != want.Round, got.K != want.K,
-		got.DownlinkElems != want.DownlinkElems, got.Participants != want.Participants:
+		got.DownlinkElems != want.DownlinkElems, got.Participants != want.Participants,
+		got.Population != want.Population, got.CohortSize != want.CohortSize,
+		got.ChurnEvents != want.ChurnEvents:
 		return fmt.Errorf("recomputed round=%d k=%d elems=%d parts=%d, log has round=%d k=%d elems=%d parts=%d",
 			got.Round, got.K, got.DownlinkElems, got.Participants,
 			want.Round, want.K, want.DownlinkElems, want.Participants)

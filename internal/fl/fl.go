@@ -97,6 +97,39 @@ type Config struct {
 	// stay synchronized — the client-selection extension from the
 	// paper's future-work list (Section VI).
 	Participation float64
+	// Cohort is the absolute form of Participation: draw exactly this
+	// many clients uniformly each round (0 = everyone). The draw is
+	// sequence-compatible with Participation's Fisher–Yates — Cohort=c
+	// consumes the same rng draws and selects the same clients as
+	// Participation=c/N, and Cohort=N consumes no rng at all, exactly
+	// like Participation=1 — so a cohort-sampled run is bit-identical
+	// to its Participation twin and a full-cohort run to the plain
+	// engine. This is the paper's partial-participation setting stated
+	// as the production-scale knob: a population of N clients of which
+	// only the cohort is materialized per round by the transport tier's
+	// population server. Mutually exclusive with Participation; GS
+	// synchronous mode only.
+	Cohort int
+	// Churn mutates the drawable population between rounds: called once
+	// at the top of each round, it returns the client IDs joining and
+	// leaving before that round's cohort draw. Inactive clients are
+	// never drawn but still apply every broadcast — weights stay
+	// globally synchronized (the same contract non-participants already
+	// have), so a client rejoining later resumes from the current
+	// global model with its error-feedback residual frozen where it
+	// left. Joining an active client, leaving an inactive one, or
+	// leaving the population empty errors the run. Churn consumes no
+	// rng, so a nil-churn run is untouched. GS synchronous mode only;
+	// incompatible with WALDir (a function value cannot be journaled).
+	Churn func(round int) (join, leave []int)
+	// Dropout models deadline dropouts: a drawn client for which
+	// Dropout(client, round) is true is removed from the cohort after
+	// the draw but before any compute or rng use — deterministically,
+	// so the same schedule reproduces the same run. Dropped clients
+	// still apply the broadcast (weights stay synchronized). A round
+	// whose whole cohort drops out errors the run. GS synchronous mode
+	// only; incompatible with WALDir.
+	Dropout func(client, round int) bool
 	// QuantBits uniformly quantizes uploaded and broadcast gradient
 	// values to this bit width (0 = off; else 2–64). The paper cites
 	// quantization as orthogonal to GS and combinable with it; residual
@@ -358,6 +391,18 @@ func validate(cfg *Config) error {
 		return errors.New("fl: FedAvg mode requires FedAvgKEquiv > 0")
 	case cfg.Participation < 0 || cfg.Participation > 1:
 		return errors.New("fl: Participation must be in [0, 1]")
+	case cfg.Cohort < 0:
+		return errors.New("fl: Cohort must be non-negative (0 = everyone)")
+	case cfg.Cohort > 0 && cfg.Data != nil && cfg.Cohort > cfg.Data.NumClients():
+		return errors.New("fl: Cohort exceeds the client population")
+	case cfg.Cohort > 0 && cfg.Participation > 0 && cfg.Participation < 1:
+		return errors.New("fl: Cohort and Participation are mutually exclusive (Cohort is the absolute form of the same draw)")
+	case (cfg.Cohort > 0 || cfg.Churn != nil || cfg.Dropout != nil) && cfg.FedAvg:
+		return errors.New("fl: Cohort/Churn/Dropout apply to GS mode only")
+	case (cfg.Cohort > 0 || cfg.Churn != nil || cfg.Dropout != nil) && (cfg.Staleness > 0 || cfg.Delays != nil):
+		return errors.New("fl: Cohort/Churn/Dropout require the synchronous engine (no bounded-staleness window)")
+	case (cfg.Churn != nil || cfg.Dropout != nil) && cfg.WALDir != "":
+		return errors.New("fl: Churn/Dropout are incompatible with WALDir (schedules are function values and cannot be journaled)")
 	case cfg.QuantBits != 0 && (cfg.QuantBits < 2 || cfg.QuantBits > 64):
 		return errors.New("fl: QuantBits must be 0 (off) or in [2, 64]")
 	case cfg.Workers < 0:
@@ -494,6 +539,9 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 	}
 
 	ar := newRoundArena(d, nClients, poolSize(cfg.Workers, nClients))
+	// Population knobs (Cohort/Churn/Dropout) route the participant draw
+	// through the active-set tracker; nil keeps the historical path.
+	pop := newPopState(&cfg, nClients)
 	// The built-in strategies aggregate allocation-free through a per-run
 	// scratch, computing the k and probe-k′ selections in one pass;
 	// external Strategy implementations fall back to two Aggregate calls.
@@ -557,7 +605,23 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 		} else {
 			mandated = cfg.Strategy.MandatedIndices(m, d, kInt, engineRng)
 		}
-		ar.participants, ar.permBuf = pickParticipantsInto(ar.participants, ar.permBuf, cfg.Participation, nClients, engineRng)
+		var churnEvents, cohortSize int
+		population := nClients
+		if pop != nil {
+			var err error
+			if churnEvents, err = pop.applyChurn(m); err != nil {
+				return nil, err
+			}
+			population = len(pop.active)
+			ar.participants, ar.permBuf = pop.drawInto(ar.participants, ar.permBuf, engineRng)
+			cohortSize = len(ar.participants)
+			if ar.participants, err = pop.applyDropout(ar.participants, m); err != nil {
+				return nil, err
+			}
+		} else {
+			ar.participants, ar.permBuf = pickParticipantsInto(ar.participants, ar.permBuf, cfg.Participation, nClients, engineRng)
+			cohortSize = len(ar.participants)
+		}
 		participants := ar.participants
 		nPart := len(participants)
 
@@ -746,6 +810,9 @@ func runGS(cfg Config, clients []*client, totalWeight float64, cost simtime.Cost
 			Loss:          weightedLoss,
 			DownlinkElems: len(agg.Indices),
 			Participants:  nPart,
+			Population:    population,
+			CohortSize:    cohortSize,
+			ChurnEvents:   churnEvents,
 			TestAcc:       math.NaN(),
 			TestLoss:      math.NaN(),
 			TrainLoss:     math.NaN(),
@@ -810,6 +877,20 @@ func pickParticipantsInto(dst, perm []int, p float64, n int, rng *rand.Rand) ([]
 	}
 	if count > n {
 		count = n
+	}
+	return drawCountInto(dst, perm, count, n, rng)
+}
+
+// drawCountInto is the count-based core of the participation draw:
+// count of n positions uniformly without replacement via an inside-out
+// Fisher–Yates (exactly the n Intn draws rand.Perm consumes, in the
+// same order), sorted ascending. Shared by pickParticipantsInto and
+// the population tier's cohort draw (popState.drawInto, and the
+// transport population server's mirror of it) so every sampling knob
+// consumes one rng sequence.
+func drawCountInto(dst, perm []int, count, n int, rng *rand.Rand) ([]int, []int) {
+	if cap(dst) < n {
+		dst = make([]int, n)
 	}
 	if cap(perm) < n {
 		perm = make([]int, n)

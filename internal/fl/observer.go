@@ -26,6 +26,18 @@ type RoundEvent struct {
 	DownlinkElems int
 	// Participants is how many clients computed and uploaded this round.
 	Participants int
+	// Population is how many clients were drawable this round — the
+	// active population after churn (the full client count when churn
+	// is off). Zero in engine modes that predate the population tier
+	// (FedAvg, the async pipeline's transport twin).
+	Population int
+	// CohortSize is how many clients the participation draw selected
+	// this round, before deadline dropouts removed any. Equal to
+	// Participants when no Dropout schedule is set.
+	CohortSize int
+	// ChurnEvents counts this round's membership changes (joins plus
+	// leaves applied between the previous round and this one's draw).
+	ChurnEvents int
 	// TestAcc/TestLoss/TrainLoss are NaN unless evaluated this round.
 	TestAcc   float64
 	TestLoss  float64

@@ -79,7 +79,8 @@ func requireBitIdentical(t *testing.T, label string, want, got *Result) {
 		a, b := want.Stats[i], got.Stats[i]
 		if a.Round != b.Round || a.K != b.K || a.DownlinkElems != b.DownlinkElems ||
 			a.Participants != b.Participants || a.StaleSlices != b.StaleSlices ||
-			a.WindowDepth != b.WindowDepth {
+			a.WindowDepth != b.WindowDepth || a.Population != b.Population ||
+			a.CohortSize != b.CohortSize || a.ChurnEvents != b.ChurnEvents {
 			t.Fatalf("%s round %d: int fields diverged: %+v vs %+v", label, a.Round, a, b)
 		}
 		floats := [][2]float64{

@@ -1,0 +1,210 @@
+// Population semantics of the synchronous GS engine: the active-set
+// bookkeeping behind Config.Cohort, Config.Churn, and Config.Dropout.
+// The engine's historical behavior — everyone drawable, Participation
+// as the only sampling knob — is the popState-free fast path in runGS;
+// a popState exists only when one of the three knobs is set, and its
+// draw is rng-sequence-compatible with pickParticipantsInto so the
+// differential grids can pin cohort-sampled runs bit-identical to
+// their Participation twins (and full-cohort runs to the plain
+// engine). The transport package's population server mirrors exactly
+// this logic over the wire — see internal/transport/population.go.
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// popState tracks the drawable population across rounds. active stays
+// sorted ascending; activeSet is its membership bitmap. Both are
+// allocated once per run.
+type popState struct {
+	cohort  int
+	p       float64
+	churn   func(round int) (join, leave []int)
+	dropout func(client, round int) bool
+
+	active    []int
+	activeSet []bool
+}
+
+// newPopState builds the population tracker, or returns nil when none
+// of the population knobs are set (the engine then keeps its historical
+// draw path untouched).
+func newPopState(cfg *Config, nClients int) *popState {
+	if cfg.Cohort == 0 && cfg.Churn == nil && cfg.Dropout == nil {
+		return nil
+	}
+	ps := &popState{
+		cohort:    cfg.Cohort,
+		p:         cfg.Participation,
+		churn:     cfg.Churn,
+		dropout:   cfg.Dropout,
+		active:    make([]int, nClients),
+		activeSet: make([]bool, nClients),
+	}
+	for i := range ps.active {
+		ps.active[i] = i
+		ps.activeSet[i] = true
+	}
+	return ps
+}
+
+// applyChurn runs the round's membership changes and returns the event
+// count (joins + leaves). Join/leave lists are validated strictly —
+// duplicate transitions, out-of-range IDs, or an emptied population are
+// configuration errors, not silent repairs — so churn schedules stay
+// exactly reproducible.
+func (ps *popState) applyChurn(round int) (int, error) {
+	if ps.churn == nil {
+		return 0, nil
+	}
+	join, leave := ps.churn(round)
+	for _, ci := range join {
+		if ci < 0 || ci >= len(ps.activeSet) {
+			return 0, fmt.Errorf("fl: round %d churn: join of out-of-range client %d", round, ci)
+		}
+		if ps.activeSet[ci] {
+			return 0, fmt.Errorf("fl: round %d churn: client %d joined but is already active", round, ci)
+		}
+		ps.activeSet[ci] = true
+	}
+	for _, ci := range leave {
+		if ci < 0 || ci >= len(ps.activeSet) {
+			return 0, fmt.Errorf("fl: round %d churn: leave of out-of-range client %d", round, ci)
+		}
+		if !ps.activeSet[ci] {
+			return 0, fmt.Errorf("fl: round %d churn: client %d left but is not active", round, ci)
+		}
+		ps.activeSet[ci] = false
+	}
+	if len(join)+len(leave) > 0 {
+		ps.active = ps.active[:0]
+		for ci, on := range ps.activeSet {
+			if on {
+				ps.active = append(ps.active, ci)
+			}
+		}
+		if len(ps.active) == 0 {
+			return 0, fmt.Errorf("fl: round %d churn: every client left — the population may not be emptied", round)
+		}
+	}
+	return len(join) + len(leave), nil
+}
+
+// drawCount is the cohort size for a drawable population of n:
+// Cohort clamped to n when set, else Participation's ⌈p·n⌉, else n.
+func (ps *popState) drawCount(n int) int {
+	count := n
+	if ps.cohort > 0 {
+		count = ps.cohort
+	} else if ps.p > 0 && ps.p < 1 {
+		count = int(math.Ceil(ps.p * float64(n)))
+	}
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	return count
+}
+
+// drawInto draws the round's cohort from the active population into
+// dst (sorted client IDs). The rng consumption matches
+// pickParticipantsInto exactly: zero draws when the whole population
+// participates, one inside-out Fisher–Yates over the active count
+// otherwise — so with everyone active the output AND the rng stream
+// are identical to the Participation path.
+func (ps *popState) drawInto(dst, perm []int, rng *rand.Rand) ([]int, []int) {
+	n := len(ps.active)
+	count := ps.drawCount(n)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	if count >= n {
+		dst = dst[:n]
+		copy(dst, ps.active)
+		return dst, perm
+	}
+	dst, perm = drawCountInto(dst, perm, count, n, rng)
+	// Map drawn positions to client IDs. active ascends, so the sorted
+	// positions map to sorted IDs — no re-sort needed.
+	for i, pos := range dst {
+		dst[i] = ps.active[pos]
+	}
+	return dst, perm
+}
+
+// CohortSampler is the exported form of the engine's population draw,
+// for coordinators that mirror it over the wire (the transport
+// package's population server): the same churn validation, the same
+// Fisher–Yates consumption, the same dropout filtering — one
+// implementation, so the wire draw cannot drift from the engine's.
+// Single-goroutine state; the slice returned by Draw stays valid until
+// the next Draw call.
+type CohortSampler struct {
+	ps           *popState
+	participants []int
+	perm         []int
+}
+
+// NewCohortSampler builds a sampler over a population of nClients.
+// cohort is the per-round draw size (0 = the whole active population);
+// churn and dropout follow the fl.Config contracts and may be nil.
+func NewCohortSampler(nClients, cohort int, churn func(round int) (join, leave []int), dropout func(client, round int) bool) (*CohortSampler, error) {
+	if nClients < 1 {
+		return nil, fmt.Errorf("fl: cohort sampler needs a positive population, got %d", nClients)
+	}
+	if cohort < 0 || cohort > nClients {
+		return nil, fmt.Errorf("fl: cohort %d outside [0, %d]", cohort, nClients)
+	}
+	cfg := Config{Cohort: cohort, Churn: churn, Dropout: dropout}
+	ps := newPopState(&cfg, nClients)
+	if ps == nil {
+		// No knob set: a trivial sampler that always draws everyone.
+		ps = newPopState(&Config{Cohort: nClients}, nClients)
+	}
+	return &CohortSampler{ps: ps}, nil
+}
+
+// Draw advances one round: apply the round's churn, draw the cohort
+// from the active population (consuming rng exactly like the engine —
+// zero draws when the whole population participates, one Fisher–Yates
+// otherwise), and filter it through the dropout schedule. population
+// and drawn are the active count and the pre-dropout draw size (the
+// engine's Population/CohortSize stats). The returned cohort is sorted
+// ascending and reused across calls.
+func (cs *CohortSampler) Draw(round int, rng *rand.Rand) (cohort []int, population, drawn, churnEvents int, err error) {
+	if churnEvents, err = cs.ps.applyChurn(round); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	population = len(cs.ps.active)
+	cs.participants, cs.perm = cs.ps.drawInto(cs.participants, cs.perm, rng)
+	drawn = len(cs.participants)
+	if cs.participants, err = cs.ps.applyDropout(cs.participants, round); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return cs.participants, population, drawn, churnEvents, nil
+}
+
+// applyDropout filters the drawn cohort through the deadline-dropout
+// schedule in place. It consumes no rng, so downstream draws are
+// unperturbed. An emptied round is an error (the aggregation would
+// otherwise divide by a zero participant weight).
+func (ps *popState) applyDropout(cohort []int, round int) ([]int, error) {
+	if ps.dropout == nil {
+		return cohort, nil
+	}
+	kept := cohort[:0]
+	for _, ci := range cohort {
+		if !ps.dropout(ci, round) {
+			kept = append(kept, ci)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("fl: round %d: every drawn participant dropped out", round)
+	}
+	return kept, nil
+}

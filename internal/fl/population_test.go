@@ -1,0 +1,239 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCohortEqualsPopulationBitIdenticalToPlain is the population
+// tier's dormancy guarantee (and the PR's acceptance criterion): a run
+// with Cohort = N routes the draw through the popState machinery but
+// consumes zero rng — exactly like the plain engine's everyone-
+// participates shortcut — so the whole trajectory is bit-identical.
+func TestCohortEqualsPopulationBitIdenticalToPlain(t *testing.T) {
+	plain := diffConfig()
+	ref, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := diffConfig()
+	cfg.Cohort = cfg.Data.NumClients()
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, "cohort=N", ref, got)
+}
+
+// TestCohortMatchesParticipationDraw pins the sequence compatibility
+// of the two sampling knobs: Cohort = c and Participation = c/N run
+// the same Fisher–Yates with the same count, so the runs are
+// bit-identical — including across worker counts and shard topologies.
+func TestCohortMatchesParticipationDraw(t *testing.T) {
+	for _, c := range []int{1, 3, 5} {
+		for _, workers := range []int{0, 4} {
+			pCfg := diffConfig()
+			n := pCfg.Data.NumClients()
+			pCfg.Participation = float64(c) / float64(n)
+			pCfg.Workers = workers
+			ref, err := Run(pCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cCfg := diffConfig()
+			cCfg.Cohort = c
+			cCfg.Workers = workers
+			got, err := Run(cCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// CohortSize is definitionally equal; Population too. The
+			// full comparison covers losses, draws, and final weights.
+			requireBitIdentical(t, "cohort-vs-participation", ref, got)
+		}
+	}
+}
+
+// TestChurnRestrictsDraw runs a churn schedule and checks that drawn
+// participants always come from the active set, that the stats expose
+// the population trajectory, and that churned runs are deterministic.
+func TestChurnRestrictsDraw(t *testing.T) {
+	churn := func(round int) (join, leave []int) {
+		switch round {
+		case 3:
+			return nil, []int{0, 5} // two clients leave before round 3
+		case 5:
+			return []int{5}, []int{7} // 5 rejoins, 7 leaves
+		}
+		return nil, nil
+	}
+	run := func() *Result {
+		cfg := diffConfig()
+		cfg.Cohort = 4
+		cfg.Churn = churn
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	active := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true, 6: true, 7: true}
+	for _, st := range res.Stats {
+		switch st.Round {
+		case 3:
+			delete(active, 0)
+			delete(active, 5)
+			if st.ChurnEvents != 2 {
+				t.Fatalf("round 3: ChurnEvents = %d, want 2", st.ChurnEvents)
+			}
+		case 5:
+			active[5] = true
+			delete(active, 7)
+			if st.ChurnEvents != 2 {
+				t.Fatalf("round 5: ChurnEvents = %d, want 2", st.ChurnEvents)
+			}
+		default:
+			if st.ChurnEvents != 0 {
+				t.Fatalf("round %d: ChurnEvents = %d, want 0", st.Round, st.ChurnEvents)
+			}
+		}
+		if st.Population != len(active) {
+			t.Fatalf("round %d: Population = %d, want %d", st.Round, st.Population, len(active))
+		}
+		wantCohort := 4
+		if len(active) < 4 {
+			wantCohort = len(active)
+		}
+		if st.CohortSize != wantCohort || st.Participants != wantCohort {
+			t.Fatalf("round %d: cohort %d participants %d, want %d", st.Round, st.CohortSize, st.Participants, wantCohort)
+		}
+		// RecordPerClient gives per-client contribution counts; inactive
+		// clients must have contributed nothing.
+		for ci, used := range st.PerClientUsed {
+			if used > 0 && !active[ci] {
+				t.Fatalf("round %d: inactive client %d contributed %d elements", st.Round, ci, used)
+			}
+		}
+	}
+	requireBitIdentical(t, "churn-determinism", res, run())
+}
+
+// TestDropoutFiltersCohort pins the deadline-dropout contract: dropped
+// members are excluded after the draw without perturbing any rng, the
+// schedule is deterministic, and an emptied round errors.
+func TestDropoutFiltersCohort(t *testing.T) {
+	run := func() *Result {
+		cfg := diffConfig()
+		cfg.Cohort = 4
+		cfg.Dropout = func(client, round int) bool { return round == 4 && client%2 == 1 }
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	for _, st := range res.Stats {
+		if st.CohortSize != 4 {
+			t.Fatalf("round %d: CohortSize = %d, want 4", st.Round, st.CohortSize)
+		}
+		if st.Round != 4 && st.Participants != 4 {
+			t.Fatalf("round %d: Participants = %d, want 4", st.Round, st.Participants)
+		}
+		if st.Round == 4 && st.Participants >= 4 {
+			t.Fatalf("round 4: Participants = %d, want < 4 (odd members dropped)", st.Participants)
+		}
+	}
+	requireBitIdentical(t, "dropout-determinism", res, run())
+
+	all := diffConfig()
+	all.Dropout = func(int, int) bool { return true }
+	if _, err := Run(all); err == nil || !strings.Contains(err.Error(), "dropped out") {
+		t.Fatalf("all-dropout run error = %v, want empty-cohort error", err)
+	}
+}
+
+// TestPopulationValidation covers the new knobs' validation rules.
+func TestPopulationValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"negative cohort", func(c *Config) { c.Cohort = -1 }, "Cohort must be non-negative"},
+		{"cohort over population", func(c *Config) { c.Cohort = c.Data.NumClients() + 1 }, "exceeds the client population"},
+		{"cohort and participation", func(c *Config) { c.Cohort = 2; c.Participation = 0.5 }, "mutually exclusive"},
+		{"churn with fedavg", func(c *Config) {
+			c.Strategy = nil
+			c.FedAvg = true
+			c.FedAvgKEquiv = 100
+			c.Churn = func(int) ([]int, []int) { return nil, nil }
+		}, "GS mode only"},
+		{"dropout with staleness", func(c *Config) {
+			c.Staleness = 1
+			c.Dropout = func(int, int) bool { return false }
+		}, "synchronous engine"},
+		{"churn with wal", func(c *Config) {
+			c.WALDir = t.TempDir()
+			c.Churn = func(int) ([]int, []int) { return nil, nil }
+		}, "incompatible with WALDir"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := diffConfig()
+			tc.mutate(&cfg)
+			_, err := Run(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestChurnValidationErrors covers the strict churn-schedule checks.
+func TestChurnValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		churn func(int) ([]int, []int)
+		want  string
+	}{
+		{"join active", func(round int) ([]int, []int) {
+			if round == 2 {
+				return []int{0}, nil
+			}
+			return nil, nil
+		}, "already active"},
+		{"leave inactive", func(round int) ([]int, []int) {
+			switch round {
+			case 2:
+				return nil, []int{0}
+			case 3:
+				return nil, []int{0}
+			}
+			return nil, nil
+		}, "not active"},
+		{"out of range", func(round int) ([]int, []int) {
+			if round == 2 {
+				return nil, []int{99}
+			}
+			return nil, nil
+		}, "out-of-range"},
+		{"emptied", func(round int) ([]int, []int) {
+			if round == 2 {
+				return nil, []int{0, 1, 2, 3, 4, 5, 6, 7}
+			}
+			return nil, nil
+		}, "may not be emptied"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := diffConfig()
+			cfg.Churn = tc.churn
+			_, err := Run(cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

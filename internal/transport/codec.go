@@ -77,6 +77,10 @@ const (
 	tagRejoinAck
 	tagRedo
 	tagSliceNack
+	tagMuxFrame
+	tagHostHello
+	tagHostData
+	tagCohortAssign
 )
 
 // wireWriter appends wire-encoded primitives to a buffer, latching the
@@ -602,6 +606,7 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.QuantBits)
 		w.putNum(m.StartRound)
 		w.putNum(m.Window)
+		w.putNum(m.NumHosts)
 		w.putBool(m.Direct)
 		w.putF64s(m.Weights)
 	case ShardUpload:
@@ -697,6 +702,35 @@ func appendFrame(b []byte, msg any) ([]byte, error) {
 		w.putNum(m.Round)
 		w.putNum(m.Sealed)
 		w.putBool(m.Evicted)
+	case MuxFrame:
+		if _, ok := m.Msg.(MuxFrame); ok {
+			return b, fmt.Errorf("transport: binary codec: MuxFrame nested inside MuxFrame")
+		}
+		w.putU8(tagMuxFrame)
+		w.putNum(m.VID)
+		// The enveloped message travels as a complete nested frame
+		// (length prefix included), so decode reuses the same machinery.
+		inner, err := appendFrame(w.b, m.Msg)
+		if err != nil {
+			return b, err
+		}
+		w.b = inner
+	case HostHello:
+		w.putU8(tagHostHello)
+		w.putNum(m.HostID)
+		w.putNums(m.Members)
+		w.putF64s(m.Weights)
+	case HostData:
+		w.putU8(tagHostData)
+		w.putNum(m.HostID)
+		w.putNum(m.ShardID)
+		w.putNum(m.NumShards)
+		w.putNum(m.Dim)
+		w.putNums(m.Members)
+	case CohortAssign:
+		w.putU8(tagCohortAssign)
+		w.putNum(m.Round)
+		w.putNums(m.Members)
 	default:
 		return b, fmt.Errorf("transport: binary codec: unsupported message type %T", msg)
 	}
@@ -758,6 +792,7 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.QuantBits = r.num()
 		m.StartRound = r.num()
 		m.Window = r.num()
+		m.NumHosts = r.num()
 		m.Direct = r.bool_()
 		m.Weights = r.f64s(nil)
 		msg = m
@@ -830,6 +865,43 @@ func decodeFrame(payload []byte, sc *decScratch) (any, error) {
 		m.Round = r.num()
 		m.Sealed = r.num()
 		m.Evicted = r.bool_()
+		msg = m
+	case tagMuxFrame:
+		vid := r.num()
+		innerLen := r.num()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if innerLen < 1 || innerLen > len(r.b) {
+			return nil, fmt.Errorf("transport: binary codec: nested frame length %d outside [1, %d]", innerLen, len(r.b))
+		}
+		if r.b[0] == tagMuxFrame {
+			return nil, fmt.Errorf("transport: binary codec: MuxFrame nested inside MuxFrame")
+		}
+		inner, err := decodeFrame(r.b[:innerLen], sc)
+		if err != nil {
+			return nil, err
+		}
+		r.b = r.b[innerLen:]
+		msg = MuxFrame{VID: vid, Msg: inner}
+	case tagHostHello:
+		var m HostHello
+		m.HostID = r.num()
+		m.Members = r.nums(nil)
+		m.Weights = r.f64s(nil)
+		msg = m
+	case tagHostData:
+		var m HostData
+		m.HostID = r.num()
+		m.ShardID = r.num()
+		m.NumShards = r.num()
+		m.Dim = r.num()
+		m.Members = r.nums(nil)
+		msg = m
+	case tagCohortAssign:
+		var m CohortAssign
+		m.Round = r.num()
+		m.Members = r.nums(nil)
 		msg = m
 	default:
 		return nil, fmt.Errorf("transport: binary codec: unknown message type tag %d", tag)

@@ -222,6 +222,20 @@ func RunDirectShard(coord Conn, accept func(nClients int) ([]Peer, error)) error
 			assign.ShardID, assign.Window, MaxStaleness)
 	}
 	lo, hi := tensor.ChunkBounds(assign.Dim, assign.NumShards, assign.ShardID)
+	if assign.NumHosts > 0 {
+		// Population tier: the ingest plane carries NumHosts virtual-
+		// client host connections instead of one per member, and the
+		// per-round barrier follows the coordinator's CohortAssign.
+		if assign.Window != 0 {
+			return fmt.Errorf("transport: shard %d: the population tier requires the synchronous protocol (window %d)",
+				assign.ShardID, assign.Window)
+		}
+		peers, err := accept(assign.NumHosts)
+		if err != nil {
+			return fmt.Errorf("transport: shard %d accepting hosts: %w", assign.ShardID, err)
+		}
+		return runDirectShardPopulation(coord, assign, peers, lo, hi)
+	}
 	n := len(assign.Weights)
 
 	peers, err := accept(n)

@@ -69,9 +69,14 @@ func roundEvent(rec RoundRecord, k, participants int, bm *byteMeter, reduce []fl
 		Loss:          rec.Loss,
 		DownlinkElems: rec.DownlinkElems,
 		Participants:  participants,
-		TestAcc:       math.NaN(),
-		TestLoss:      math.NaN(),
-		TrainLoss:     math.NaN(),
+		// The classic protocols draw no cohort: every connected client
+		// is drawable and participates. The population server
+		// overwrites all three with the sampler's real numbers.
+		Population: participants,
+		CohortSize: participants,
+		TestAcc:    math.NaN(),
+		TestLoss:   math.NaN(),
+		TrainLoss:  math.NaN(),
 		// Residual mass lives in the clients' error-feedback state; the
 		// coordinator cannot observe it, so the field stays not-evaluated
 		// (the engine's in-process observer reports the real norm).

@@ -65,6 +65,11 @@ type ServerConfig struct {
 	// codec's counters and per-shard reduce wait times. nil disables.
 	// Observers are passive; attaching one moves no trajectory bit.
 	Observer fl.Observer
+	// Population switches the run into the population tier — clients
+	// are virtual members simulated by host processes, with a sampled
+	// cohort per round. Set it and call RunPopulationServer; the
+	// classic per-client entry points reject it. See population.go.
+	Population *PopulationConfig
 	// Staleness is the bounded-staleness window W, mirroring
 	// fl.Config.Staleness: 0 runs the synchronous lockstep protocol
 	// unchanged; W > 0 pipelines the rounds — clients start round m+1's
@@ -87,15 +92,21 @@ const MaxStaleness = 8
 // Peer is one incoming connection classified by its first message:
 // exactly one of Hello (a client on the coordinator's control plane),
 // Shard (an aggregation shard on the coordinator's control plane, with
-// its advertised direct-ingest address), or Data (a client on a direct
-// shard's ingest plane) is non-nil. AcceptPeer lets one listener serve
-// every role.
+// its advertised direct-ingest address), Data (a client on a direct
+// shard's ingest plane), Host (a virtual-client host on the population
+// coordinator's control plane), or HostData (a virtual-client host on
+// a population shard's ingest plane) is non-nil. AcceptPeer lets one
+// listener serve every role. Host peers fill the client quota in
+// AcceptPeers and HostData peers the data quota in AcceptDataPeers, so
+// the shared-listener deployments work unchanged at population scale.
 type Peer struct {
-	Conn   Conn
-	Hello  *Hello
-	Shard  *ShardHello
-	Data   *DataHello
-	Rejoin *Rejoin
+	Conn     Conn
+	Hello    *Hello
+	Shard    *ShardHello
+	Data     *DataHello
+	Host     *HostHello
+	HostData *HostData
+	Rejoin   *Rejoin
 }
 
 // handshakeTimeout bounds the first Recv of every handshake: a peer
@@ -116,10 +127,14 @@ func AcceptPeer(conn Conn) (Peer, error) {
 		return Peer{Conn: conn, Shard: &h}, nil
 	case DataHello:
 		return Peer{Conn: conn, Data: &h}, nil
+	case HostHello:
+		return Peer{Conn: conn, Host: &h}, nil
+	case HostData:
+		return Peer{Conn: conn, HostData: &h}, nil
 	case Rejoin:
 		return Peer{Conn: conn, Rejoin: &h}, nil
 	default:
-		return Peer{}, fmt.Errorf("transport: expected Hello, ShardHello, DataHello, or Rejoin, got %T", msg)
+		return Peer{}, fmt.Errorf("transport: expected Hello, ShardHello, DataHello, HostHello, HostData, or Rejoin, got %T", msg)
 	}
 }
 
@@ -287,11 +302,11 @@ func collectPeers(ln *Listener, nClients, nShards, nData int, timeout time.Durat
 			switch {
 			case out.err != nil:
 				out.conn.Close() // junk handshake or dead conn: ignore
-			case out.peer.Hello != nil && len(clients) < nClients:
+			case (out.peer.Hello != nil || out.peer.Host != nil) && len(clients) < nClients:
 				clients = append(clients, out.peer)
 			case out.peer.Shard != nil && len(shards) < nShards:
 				shards = append(shards, out.peer)
-			case out.peer.Data != nil && len(data) < nData:
+			case (out.peer.Data != nil || out.peer.HostData != nil) && len(data) < nData:
 				data = append(data, out.peer)
 			default:
 				out.conn.Close() // surplus peer for a filled role
@@ -349,6 +364,9 @@ func RunServerPeers(clients []Peer, cfg ServerConfig) (records []RoundRecord, er
 	}
 	if cfg.Staleness > 0 && !cfg.Direct {
 		return nil, fmt.Errorf("transport: Staleness requires the direct data plane (the routed topology is lockstep)")
+	}
+	if cfg.Population != nil {
+		return nil, fmt.Errorf("transport: population runs go through RunPopulationServer, not the per-client entry points")
 	}
 	// Order connections by client ID.
 	ordered := make([]Conn, len(clients))

@@ -72,6 +72,15 @@ type (
 		// routed shards are driven by the coordinator's lockstep round
 		// loop and reject a windowed assignment.
 		Window int
+		// NumHosts > 0 switches a direct shard into the population
+		// tier's M:N ingest plane: instead of one connection per client
+		// it accepts NumHosts virtual-client host connections (each
+		// opening with a HostData that names its member roster), and
+		// each round's barrier covers the drawn cohort announced by the
+		// coordinator's CohortAssign, with one MuxFrame-enveloped
+		// SliceUpload per drawn member. Weights then has one entry per
+		// population member. 0 is the classic one-conn-per-client plane.
+		NumHosts int
 	}
 
 	// ShardUpload is one round's routed pairs for one shard, all clients
@@ -79,6 +88,9 @@ type (
 	// Rank is each pair's 0-based position in the client's original
 	// upload — the selection metadata the shard's reduction preserves
 	// (range slicing destroys positions, so ranks ride along explicitly).
+	// Coordinator → shard, routed aggregation plane, exactly one per
+	// shard per round once every client's Upload arrived; answered by
+	// exactly one ShardResult before the next round's routing.
 	ShardUpload struct {
 		Round int
 		Off   []int
@@ -90,7 +102,9 @@ type (
 	// ShardResult is a shard's reduction for one round: for every
 	// distinct uploaded coordinate in its range, ascending, the exact
 	// weighted sum b_j and the minimal upload rank (gs.RangeAgg on the
-	// wire).
+	// wire). Shard → coordinator, on the control connection in both
+	// topologies — the routed reply to a ShardUpload, or the direct
+	// plane's round report once the shard's client barrier is complete.
 	ShardResult struct {
 		Round   int
 		ShardID int

@@ -37,13 +37,17 @@ import (
 // Message types of the protocol.
 type (
 	// Hello is the client's handshake: its identity and aggregation
-	// weight C_i.
+	// weight C_i. Client → coordinator, control plane, the first
+	// message on a client connection (the population tier's hosts send
+	// HostHello instead — one per roster, not per member).
 	Hello struct {
 		ClientID int
 		Weight   float64
 	}
 	// Init is the server's reply: the synchronized initial weights and
-	// the run parameters every client must use. A non-empty Shards
+	// the run parameters every client must use. Coordinator → every
+	// client (or virtual host), control plane, sent once after all
+	// expected peers enrolled and before round 1. A non-empty Shards
 	// directory switches the client onto the direct data plane: entry s
 	// is the ingest address of aggregation shard s, the client dials
 	// every shard itself, uploads range slices straight to the owners,
@@ -74,6 +78,10 @@ type (
 	}
 	// Upload is A_i: one client's top-k accumulated-gradient pairs for a
 	// round, plus its minibatch loss (the server's global-loss input).
+	// Client → coordinator, routed data plane, one per participating
+	// client per round, strictly alternating with Broadcast on each
+	// connection (in the population tier it travels MuxFrame-enveloped,
+	// one per DRAWN member, in ascending member order per host).
 	// With quantization on, Val lies on the b-bit grid described by
 	// Bits and Scale (the client's per-upload max |value|), which is
 	// what lets the binary codec pack the values as b-bit integers on
@@ -89,7 +97,11 @@ type (
 	}
 	// Broadcast is B: the aggregated sparse gradient for a round. Bits
 	// and Scale describe the quantization grid of Val exactly as in
-	// Upload (Scale here is the aggregate's max |value|).
+	// Upload (Scale here is the aggregate's max |value|). Coordinator →
+	// every client, routed data plane, one per round after the round's
+	// aggregation (in the population tier: one PLAIN broadcast per
+	// host — never per member — which is what keeps downlink bytes
+	// flat as the population grows).
 	Broadcast struct {
 		Round int
 		Idx   []int
@@ -219,6 +231,10 @@ func registerTypes() {
 		gob.Register(RejoinAck{})
 		gob.Register(Redo{})
 		gob.Register(SliceNack{})
+		gob.Register(MuxFrame{})
+		gob.Register(HostHello{})
+		gob.Register(HostData{})
+		gob.Register(CohortAssign{})
 	})
 }
 

@@ -67,6 +67,13 @@ var tracked = []struct {
 	// stay far below the lockstep stall. Each iteration is a full
 	// 12-round 2-shard run (~tens of ms), so a few iterations suffice.
 	{"./internal/transport/", "BenchmarkStragglerWallClock", "3x"},
+	// The population tier's scale contract: a 100k-member sampled run
+	// must cost rounds × cohort member computations, never O(population)
+	// per round. Each iteration is a full 3-round run over two physical
+	// mem connections, so a few iterations suffice; the allocs/op
+	// baseline (dominated by the one-time per-member enrollment
+	// bookkeeping) is the stronger, host-independent gate.
+	{"./internal/transport/", "BenchmarkVirtualClients", "3x"},
 	{"./internal/wal/", "BenchmarkWALAppend", "2000x"},
 	{".", "BenchmarkRunGSParallel", "3x"},
 }

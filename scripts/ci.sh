@@ -28,10 +28,11 @@ go test -race ./internal/fl/... ./internal/sparse/... ./internal/gs/... ./intern
 # Chaos step: the crash-recovery and fault-injection matrices re-run
 # under the race detector with -count=1 — an uncached execution on every
 # push, so the recovery paths (coordinator killed at each WAL boundary,
-# shard kill + fresh rejoin, seeded FaultConn modes, halt/resume) are
-# actually exercised rather than replayed from the test cache.
+# shard kill + fresh rejoin, seeded FaultConn modes, halt/resume, and
+# the population tier's churn/dropout rounds) are actually exercised
+# rather than replayed from the test cache.
 go test -race -count=1 \
-  -run 'Crash|Rejoin|Resume|Retry|Fault|Flaky|Durable|Halt|Deadline|Torn|Corrupt' \
+  -run 'Crash|Rejoin|Resume|Retry|Fault|Flaky|Durable|Halt|Deadline|Torn|Corrupt|Churn' \
   ./internal/wal/... ./internal/transport/... ./internal/fl/... ./cmd/flsim/...
 # Bench smoke, one iteration each: keeps the benchmark code compiling
 # AND executing without paying for real timings. The -bench patterns
